@@ -1,0 +1,96 @@
+"""Figure 5.a — exactly-once impact vs number of output partitions.
+
+Paper setup: 3-broker cluster, stateful reduce, commit interval 100 ms,
+output partitions swept 1 -> 1000, EOS vs ALOS. Paper findings to
+reproduce in shape:
+
+* EOS throughput degradation is "relatively small, ranging from about 10
+  to 20 percent" of ALOS, roughly independent of the partition count
+  (batched partition registration keeps the coordinator cost constant);
+* EOS end-to-end latency grows with the number of partitions (the
+  transaction markers written per transaction grow linearly with it),
+  much faster than ALOS latency does.
+"""
+
+from harness import run_streams_reduce
+from harness_report import record_table
+
+from repro.config import AT_LEAST_ONCE, EXACTLY_ONCE
+from repro.metrics.reporter import format_table
+
+PARTITIONS = [1, 10, 100, 1000]
+PAPER_OVERHEAD_RANGE = (5.0, 25.0)   # paper: 10-20 %, we accept a margin
+
+_results = {}
+
+
+def _run_all():
+    for partitions in PARTITIONS:
+        for guarantee in (AT_LEAST_ONCE, EXACTLY_ONCE):
+            _results[(partitions, guarantee)] = run_streams_reduce(
+                output_partitions=partitions,
+                guarantee=guarantee,
+                commit_interval_ms=100.0,
+                duration_ms=1500.0,
+                rate_per_sec=5000.0,
+            )
+    return _results
+
+
+def test_fig5a_exactly_once_impact(benchmark):
+    benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    rows = []
+    for partitions in PARTITIONS:
+        alos = _results[(partitions, AT_LEAST_ONCE)]
+        eos = _results[(partitions, EXACTLY_ONCE)]
+        overhead = 100.0 * (1 - eos.throughput_per_sec / alos.throughput_per_sec)
+        rows.append(
+            [
+                partitions,
+                round(alos.throughput_per_sec),
+                round(eos.throughput_per_sec),
+                f"{overhead:.1f}%",
+                round(alos.mean_latency_ms, 1),
+                round(eos.mean_latency_ms, 1),
+            ]
+        )
+    record_table(
+        "Figure 5a — EOS impact vs output partitions (commit interval 100 ms)",
+        format_table(
+            [
+                "partitions",
+                "ALOS thr (msg/s)",
+                "EOS thr (msg/s)",
+                "EOS overhead",
+                "ALOS lat (ms)",
+                "EOS lat (ms)",
+            ],
+            rows,
+        ),
+    )
+
+    # Shape assertions (the paper's qualitative findings).
+    for partitions in PARTITIONS:
+        alos = _results[(partitions, AT_LEAST_ONCE)]
+        eos = _results[(partitions, EXACTLY_ONCE)]
+        overhead = 100.0 * (1 - eos.throughput_per_sec / alos.throughput_per_sec)
+        assert PAPER_OVERHEAD_RANGE[0] <= overhead <= PAPER_OVERHEAD_RANGE[1], (
+            f"EOS throughput overhead at {partitions} partitions is "
+            f"{overhead:.1f}%, outside the paper's regime"
+        )
+        # ALOS is always at least as fast and at most as laggy.
+        assert eos.mean_latency_ms >= alos.mean_latency_ms * 0.9
+
+    # EOS latency grows substantially with partitions (markers are linear
+    # in the partition count); the ratio must exceed ALOS's growth.
+    eos_growth = (
+        _results[(1000, EXACTLY_ONCE)].mean_latency_ms
+        / _results[(1, EXACTLY_ONCE)].mean_latency_ms
+    )
+    alos_growth = (
+        _results[(1000, AT_LEAST_ONCE)].mean_latency_ms
+        / _results[(1, AT_LEAST_ONCE)].mean_latency_ms
+    )
+    assert eos_growth > 2.0
+    assert eos_growth > alos_growth

@@ -1,0 +1,91 @@
+"""Figure 5.b — commit/checkpoint interval sweep, Kafka Streams EOS vs a
+checkpoint-based engine (Flink-like), 10 output partitions.
+
+Paper findings to reproduce in shape:
+
+* both engines trade latency for throughput as the interval grows;
+* at small intervals the checkpoint engine is penalized by its per-file
+  checkpoint cost (a few dirty keys still upload whole files to the
+  object store, and the sink's transaction can only commit after the
+  checkpoint completes), so Kafka Streams wins on both axes;
+* the gap narrows as the interval grows and the per-checkpoint fixed cost
+  amortizes.
+"""
+
+from harness import run_barrier_reduce, run_streams_reduce
+from harness_report import record_table
+
+from repro.config import EXACTLY_ONCE
+from repro.metrics.reporter import format_table
+
+INTERVALS_MS = [10, 100, 1000, 10_000]
+
+_streams = {}
+_flink = {}
+
+
+def _run_all():
+    for interval in INTERVALS_MS:
+        duration = min(max(1500.0, 4.0 * interval), 25_000.0)
+        _streams[interval] = run_streams_reduce(
+            output_partitions=10,
+            guarantee=EXACTLY_ONCE,
+            commit_interval_ms=float(interval),
+            duration_ms=duration,
+            rate_per_sec=5000.0,
+        )
+        _flink[interval] = run_barrier_reduce(
+            checkpoint_interval_ms=float(interval),
+            duration_ms=duration,
+            rate_per_sec=5000.0,
+        )
+    return _streams, _flink
+
+
+def test_fig5b_commit_interval_sweep(benchmark):
+    benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    rows = []
+    for interval in INTERVALS_MS:
+        s, f = _streams[interval], _flink[interval]
+        rows.append(
+            [
+                interval,
+                round(s.throughput_per_sec),
+                round(s.mean_latency_ms, 1),
+                round(f.throughput_per_sec),
+                round(f.mean_latency_ms, 1),
+            ]
+        )
+    record_table(
+        "Figure 5b — commit/checkpoint interval sweep (10 partitions)",
+        format_table(
+            [
+                "interval (ms)",
+                "Streams EOS thr",
+                "Streams EOS lat (ms)",
+                "Flink EOS thr",
+                "Flink EOS lat (ms)",
+            ],
+            rows,
+        ),
+    )
+
+    # Throughput increases with interval (amortized commit cost) for both.
+    assert _streams[1000].throughput_per_sec > _streams[10].throughput_per_sec
+    assert _flink[1000].throughput_per_sec > _flink[10].throughput_per_sec
+
+    # Latency increases with interval for both.
+    assert _streams[10_000].mean_latency_ms > _streams[10].mean_latency_ms
+    assert _flink[10_000].mean_latency_ms > _flink[10].mean_latency_ms
+
+    # At small intervals Streams wins clearly on latency (per-file
+    # checkpoint cost), and the gap narrows as the interval grows.
+    gap_small = _flink[10].mean_latency_ms / _streams[10].mean_latency_ms
+    gap_large = _flink[10_000].mean_latency_ms / _streams[10_000].mean_latency_ms
+    assert gap_small > 1.5, f"expected a clear latency gap at 10 ms, got {gap_small:.2f}x"
+    assert gap_large < gap_small, "the latency gap should narrow with larger intervals"
+    assert gap_large < 1.3, f"gap should nearly close at 10 s, got {gap_large:.2f}x"
+
+    # Streams also holds the throughput edge at small intervals.
+    assert _streams[10].throughput_per_sec > _flink[10].throughput_per_sec

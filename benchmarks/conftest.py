@@ -1,0 +1,14 @@
+"""Benchmark-suite plumbing: surface result tables in the terminal summary."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import harness_report
+
+
+def pytest_terminal_summary(terminalreporter):
+    for title, text in harness_report.TABLES:
+        terminalreporter.write_sep("=", title)
+        terminalreporter.write_line(text)

@@ -1,0 +1,233 @@
+"""Shared benchmark harness.
+
+Reproduces the paper's evaluation setup (Section 4.3): a three-broker
+cluster, an input topic written by a streaming data generator, a
+single-instance streams application performing a stateful reduce, an
+output topic read by a read-committed consumer, and per-record end-to-end
+latency measured from the record's creation time to the consumer's
+reception of its result. All times are virtual milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.barriers.engine import BarrierEngine
+from repro.barriers.object_store import ObjectStore
+from repro.broker.cluster import Cluster
+from repro.clients.consumer import Consumer
+from repro.config import (
+    AT_LEAST_ONCE,
+    EXACTLY_ONCE,
+    READ_COMMITTED,
+    READ_UNCOMMITTED,
+    ConsumerConfig,
+    StreamsConfig,
+)
+from repro.metrics.latency import LatencyTracker
+from repro.streams import KafkaStreams, StreamsBuilder
+from repro.workloads.generator import WorkloadGenerator
+
+
+@dataclass
+class BenchResult:
+    """Outcome of one benchmark configuration."""
+
+    label: str
+    records: int = 0
+    elapsed_ms: float = 0.0
+    latency: LatencyTracker = field(default_factory=LatencyTracker)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput_per_sec(self) -> float:
+        if self.elapsed_ms <= 0:
+            return 0.0
+        return self.records / (self.elapsed_ms / 1000.0)
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return self.latency.mean_ms()
+
+    @property
+    def p99_latency_ms(self) -> float:
+        return self.latency.p99_ms()
+
+
+def make_bench_cluster(seed: int = 101) -> Cluster:
+    """Three brokers, latency charging on (the evaluation testbed)."""
+    return Cluster(num_brokers=3, seed=seed)
+
+
+def reduce_topology(input_topic: str = "input", output_topic: str = "output"):
+    """The paper's benchmark app: a stateful reduce over the input keys."""
+    builder = StreamsBuilder()
+    (
+        builder.stream(input_topic)
+        .group_by_key()
+        .reduce(lambda aggregate, value: aggregate + value)
+        .to_stream()
+        .to(output_topic)
+    )
+    return builder.build()
+
+
+def run_streams_reduce(
+    output_partitions: int = 10,
+    guarantee: str = EXACTLY_ONCE,
+    commit_interval_ms: float = 100.0,
+    duration_ms: float = 3000.0,
+    rate_per_sec: float = 10_000.0,
+    input_partitions: int = 4,
+    key_space: Optional[int] = None,
+    seed: int = 101,
+    label: Optional[str] = None,
+) -> BenchResult:
+    """One full run of the Figure 5 scenario; returns throughput+latency."""
+    cluster = make_bench_cluster(seed)
+    cluster.create_topic("input", input_partitions)
+    cluster.create_topic("output", output_partitions)
+    app = KafkaStreams(
+        reduce_topology(),
+        cluster,
+        StreamsConfig(
+            application_id="bench",
+            processing_guarantee=guarantee,
+            commit_interval_ms=commit_interval_ms,
+        ),
+    )
+    app.start(1)
+    generator = WorkloadGenerator(
+        cluster,
+        "input",
+        rate_per_sec=rate_per_sec,
+        key_space=key_space or max(4 * output_partitions, 64),
+        value_fn=lambda rng, i: 1,
+        seed=seed,
+    )
+    isolation = READ_COMMITTED if guarantee != AT_LEAST_ONCE else READ_UNCOMMITTED
+    sink_consumer = Consumer(
+        cluster, ConsumerConfig(client_id="verifier", isolation_level=isolation)
+    )
+    sink_consumer.assign(cluster.partitions_for("output"))
+    tracker = LatencyTracker()
+
+    start = cluster.clock.now
+    deadline = start + duration_ms
+    slice_ms = min(commit_interval_ms / 2, 25.0)
+    while cluster.clock.now < deadline:
+        generator.produce_for(slice_ms)
+        app.step()
+        _drain_outputs(cluster, sink_consumer, tracker)
+    # Finish the backlog and the final commits; this work is part of the
+    # sustained-throughput window.
+    for _ in range(3):
+        while app.step():
+            _drain_outputs(cluster, sink_consumer, tracker)
+        app.commit_all()
+    elapsed = cluster.clock.now - start
+    # Visibility tail (pure waiting for the last transaction markers):
+    # counts toward latency, not throughput.
+    cluster.clock.advance(10.0 + output_partitions * 0.5)
+    _drain_outputs(cluster, sink_consumer, tracker)
+
+    result = BenchResult(
+        label=label or f"{guarantee}/{output_partitions}p",
+        records=generator.records_produced,
+        elapsed_ms=elapsed,
+        latency=tracker,
+    )
+    result.extra["markers_written"] = cluster.txn_coordinator.markers_written
+    result.extra["commits"] = sum(i.commits_performed for i in app.instances)
+    result.extra["outputs_observed"] = tracker.count
+    return result
+
+
+def _drain_outputs(cluster, consumer, tracker) -> int:
+    """Poll the output topic without charging verifier-side latency (the
+    verifier is a separate observer machine in the paper's setup)."""
+    network = cluster.network
+    was_charging = network.charge_latency
+    network.charge_latency = False
+    seen = 0
+    try:
+        while True:
+            records = consumer.poll(max_records=100_000)
+            if not records:
+                return seen
+            now = cluster.clock.now
+            for record in records:
+                tracker.record_output(record, now)
+                seen += 1
+    finally:
+        network.charge_latency = was_charging
+
+
+def run_barrier_reduce(
+    checkpoint_interval_ms: float = 1000.0,
+    duration_ms: float = 3000.0,
+    rate_per_sec: float = 10_000.0,
+    input_partitions: int = 4,
+    output_partitions: int = 10,
+    key_space: int = 64,
+    put_latency_ms: float = 30.0,
+    min_files: int = 4,
+    seed: int = 101,
+    label: Optional[str] = None,
+) -> BenchResult:
+    """The Flink-like baseline on the same reduce workload (Figure 5.b)."""
+    cluster = make_bench_cluster(seed)
+    cluster.create_topic("input", input_partitions)
+    cluster.create_topic("output", output_partitions)
+    store = ObjectStore(cluster.clock, put_latency_ms=put_latency_ms)
+    engine = BarrierEngine(
+        cluster,
+        source_topic="input",
+        sink_topic="output",
+        reduce_fn=lambda key, value, state: (state or 0) + value,
+        object_store=store,
+        checkpoint_interval_ms=checkpoint_interval_ms,
+        min_files=min_files,
+    )
+    generator = WorkloadGenerator(
+        cluster,
+        "input",
+        rate_per_sec=rate_per_sec,
+        key_space=key_space,
+        value_fn=lambda rng, i: 1,
+        seed=seed,
+    )
+    sink_consumer = Consumer(
+        cluster,
+        ConsumerConfig(client_id="verifier", isolation_level=READ_COMMITTED),
+    )
+    sink_consumer.assign(cluster.partitions_for("output"))
+    tracker = LatencyTracker()
+
+    start = cluster.clock.now
+    deadline = start + duration_ms
+    slice_ms = min(checkpoint_interval_ms / 2, 25.0)
+    while cluster.clock.now < deadline:
+        generator.produce_for(slice_ms)
+        engine.step()
+        _drain_outputs(cluster, sink_consumer, tracker)
+    # Finish the backlog and force a final checkpoint so the last outputs
+    # commit and become visible.
+    while engine.step():
+        _drain_outputs(cluster, sink_consumer, tracker)
+    engine.checkpoint()
+    elapsed = cluster.clock.now - start
+    cluster.clock.advance(10.0)
+    _drain_outputs(cluster, sink_consumer, tracker)
+
+    result = BenchResult(
+        label=label or f"flink/{checkpoint_interval_ms:.0f}ms",
+        records=generator.records_produced,
+        elapsed_ms=elapsed,
+        latency=tracker,
+    )
+    result.extra["checkpoints"] = engine.checkpoints_completed
+    result.extra["object_store_puts"] = store.puts
+    result.extra["checkpoint_time_ms"] = engine.checkpoint_time_ms
+    return result

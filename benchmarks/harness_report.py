@@ -1,0 +1,16 @@
+"""Collects benchmark tables for the end-of-run terminal summary and
+writes them to ``benchmarks/results/``."""
+
+from pathlib import Path
+
+TABLES = []
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record_table(title: str, text: str) -> None:
+    TABLES.append((title, text))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    safe = title.lower().replace(" ", "_").replace("/", "-")
+    (RESULTS_DIR / f"{safe}.txt").write_text(text + "\n")
+    print(f"\n== {title} ==\n{text}")

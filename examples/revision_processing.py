@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Figure 6, narrated: revision-based speculative processing.
+
+Feeds the exact record sequence of the paper's Figure 6 — timestamps 12,
+16, 14, 23 (seconds) into a 5-second windowed count with a 10-second grace
+period — and prints what Kafka Streams emits at every step: speculative
+results, a revision for the out-of-order record, garbage collection of the
+expired window, and the drop of a too-late record.
+
+Run:  python examples/revision_processing.py
+"""
+
+from repro import Cluster, Consumer, ConsumerConfig, Producer
+from repro.config import READ_UNCOMMITTED, StreamsConfig
+from repro.streams import KafkaStreams, StreamsBuilder, TimeWindows
+
+SEC = 1000.0   # the paper's units are seconds; ours are milliseconds
+
+
+def main():
+    cluster = Cluster(num_brokers=3)
+    cluster.create_topic("events", 1)
+    cluster.create_topic("window-counts", 1)
+
+    builder = StreamsBuilder()
+    (
+        builder.stream("events")
+        .group_by_key()
+        .windowed_by(TimeWindows.of(5 * SEC).grace(10 * SEC))
+        .count()
+        .to_stream()
+        .to("window-counts")
+    )
+    app = KafkaStreams(
+        builder.build(),
+        cluster,
+        StreamsConfig(application_id="fig6", commit_interval_ms=10.0),
+    )
+    app.start(1)
+
+    producer = Producer(cluster)
+    consumer = Consumer(
+        cluster, ConsumerConfig(isolation_level=READ_UNCOMMITTED)
+    )
+    consumer.assign(cluster.partitions_for("window-counts"))
+
+    steps = [
+        (12, "(a) in-order record"),
+        (16, "(b) in-order record, new window"),
+        (14, "(c) OUT-OF-ORDER record, within the 10s grace period"),
+        (23, "(d) in-order record; window [10,15) falls out of grace -> GC"),
+        (12, "(e) too-late record for the collected window [10,15)"),
+    ]
+    for ts, description in steps:
+        print(f"\n>> record at t={ts}s   {description}")
+        producer.send("events", key="k", value=1, timestamp=ts * SEC)
+        producer.flush()
+        app.run_until_idle()
+        emitted = consumer.poll(max_records=1000)
+        if not emitted:
+            print("   emitted: nothing (record dropped)")
+        for record in emitted:
+            window = record.key.window
+            print(
+                f"   emitted: window [{window.start/SEC:.0f},{window.end/SEC:.0f})"
+                f" count={record.value}"
+            )
+
+    dropped = app.metric_total("dropped_records")
+    revisions = app.metric_total("revisions_emitted")
+    print(f"\nrevisions emitted: {revisions}, late records dropped: {dropped}")
+    print("Note: the grace period controlled how much old state was kept —")
+    print("it never delayed emission; every update above appeared instantly.")
+
+
+if __name__ == "__main__":
+    main()

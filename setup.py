@@ -1,0 +1,20 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that legacy editable installs
+(``pip install -e .``) work in offline environments where the ``wheel``
+package is unavailable for the PEP-660 build path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Consistency and Completeness: Rethinking "
+        "Distributed Stream Processing in Apache Kafka' (SIGMOD 2021)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

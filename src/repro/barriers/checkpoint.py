@@ -1,0 +1,93 @@
+"""Barrier records and aligned-barrier bookkeeping (Chandy-Lamport).
+
+Checkpoint barriers are injected into the data streams as punctuations
+(Section 2.1). An operator with several input channels must *align*: once
+a barrier for checkpoint n arrives on one channel, records arriving on
+that channel are buffered until the matching barrier has arrived on every
+other channel; only then does the operator snapshot its state and forward
+the barrier. The alignment time — gated by the slowest channel, hence by
+backpressure — is exactly the cost the paper contrasts with Kafka
+Streams' log-based commits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """A checkpoint punctuation flowing through the dataflow."""
+
+    checkpoint_id: int
+
+
+class BarrierAligner:
+    """Alignment state for one operator with N input channels.
+
+    ``offer(channel, item)`` returns a list of items that may be processed
+    now; barriers are absorbed and, when alignment completes,
+    ``aligned_checkpoint`` is set and the blocked channels' buffers drain.
+    """
+
+    def __init__(self, channels: List[Any]) -> None:
+        if not channels:
+            raise ValueError("an aligner needs at least one channel")
+        self._channels = list(channels)
+        self._blocked: Dict[Any, Deque] = {}
+        self._seen: Set[Any] = set()
+        self._current_barrier: Optional[Barrier] = None
+        self.aligned_checkpoint: Optional[int] = None
+        self.alignment_buffered = 0     # metric: records delayed by alignment
+
+    def offer(self, channel: Any, item: Any) -> List[Any]:
+        """Feed one item from a channel; returns processable records."""
+        if channel not in self._channels:
+            raise ValueError(f"unknown channel: {channel}")
+        if isinstance(item, Barrier):
+            return self._offer_barrier(channel, item)
+        if channel in self._seen:
+            # This channel already delivered the current barrier: its
+            # records belong to the *next* checkpoint epoch; buffer them.
+            self._blocked.setdefault(channel, deque()).append(item)
+            self.alignment_buffered += 1
+            return []
+        return [item]
+
+    def _offer_barrier(self, channel: Any, barrier: Barrier) -> List[Any]:
+        if self._current_barrier is None:
+            self._current_barrier = barrier
+        elif barrier.checkpoint_id != self._current_barrier.checkpoint_id:
+            raise ValueError(
+                f"overlapping checkpoints: {barrier.checkpoint_id} vs "
+                f"{self._current_barrier.checkpoint_id}"
+            )
+        self._seen.add(channel)
+        if len(self._seen) < len(self._channels):
+            return []
+        # Aligned: snapshot point reached. Release the buffered records —
+        # they are processed after the snapshot.
+        self.aligned_checkpoint = self._current_barrier.checkpoint_id
+        released: List[Any] = []
+        for ch in self._channels:
+            released.extend(self._blocked.pop(ch, ()))
+        self._seen.clear()
+        self._current_barrier = None
+        return released
+
+    def take_aligned(self) -> Optional[int]:
+        """Pop the checkpoint id if alignment just completed."""
+        aligned, self.aligned_checkpoint = self.aligned_checkpoint, None
+        return aligned
+
+
+@dataclass
+class CheckpointMetadata:
+    """A completed checkpoint: enough to restore the engine."""
+
+    checkpoint_id: int
+    state_path: str
+    source_offsets: Dict[Any, int] = field(default_factory=dict)
+    completed_at_ms: float = 0.0

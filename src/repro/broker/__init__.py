@@ -1,0 +1,7 @@
+"""Simulated Kafka broker cluster: replicated logs, coordinators, fetch path."""
+
+from repro.broker.partition import TopicPartition, PartitionState
+from repro.broker.cluster import Cluster
+from repro.broker.fetch import FetchResult
+
+__all__ = ["TopicPartition", "PartitionState", "Cluster", "FetchResult"]

@@ -1,0 +1,250 @@
+"""The simulated Kafka cluster.
+
+Owns brokers (failure domains), topics and their replicated partitions, the
+group and transaction coordinators, and the shared virtual clock + network.
+All RPC entry points used by the clients live here (`handle_produce`,
+`handle_fetch`, coordinator accessors); clients reach them *through* the
+:class:`~repro.sim.network.Network` so latency and faults apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.config import BrokerConfig
+from repro.errors import (
+    BrokerUnavailableError,
+    TopicAlreadyExistsError,
+    UnknownTopicOrPartitionError,
+)
+from repro.broker.fetch import FetchResult, fetch
+from repro.broker.group_coordinator import GroupCoordinator
+from repro.broker.partition import (
+    CONSUMER_OFFSETS_TOPIC,
+    TRANSACTION_STATE_TOPIC,
+    PartitionState,
+    TopicPartition,
+)
+from repro.broker.txn_coordinator import TransactionCoordinator
+from repro.log.compaction import compact_log
+from repro.log.partition_log import AppendResult
+from repro.log.record import RecordBatch
+from repro.sim.clock import SimClock
+from repro.sim.network import Network, NetworkCosts
+
+
+@dataclass
+class Broker:
+    """A failure domain hosting partition replicas."""
+
+    broker_id: int
+    alive: bool = True
+
+
+@dataclass
+class TopicMetadata:
+    name: str
+    num_partitions: int
+    replication_factor: int
+    compacted: bool = False
+    internal: bool = False
+
+
+class Cluster:
+    """A complete in-process Kafka cluster on a virtual clock."""
+
+    def __init__(
+        self,
+        num_brokers: int = 3,
+        config: Optional[BrokerConfig] = None,
+        clock: Optional[SimClock] = None,
+        network: Optional[Network] = None,
+        seed: int = 17,
+    ) -> None:
+        if num_brokers < 1:
+            raise ValueError("need at least one broker")
+        self.config = config or BrokerConfig()
+        self.config.validate()
+        self.clock = clock or SimClock()
+        self.network = network or Network(self.clock, NetworkCosts(), seed=seed)
+        self.brokers: Dict[int, Broker] = {
+            i: Broker(broker_id=i) for i in range(num_brokers)
+        }
+        self.topics: Dict[str, TopicMetadata] = {}
+        self._partitions: Dict[TopicPartition, PartitionState] = {}
+        self._placement_cursor = 0
+        self._next_producer_id = 1
+
+        self.group_coordinator = GroupCoordinator(self)
+        self.txn_coordinator = TransactionCoordinator(self)
+        self._create_internal_topics()
+
+    def _create_internal_topics(self) -> None:
+        self.create_topic(
+            CONSUMER_OFFSETS_TOPIC,
+            self.config.offsets_topic_partitions,
+            compacted=True,
+            internal=True,
+        )
+        self.create_topic(
+            TRANSACTION_STATE_TOPIC,
+            self.config.transaction_log_partitions,
+            compacted=True,
+            internal=True,
+        )
+
+    # -- producer ids -----------------------------------------------------------------
+
+    def allocate_producer_id(self) -> int:
+        """Cluster-unique producer id (idempotent and transactional alike)."""
+        pid = self._next_producer_id
+        self._next_producer_id += 1
+        return pid
+
+    def reserve_producer_id(self, minimum: int) -> None:
+        """Ensure future allocations start at or above ``minimum``."""
+        self._next_producer_id = max(self._next_producer_id, minimum)
+
+    # -- topics --------------------------------------------------------------------
+
+    def create_topic(
+        self,
+        name: str,
+        num_partitions: int,
+        replication_factor: Optional[int] = None,
+        compacted: bool = False,
+        internal: bool = False,
+    ) -> TopicMetadata:
+        if name in self.topics:
+            raise TopicAlreadyExistsError(name)
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        rf = replication_factor or min(self.config.replication_factor, len(self.brokers))
+        rf = min(rf, len(self.brokers))
+        meta = TopicMetadata(name, num_partitions, rf, compacted, internal)
+        self.topics[name] = meta
+        for p in range(num_partitions):
+            tp = TopicPartition(name, p)
+            broker_ids = self._place_replicas(rf)
+            self._partitions[tp] = PartitionState(
+                tp,
+                broker_ids,
+                min_insync_replicas=min(self.config.min_insync_replicas, rf),
+                compacted=compacted,
+            )
+        return meta
+
+    def _place_replicas(self, rf: int) -> List[int]:
+        """Round-robin replica placement across brokers."""
+        ids = sorted(self.brokers)
+        chosen = []
+        for i in range(rf):
+            chosen.append(ids[(self._placement_cursor + i) % len(ids)])
+        self._placement_cursor += 1
+        return chosen
+
+    def topic_metadata(self, name: str) -> TopicMetadata:
+        meta = self.topics.get(name)
+        if meta is None:
+            raise UnknownTopicOrPartitionError(name)
+        return meta
+
+    def has_topic(self, name: str) -> bool:
+        return name in self.topics
+
+    def partitions_for(self, topic: str) -> List[TopicPartition]:
+        meta = self.topic_metadata(topic)
+        return [TopicPartition(topic, p) for p in range(meta.num_partitions)]
+
+    def partition_state(self, tp: TopicPartition) -> PartitionState:
+        state = self._partitions.get(tp)
+        if state is None:
+            raise UnknownTopicOrPartitionError(str(tp))
+        return state
+
+    def leader_of(self, tp: TopicPartition) -> int:
+        leader = self.partition_state(tp).leader
+        if leader is None:
+            raise BrokerUnavailableError(f"{tp}: no live leader")
+        return leader
+
+    # -- RPC handlers (called through the Network by clients) -----------------------
+
+    def handle_produce(
+        self, tp: TopicPartition, batch: RecordBatch, acks: str = "all"
+    ) -> AppendResult:
+        return self.partition_state(tp).append(batch, acks=acks)
+
+    def handle_fetch(
+        self,
+        tp: TopicPartition,
+        from_offset: int,
+        max_records: int,
+        isolation_level: str,
+    ) -> FetchResult:
+        log = self.partition_state(tp).leader_log()
+        return fetch(log, from_offset, max_records, isolation_level)
+
+    def end_offset(self, tp: TopicPartition, isolation_level: str) -> int:
+        """The offset a new consumer with ``latest`` reset would start from."""
+        log = self.partition_state(tp).leader_log()
+        from repro.config import READ_COMMITTED
+
+        if isolation_level == READ_COMMITTED:
+            return log.last_stable_offset
+        return log.high_watermark
+
+    def delete_records(self, tp: TopicPartition, before_offset: int) -> int:
+        """Purge records below ``before_offset`` (repartition-topic cleanup)."""
+        state = self.partition_state(tp)
+        removed = state.leader_log().delete_records_before(before_offset)
+        for broker_id, log in state.replicas.items():
+            if broker_id != state.leader:
+                log.delete_records_before(before_offset)
+        return removed
+
+    def run_compaction(self) -> Dict[TopicPartition, int]:
+        """Compact every compacted topic's partitions; returns removals."""
+        removed = {}
+        for tp, state in self._partitions.items():
+            if not state.compacted or state.leader is None:
+                continue
+            n = compact_log(state.leader_log())
+            if n:
+                removed[tp] = n
+        return removed
+
+    # -- failure handling -------------------------------------------------------------
+
+    def crash_broker(self, broker_id: int) -> None:
+        """Fail a broker: partitions it led elect new leaders from the ISR;
+        coordinators whose log partitions moved rebuild from the logs."""
+        broker = self.brokers[broker_id]
+        if not broker.alive:
+            return
+        broker.alive = False
+        self.network.set_broker_down(broker_id)
+        coordinator_moved = False
+        for tp, state in self._partitions.items():
+            was_leader = state.leader == broker_id
+            state.on_broker_failure(broker_id)
+            if was_leader and tp.topic == TRANSACTION_STATE_TOPIC:
+                coordinator_moved = True
+        if coordinator_moved:
+            # The new leader replica of the moved transaction-log partition
+            # becomes the coordinator: replay the log to rebuild state and
+            # complete in-flight transactions (Section 4.2.1).
+            self.txn_coordinator.recover()
+
+    def restart_broker(self, broker_id: int) -> None:
+        broker = self.brokers[broker_id]
+        if broker.alive:
+            return
+        broker.alive = True
+        self.network.set_broker_down(broker_id, down=False)
+        for state in self._partitions.values():
+            state.on_broker_restart(broker_id)
+
+    def alive_brokers(self) -> List[int]:
+        return sorted(b.broker_id for b in self.brokers.values() if b.alive)

@@ -1,0 +1,87 @@
+"""The fetch path: isolation levels and transactional filtering.
+
+Implements Section 4.2.3 of the paper. A read-committed fetch
+
+* never returns records at or beyond the partition's last stable offset
+  (LSO) — i.e. past the first offset of any still-open transaction — so a
+  transaction's records become visible *atomically* when its commit marker
+  lands;
+* filters out records belonging to aborted transactions, using the log's
+  aborted-transaction index;
+* skips control (marker) records, which are protocol metadata, while still
+  advancing the consumer's position across them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.config import READ_COMMITTED, READ_SPECULATIVE, READ_UNCOMMITTED
+from repro.log.partition_log import PartitionLog
+from repro.log.record import Record
+
+
+@dataclass
+class FetchResult:
+    """Records visible to the consumer plus the position to resume from.
+
+    ``next_offset`` can be larger than the last returned record's offset + 1
+    because markers and aborted records are consumed (position-wise) but
+    not returned.
+    """
+
+    records: List[Record] = field(default_factory=list)
+    next_offset: int = 0
+    high_watermark: int = 0
+    last_stable_offset: int = 0
+
+
+def fetch(
+    log: PartitionLog,
+    from_offset: int,
+    max_records: int = 500,
+    isolation_level: str = READ_UNCOMMITTED,
+) -> FetchResult:
+    """Fetch visible records from ``log`` starting at ``from_offset``."""
+    if isolation_level == READ_COMMITTED:
+        limit = log.last_stable_offset
+    elif isolation_level in (READ_UNCOMMITTED, READ_SPECULATIVE):
+        # Speculative reads see past the LSO (open transactions included)
+        # but, unlike plain read_uncommitted, still filter aborted data.
+        limit = log.high_watermark
+    else:
+        raise ValueError(f"unknown isolation level: {isolation_level!r}")
+
+    from_offset = max(from_offset, log.log_start_offset)
+    result = FetchResult(
+        next_offset=from_offset,
+        high_watermark=log.high_watermark,
+        last_stable_offset=log.last_stable_offset,
+    )
+    if from_offset >= limit:
+        return result
+
+    raw = log.read(from_offset, up_to_offset=limit)
+    filter_aborted = isolation_level in (READ_COMMITTED, READ_SPECULATIVE)
+    aborted = log.aborted_transactions() if filter_aborted else []
+    for record in raw:
+        if len(result.records) >= max_records:
+            break
+        result.next_offset = record.offset + 1
+        if record.is_control:
+            continue
+        if filter_aborted and _is_aborted(record, aborted):
+            continue
+        result.records.append(record)
+    return result
+
+
+def _is_aborted(record: Record, aborted) -> bool:
+    for txn in aborted:
+        if (
+            txn.producer_id == record.producer_id
+            and txn.first_offset <= record.offset <= txn.last_offset
+        ):
+            return True
+    return False

@@ -1,0 +1,281 @@
+"""Consumer-group coordination and durable offset commits.
+
+Implements the group protocol the paper's Section 3.1 relies on: members
+join a group, the coordinator assigns partitions and bumps a *generation*
+on every membership change, and stale-generation commits are rejected so a
+kicked (zombie) member cannot clobber progress.
+
+Committed offsets are **records in the compacted ``__consumer_offsets``
+topic** (Section 4.2: "offset commits in Kafka are translated internally as
+appends to an internal Kafka topic"). Transactional producers commit
+offsets *inside* their transaction by writing to this topic with their
+producer id, so the offsets become visible if and only if the transaction
+commits — the key to exactly-once read-process-write cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.config import READ_COMMITTED
+from repro.errors import (
+    IllegalGenerationError,
+    UnknownMemberError,
+)
+from repro.broker.fetch import fetch
+from repro.broker.partition import CONSUMER_OFFSETS_TOPIC, TopicPartition
+from repro.log.record import NO_PRODUCER_ID, Record, RecordBatch
+from repro.util import stable_hash
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.broker.cluster import Cluster
+
+
+@dataclass
+class GroupMember:
+    member_id: str
+    subscription: Tuple[str, ...]
+    assignment: List[TopicPartition] = field(default_factory=list)
+
+
+@dataclass
+class GroupState:
+    group_id: str
+    generation: int = 0
+    members: Dict[str, GroupMember] = field(default_factory=dict)
+
+
+class GroupCoordinator:
+    """Cluster-side group membership plus offset commit/fetch."""
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self._cluster = cluster
+        self._groups: Dict[str, GroupState] = {}
+        self._member_seq = 0
+        # group_id -> custom assignor fn(members, partitions) -> {member: [tp]}
+        # (Kafka computes the assignment client-side with a pluggable
+        # assignor; Kafka Streams installs a task-aware sticky one.)
+        self._assignors: Dict[str, object] = {}
+        # (group_id, member_id) -> revocation-barrier callback.
+        self._rebalance_listeners: Dict[Tuple[str, str], object] = {}
+
+    def set_rebalance_listener(
+        self, group_id: str, member_id: str, listener
+    ) -> None:
+        """Register a zero-arg callback run for every group member *before*
+        each rebalance reassigns partitions.
+
+        This models the revocation barrier of Kafka's eager rebalance
+        protocol: current owners finish (commit) their in-flight work
+        before anyone else can take their partitions — without it, a new
+        owner could read committed offsets that are about to be advanced
+        by the old owner's revocation commit and duplicate its work.
+        """
+        self._rebalance_listeners[(group_id, member_id)] = listener
+
+    def set_assignor(self, group_id: str, assignor) -> None:
+        """Install a custom partition assignor for ``group_id``.
+
+        ``assignor(members, partitions)`` receives the member map
+        (member_id -> GroupMember, whose ``assignment`` holds the previous
+        assignment for stickiness) and the full sorted partition list, and
+        must return {member_id: [TopicPartition, ...]} covering it.
+        """
+        self._assignors[group_id] = assignor
+
+    # -- membership -------------------------------------------------------------
+
+    def join_group(
+        self,
+        group_id: str,
+        subscription: Tuple[str, ...],
+        member_id: Optional[str] = None,
+    ) -> Tuple[str, int]:
+        """Add (or re-add) a member; rebalances eagerly.
+
+        Returns (member_id, generation).
+        """
+        group = self._groups.setdefault(group_id, GroupState(group_id))
+        if member_id is None:
+            self._member_seq += 1
+            member_id = f"{group_id}-member-{self._member_seq}"
+        existing = group.members.get(member_id)
+        if existing is not None and existing.subscription == tuple(subscription):
+            # Re-sync: the member is already part of the group with the
+            # same subscription — hand it the current generation instead of
+            # forcing yet another rebalance (models SyncGroup).
+            return member_id, group.generation
+        group.members[member_id] = GroupMember(member_id, tuple(subscription))
+        self._rebalance(group)
+        return member_id, group.generation
+
+    def leave_group(self, group_id: str, member_id: str) -> None:
+        group = self._groups.get(group_id)
+        if group is None or member_id not in group.members:
+            return
+        del group.members[member_id]
+        self._rebalance_listeners.pop((group_id, member_id), None)
+        if group.members:
+            self._rebalance(group)
+        else:
+            group.generation += 1
+
+    def assignment(self, group_id: str, member_id: str, generation: int) -> List[TopicPartition]:
+        group = self._require_member(group_id, member_id)
+        if generation != group.generation:
+            raise IllegalGenerationError(
+                f"group {group_id}: generation {generation} != {group.generation}"
+            )
+        return list(group.members[member_id].assignment)
+
+    def generation(self, group_id: str) -> int:
+        group = self._groups.get(group_id)
+        return 0 if group is None else group.generation
+
+    def is_member(self, group_id: str, member_id: str) -> bool:
+        group = self._groups.get(group_id)
+        return group is not None and member_id in group.members
+
+    def members(self, group_id: str) -> List[str]:
+        group = self._groups.get(group_id)
+        return [] if group is None else sorted(group.members)
+
+    def _require_member(self, group_id: str, member_id: str) -> GroupState:
+        group = self._groups.get(group_id)
+        if group is None or member_id not in group.members:
+            raise UnknownMemberError(f"{member_id} not in group {group_id}")
+        return group
+
+    def _rebalance(self, group: GroupState) -> None:
+        """Eager rebalance: bump generation, reassign round-robin with
+        stickiness (a partition stays with its old owner when possible).
+
+        Revocation barrier first: every member's listener runs (committing
+        in-flight work) before partitions change hands.
+        """
+        for member_id in sorted(group.members):
+            listener = self._rebalance_listeners.get((group.group_id, member_id))
+            if listener is not None:
+                listener()
+        group.generation += 1
+        partitions: List[TopicPartition] = []
+        topics: Set[str] = set()
+        for member in group.members.values():
+            topics.update(member.subscription)
+        for topic in sorted(topics):
+            meta = self._cluster.topic_metadata(topic)
+            partitions.extend(
+                TopicPartition(topic, p) for p in range(meta.num_partitions)
+            )
+
+        custom = self._assignors.get(group.group_id)
+        if custom is not None:
+            new = custom(group.members, partitions)
+            for member_id, member in group.members.items():
+                member.assignment = list(new.get(member_id, []))
+            return
+
+        previous_owner: Dict[TopicPartition, str] = {}
+        for member in group.members.values():
+            for tp in member.assignment:
+                previous_owner[tp] = member.member_id
+
+        member_ids = sorted(group.members)
+        quota = -(-len(partitions) // len(member_ids)) if member_ids else 0
+        new_assignment: Dict[str, List[TopicPartition]] = {m: [] for m in member_ids}
+
+        unplaced: List[TopicPartition] = []
+        for tp in partitions:
+            owner = previous_owner.get(tp)
+            if (
+                owner in new_assignment
+                and len(new_assignment[owner]) < quota
+                and tp.topic in group.members[owner].subscription
+            ):
+                new_assignment[owner].append(tp)
+            else:
+                unplaced.append(tp)
+        for tp in unplaced:
+            eligible = [
+                m for m in member_ids if tp.topic in group.members[m].subscription
+            ]
+            if not eligible:
+                continue
+            target = min(eligible, key=lambda m: len(new_assignment[m]))
+            new_assignment[target].append(tp)
+
+        for member_id, assigned in new_assignment.items():
+            group.members[member_id].assignment = assigned
+
+    # -- offsets ------------------------------------------------------------------
+
+    def offsets_partition(self, group_id: str) -> TopicPartition:
+        """Which ``__consumer_offsets`` partition stores this group."""
+        meta = self._cluster.topic_metadata(CONSUMER_OFFSETS_TOPIC)
+        index = stable_hash(group_id) % meta.num_partitions
+        return TopicPartition(CONSUMER_OFFSETS_TOPIC, index)
+
+    def commit_offsets(
+        self,
+        group_id: str,
+        offsets: Dict[TopicPartition, int],
+        member_id: Optional[str] = None,
+        generation: Optional[int] = None,
+        producer_id: int = NO_PRODUCER_ID,
+        producer_epoch: int = -1,
+        transactional: bool = False,
+    ) -> None:
+        """Append offset-commit records to the offsets topic.
+
+        With ``transactional=True`` the records are part of the producer's
+        open transaction and only become effective on commit.
+        """
+        if member_id is not None:
+            group = self._require_member(group_id, member_id)
+            if generation is not None and generation != group.generation:
+                raise IllegalGenerationError(
+                    f"group {group_id}: commit with stale generation "
+                    f"{generation} (current {group.generation})"
+                )
+        tp = self.offsets_partition(group_id)
+        records = [
+            Record(
+                key=(group_id, target.topic, target.partition),
+                value=offset,
+                timestamp=self._cluster.clock.now,
+            )
+            for target, offset in sorted(offsets.items())
+        ]
+        batch = RecordBatch(
+            records=records,
+            producer_id=producer_id,
+            producer_epoch=producer_epoch,
+            is_transactional=transactional,
+        )
+        self._cluster.partition_state(tp).append(batch, acks="all")
+
+    def fetch_committed(
+        self, group_id: str, partitions: List[TopicPartition]
+    ) -> Dict[TopicPartition, Optional[int]]:
+        """Latest *committed* offset per partition (None if never committed).
+
+        Reads the offsets-topic partition with read_committed isolation, so
+        offsets written inside open or aborted transactions do not count —
+        this is what rolls a failed task's position back to its last
+        committed transaction (Section 4.2.3).
+        """
+        tp = self.offsets_partition(group_id)
+        log = self._cluster.partition_state(tp).leader_log()
+        result = fetch(
+            log, log.log_start_offset, max_records=2**31,
+            isolation_level=READ_COMMITTED,
+        )
+        latest: Dict[TopicPartition, Optional[int]] = {p: None for p in partitions}
+        wanted = set(partitions)
+        for record in result.records:
+            group, topic, partition = record.key
+            target = TopicPartition(topic, partition)
+            if group == group_id and target in wanted:
+                latest[target] = record.value
+        return latest

@@ -1,0 +1,55 @@
+"""Administrative client: topic management and record deletion."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.broker.cluster import Cluster, TopicMetadata
+from repro.broker.partition import TopicPartition
+
+
+class AdminClient:
+    """Thin administrative facade over a :class:`Cluster`."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+
+    def create_topic(
+        self,
+        name: str,
+        num_partitions: int,
+        replication_factor: Optional[int] = None,
+        compacted: bool = False,
+    ) -> TopicMetadata:
+        return self.cluster.create_topic(
+            name, num_partitions, replication_factor, compacted=compacted
+        )
+
+    def create_topic_if_absent(
+        self,
+        name: str,
+        num_partitions: int,
+        replication_factor: Optional[int] = None,
+        compacted: bool = False,
+    ) -> TopicMetadata:
+        if self.cluster.has_topic(name):
+            return self.cluster.topic_metadata(name)
+        return self.create_topic(name, num_partitions, replication_factor, compacted)
+
+    def describe_topic(self, name: str) -> TopicMetadata:
+        return self.cluster.topic_metadata(name)
+
+    def list_topics(self, include_internal: bool = False) -> List[str]:
+        return sorted(
+            name
+            for name, meta in self.cluster.topics.items()
+            if include_internal or not meta.internal
+        )
+
+    def delete_records(self, offsets: Dict[TopicPartition, int]) -> Dict[TopicPartition, int]:
+        """Delete records below the given offset per partition; used by
+        Kafka Streams to purge consumed repartition-topic data."""
+        return {
+            tp: self.cluster.delete_records(tp, offset)
+            for tp, offset in offsets.items()
+        }

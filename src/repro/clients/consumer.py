@@ -1,0 +1,251 @@
+"""The consumer client: subscriptions, groups, positions, isolation levels.
+
+``isolation_level=read_committed`` gives the visibility contract of
+Section 4.2.3: records of a transaction are returned only once its commit
+marker has been appended, aborted records are never returned, and the
+consumer's position still advances across markers and filtered spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.broker.cluster import Cluster
+from repro.broker.partition import TopicPartition
+from repro.config import ConsumerConfig
+from repro.errors import (
+    IllegalGenerationError,
+    KafkaError,
+    OffsetOutOfRangeError,
+)
+from repro.log.record import Record
+
+
+class Consumer:
+    """An embedded consumer client against a :class:`Cluster`."""
+
+    def __init__(self, cluster: Cluster, config: Optional[ConsumerConfig] = None):
+        self.cluster = cluster
+        self.config = config or ConsumerConfig()
+        self.config.validate()
+        self._network = cluster.network
+
+        self._subscription: Tuple[str, ...] = ()
+        self._assignment: List[TopicPartition] = []
+        self._manual_assignment = False
+        self._positions: Dict[TopicPartition, int] = {}
+        self._paused: set = set()
+        self._member_id: Optional[str] = None
+        self._generation = -1
+        self._partitions_lost = False
+        self._closed = False
+        self._fetch_cursor = 0
+
+        self.records_consumed = 0
+
+    # -- subscription / assignment ---------------------------------------------------
+
+    def subscribe(self, topics: List[str]) -> None:
+        """Join the consumer group (config.group_id) subscribed to ``topics``."""
+        if self.config.group_id is None:
+            raise KafkaError("subscribe() requires a group_id; use assign()")
+        self._subscription = tuple(sorted(topics))
+        self._manual_assignment = False
+        coordinator = self.cluster.group_coordinator
+        self._member_id, self._generation = coordinator.join_group(
+            self.config.group_id, self._subscription, self._member_id
+        )
+        self._refresh_assignment()
+
+    def assign(self, partitions: List[TopicPartition]) -> None:
+        """Manual assignment (no group membership)."""
+        self._manual_assignment = True
+        self._assignment = list(partitions)
+        for tp in partitions:
+            self._positions.setdefault(tp, self._reset_offset(tp))
+
+    def assignment(self) -> List[TopicPartition]:
+        return list(self._assignment)
+
+    @property
+    def member_id(self) -> Optional[str]:
+        return self._member_id
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def _refresh_assignment(self) -> None:
+        """Adopt the coordinator's current assignment for this member."""
+        coordinator = self.cluster.group_coordinator
+        group = self.config.group_id
+        assigned = coordinator.assignment(group, self._member_id, self._generation)
+        old = set(self._assignment)
+        self._assignment = assigned
+        newly = [tp for tp in assigned if tp not in old]
+        if newly:
+            committed = coordinator.fetch_committed(group, newly)
+            for tp in newly:
+                offset = committed[tp]
+                self._positions[tp] = (
+                    self._reset_offset(tp) if offset is None else offset
+                )
+        for tp in old - set(assigned):
+            self._positions.pop(tp, None)
+
+    def _maybe_rejoin(self) -> None:
+        """Detect a generation bump (another member joined/left) and rejoin.
+
+        If this member was *kicked* from the group (session expired while
+        it was partitioned away — the zombie scenario), its partitions were
+        lost, not revoked: all local positions are invalid, and the caller
+        must observe :meth:`take_partitions_lost` and discard in-flight
+        work before trusting anything fetched afterwards."""
+        if self._manual_assignment or self._member_id is None:
+            return
+        coordinator = self.cluster.group_coordinator
+        if coordinator.generation(self.config.group_id) == self._generation:
+            return
+        if not coordinator.is_member(self.config.group_id, self._member_id):
+            self._partitions_lost = True
+            self._assignment = []
+            self._positions.clear()
+        self._member_id, self._generation = coordinator.join_group(
+            self.config.group_id, self._subscription, self._member_id
+        )
+        self._refresh_assignment()
+
+    def take_partitions_lost(self) -> bool:
+        """True once if the member was kicked since the last check."""
+        lost, self._partitions_lost = self._partitions_lost, False
+        return lost
+
+    def _reset_offset(self, tp: TopicPartition) -> int:
+        policy = self.config.auto_offset_reset
+        if policy == "earliest":
+            return self.cluster.partition_state(tp).leader_log().log_start_offset
+        if policy == "latest":
+            return self.cluster.end_offset(tp, self.config.isolation_level)
+        raise OffsetOutOfRangeError(f"{tp}: no committed offset and reset policy is 'none'")
+
+    # -- polling ------------------------------------------------------------------------
+
+    def poll(self, max_records: Optional[int] = None) -> List[Record]:
+        """Fetch the next visible records across assigned partitions.
+
+        Partitions are served round-robin so one busy partition cannot
+        starve the others.
+        """
+        if self._closed:
+            raise KafkaError("consumer is closed")
+        self._maybe_rejoin()
+        budget = max_records or self.config.max_poll_records
+        out: List[Record] = []
+        active = [tp for tp in self._assignment if tp not in self._paused]
+        if not active:
+            return out
+        for i in range(len(active)):
+            if budget <= 0:
+                break
+            tp = active[(self._fetch_cursor + i) % len(active)]
+            records = self._fetch_one(tp, budget)
+            out.extend(records)
+            budget -= len(records)
+        self._fetch_cursor += 1
+        self.records_consumed += len(out)
+        return out
+
+    def _fetch_one(self, tp: TopicPartition, budget: int) -> List[Record]:
+        position = self._positions.get(tp)
+        if position is None:
+            position = self._reset_offset(tp)
+            self._positions[tp] = position
+        leader = self.cluster.leader_of(tp)
+        result = self._network.call(
+            "fetch",
+            leader,
+            lambda: self.cluster.handle_fetch(
+                tp, position, budget, self.config.isolation_level
+            ),
+            base_cost_ms=self._network.fetch_cost(),
+        )
+        self._positions[tp] = result.next_offset
+        # Return copies: the log's record objects are shared, and the
+        # origin headers must reflect *this* fetch, not any upstream hop.
+        out = []
+        for record in result.records:
+            headers = dict(record.headers)
+            headers["__topic"] = tp.topic
+            headers["__partition"] = tp.partition
+            out.append(replace(record, headers=headers))
+        return out
+
+    # -- positions & commits ---------------------------------------------------------------
+
+    def position(self, tp: TopicPartition) -> int:
+        if tp not in self._positions:
+            self._positions[tp] = self._reset_offset(tp)
+        return self._positions[tp]
+
+    def seek(self, tp: TopicPartition, offset: int) -> None:
+        self._positions[tp] = offset
+
+    def seek_to_beginning(self, tp: TopicPartition) -> None:
+        self.seek(tp, self.cluster.partition_state(tp).leader_log().log_start_offset)
+
+    def pause(self, tp: TopicPartition) -> None:
+        self._paused.add(tp)
+
+    def resume(self, tp: TopicPartition) -> None:
+        self._paused.discard(tp)
+
+    def end_offsets(self, partitions: List[TopicPartition]) -> Dict[TopicPartition, int]:
+        return {
+            tp: self.cluster.end_offset(tp, self.config.isolation_level)
+            for tp in partitions
+        }
+
+    def commit_sync(self, offsets: Optional[Dict[TopicPartition, int]] = None) -> None:
+        """Commit positions (non-transactional; EOS commits go through the
+        producer's ``send_offsets_to_transaction`` instead)."""
+        if self.config.group_id is None:
+            raise KafkaError("commit requires a group_id")
+        if offsets is None:
+            offsets = {tp: self._positions[tp] for tp in self._assignment
+                       if tp in self._positions}
+        if not offsets:
+            return
+        coordinator = self.cluster.group_coordinator
+        offsets_tp = coordinator.offsets_partition(self.config.group_id)
+        leader = self.cluster.leader_of(offsets_tp)
+        # A plain offset commit is an append to the offsets topic — it
+        # costs a produce round trip, not a coordinator metadata update.
+        self._network.call(
+            "offset_commit",
+            leader,
+            lambda: coordinator.commit_offsets(
+                self.config.group_id,
+                offsets,
+                member_id=self._member_id,
+                generation=self._generation if self._member_id else None,
+            ),
+            base_cost_ms=self._network.produce_cost(len(offsets)),
+        )
+
+    def committed(self, tp: TopicPartition) -> Optional[int]:
+        if self.config.group_id is None:
+            return None
+        result = self.cluster.group_coordinator.fetch_committed(
+            self.config.group_id, [tp]
+        )
+        return result[tp]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self._member_id is not None and self.config.group_id is not None:
+            self.cluster.group_coordinator.leave_group(
+                self.config.group_id, self._member_id
+            )
+        self._closed = True

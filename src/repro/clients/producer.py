@@ -1,0 +1,317 @@
+"""The producer client: batching, retries, idempotence, transactions.
+
+Reproduces the client-side behaviour of Sections 4.1–4.2:
+
+* **Retries on ambiguous failures.** A produce RPC that times out may or
+  may not have been applied; the producer always retries (up to
+  ``config.retries``), and relies on the broker's per-partition sequence
+  numbers to de-duplicate — disable idempotence and the same retry
+  produces a duplicate record, which is exactly the ablation benchmark.
+* **Transactions.** ``init_transactions`` registers the transactional id
+  (bumping the epoch and fencing zombies), ``send`` lazily registers each
+  new output partition with the coordinator, ``send_offsets_to_transaction``
+  folds the consumed offsets into the transaction, and
+  ``commit_transaction``/``abort_transaction`` drive the two-phase commit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.broker.cluster import Cluster
+from repro.broker.partition import TopicPartition
+from repro.config import ProducerConfig
+from repro.errors import (
+    ConcurrentTransactionsError,
+    InvalidTxnStateError,
+    KafkaError,
+    ProducerFencedError,
+    RetriableError,
+)
+from repro.log.record import NO_SEQUENCE, Record, RecordBatch
+from repro.util import partition_for
+
+
+class Producer:
+    """An embedded producer client against a :class:`Cluster`."""
+
+    def __init__(self, cluster: Cluster, config: Optional[ProducerConfig] = None):
+        self.cluster = cluster
+        self.config = config or ProducerConfig()
+        self.config.validate()
+        self._network = cluster.network
+        self._clock = cluster.clock
+
+        self.producer_id = -1
+        self.producer_epoch = -1
+        if self.config.enable_idempotence and self.config.transactional_id is None:
+            self.producer_id = cluster.allocate_producer_id()
+            self.producer_epoch = 0
+
+        self._sequences: Dict[TopicPartition, int] = {}
+        self._pending: Dict[TopicPartition, List[Record]] = {}
+        self._in_transaction = False
+        self._txn_registered_partitions: set = set()
+        # Partitions written this transaction but not yet registered with
+        # the coordinator; registered in one batched RPC at flush time
+        # (Section 4.3: "producers can batch multiple writing partitions
+        # in a single registration request").
+        self._txn_unregistered: set = set()
+        self._initialized_transactions = False
+        self._closed = False
+
+        # Metrics
+        self.records_sent = 0
+        self.batches_sent = 0
+        self.retries_performed = 0
+
+    # -- transactions lifecycle -----------------------------------------------------
+
+    @property
+    def transactional(self) -> bool:
+        return self.config.transactional_id is not None
+
+    def init_transactions(self) -> None:
+        """Register the transactional id with the coordinator (Figure 4.b)."""
+        if not self.transactional:
+            raise InvalidTxnStateError("producer has no transactional_id")
+        tid = self.config.transactional_id
+        coordinator = self.cluster.txn_coordinator
+        leader = self.cluster.leader_of(coordinator.txn_log_partition(tid))
+        self.producer_id, self.producer_epoch = self._network.call(
+            "init_producer_id",
+            leader,
+            lambda: coordinator.init_producer_id(
+                tid, self.config.transaction_timeout_ms
+            ),
+            base_cost_ms=self._network.coordinator_cost(),
+        )
+        # A re-registration (e.g. recovery after a crash) starts from a
+        # clean slate: any client-side remnants of a previous incarnation's
+        # open transaction are dropped (the coordinator has aborted it).
+        self._sequences.clear()
+        self._pending.clear()
+        self._in_transaction = False
+        self._txn_registered_partitions = set()
+        self._txn_unregistered = set()
+        self._initialized_transactions = True
+
+    def begin_transaction(self) -> None:
+        self._require_txn_ready()
+        if self._in_transaction:
+            raise InvalidTxnStateError("a transaction is already in progress")
+        self._in_transaction = True
+        self._txn_registered_partitions = set()
+        self._txn_unregistered = set()
+
+    def send_offsets_to_transaction(
+        self,
+        offsets: Dict[TopicPartition, int],
+        group_id: str,
+        member_id: Optional[str] = None,
+        generation: Optional[int] = None,
+    ) -> None:
+        """Fold the consumer's progress into the ongoing transaction.
+
+        The offsets are appended to the consumer-offsets topic with this
+        producer's id, so they commit or abort with the transaction — the
+        atomic third leg of the read-process-write cycle (Section 4.2).
+
+        Passing ``member_id``/``generation`` (the consumer's group metadata)
+        enables group-generation fencing: a commit from a member that was
+        kicked out of the group is rejected, which is how a zombie streams
+        instance is fenced when per-thread producers are shared across
+        tasks (Kafka 2.5+ exactly-once).
+        """
+        self._require_txn_ready()
+        if not self._in_transaction:
+            raise InvalidTxnStateError("no transaction in progress")
+        group_coord = self.cluster.group_coordinator
+        offsets_tp = group_coord.offsets_partition(group_id)
+        self._register_txn_partition(offsets_tp)
+        leader = self.cluster.leader_of(offsets_tp)
+        self._network.call(
+            "txn_offset_commit",
+            leader,
+            lambda: group_coord.commit_offsets(
+                group_id,
+                offsets,
+                member_id=member_id,
+                generation=generation,
+                producer_id=self.producer_id,
+                producer_epoch=self.producer_epoch,
+                transactional=True,
+            ),
+            base_cost_ms=self._network.produce_cost(len(offsets)),
+        )
+
+    def commit_transaction(self) -> None:
+        self._end_transaction(commit=True)
+
+    def abort_transaction(self) -> None:
+        self._end_transaction(commit=False)
+
+    def _end_transaction(self, commit: bool) -> None:
+        self._require_txn_ready()
+        if not self._in_transaction:
+            raise InvalidTxnStateError("no transaction in progress")
+        self.flush()
+        tid = self.config.transactional_id
+        coordinator = self.cluster.txn_coordinator
+        leader = self.cluster.leader_of(coordinator.txn_log_partition(tid))
+        try:
+            self._network.call(
+                "end_txn",
+                leader,
+                lambda: coordinator.end_transaction(
+                    tid, self.producer_id, self.producer_epoch, commit
+                ),
+                base_cost_ms=self._network.coordinator_cost(),
+            )
+        finally:
+            self._in_transaction = False
+            self._txn_registered_partitions = set()
+
+    def _require_txn_ready(self) -> None:
+        if not self.transactional:
+            raise InvalidTxnStateError("producer has no transactional_id")
+        if not self._initialized_transactions:
+            raise InvalidTxnStateError("init_transactions() has not been called")
+
+    # -- sending -------------------------------------------------------------------
+
+    def send(
+        self,
+        topic: str,
+        key: Any = None,
+        value: Any = None,
+        timestamp: Optional[float] = None,
+        partition: Optional[int] = None,
+        headers: Optional[Dict[str, Any]] = None,
+    ) -> TopicPartition:
+        """Buffer one record; batches flush when full or on ``flush()``.
+
+        Returns the destination partition.
+        """
+        if self._closed:
+            raise KafkaError("producer is closed")
+        if self.transactional and not self._in_transaction:
+            raise InvalidTxnStateError(
+                "transactional producers must send within a transaction"
+            )
+        meta = self.cluster.topic_metadata(topic)
+        if partition is None:
+            partition = partition_for(key, meta.num_partitions)
+        tp = TopicPartition(topic, partition)
+        if self._in_transaction and tp not in self._txn_registered_partitions:
+            self._txn_unregistered.add(tp)
+        record = Record(
+            key=key,
+            value=value,
+            timestamp=self._clock.now if timestamp is None else timestamp,
+            headers=dict(headers or {}),
+        )
+        bucket = self._pending.setdefault(tp, [])
+        bucket.append(record)
+        if len(bucket) >= self.config.batch_max_records:
+            self._register_pending_partitions()
+            self._send_batch(tp, bucket)
+            self._pending[tp] = []
+        return tp
+
+    def flush(self) -> None:
+        """Send every buffered batch and await acknowledgements."""
+        self._register_pending_partitions()
+        for tp, records in list(self._pending.items()):
+            if records:
+                self._send_batch(tp, records)
+        self._pending.clear()
+
+    def _register_pending_partitions(self) -> None:
+        if not self._txn_unregistered:
+            return
+        batch = sorted(self._txn_unregistered)
+        self._register_txn_partitions(batch)
+        self._txn_unregistered.clear()
+
+    def _register_txn_partition(self, tp: TopicPartition) -> None:
+        if tp in self._txn_registered_partitions:
+            return
+        self._register_txn_partitions([tp])
+
+    def _register_txn_partitions(self, partitions: List[TopicPartition]) -> None:
+        tid = self.config.transactional_id
+        coordinator = self.cluster.txn_coordinator
+        leader = self.cluster.leader_of(coordinator.txn_log_partition(tid))
+        # One batched RPC; its cost grows only marginally with the number
+        # of partitions registered.
+        cost = self._network.coordinator_cost() + 0.002 * len(partitions)
+        attempts = 0
+        while True:
+            try:
+                self._network.call(
+                    "add_partitions_to_txn",
+                    leader,
+                    lambda: coordinator.add_partitions(
+                        tid, self.producer_id, self.producer_epoch, partitions
+                    ),
+                    base_cost_ms=cost,
+                )
+                break
+            except ConcurrentTransactionsError:
+                # The previous transaction's markers are still landing;
+                # wait a moment and retry (Kafka's CONCURRENT_TRANSACTIONS
+                # backoff).
+                attempts += 1
+                if attempts > 100_000:
+                    raise
+                self._clock.advance(0.5)
+        self._txn_registered_partitions.update(partitions)
+
+    def _send_batch(self, tp: TopicPartition, records: List[Record]) -> None:
+        base_sequence = NO_SEQUENCE
+        if self.producer_id != -1:
+            base_sequence = self._sequences.get(tp, 0)
+        batch = RecordBatch(
+            records=list(records),
+            producer_id=self.producer_id,
+            producer_epoch=self.producer_epoch,
+            base_sequence=base_sequence,
+            is_transactional=self._in_transaction,
+        )
+        attempts = 0
+        while True:
+            try:
+                leader = self.cluster.leader_of(tp)
+                self._network.call(
+                    "produce",
+                    leader,
+                    lambda: self.cluster.handle_produce(tp, batch, self.config.acks),
+                    base_cost_ms=self._network.produce_cost(len(records)),
+                )
+                break
+            except ProducerFencedError:
+                raise
+            except RetriableError:
+                attempts += 1
+                self.retries_performed += 1
+                if attempts > self.config.retries:
+                    raise
+                # Metadata refresh + backoff before the retry.
+                self._clock.advance(1.0)
+        if base_sequence != NO_SEQUENCE:
+            self._sequences[tp] = base_sequence + len(records)
+        self.records_sent += len(records)
+        self.batches_sent += 1
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self._in_transaction:
+            try:
+                self.abort_transaction()
+            except KafkaError:
+                pass
+        else:
+            self.flush()
+        self._closed = True

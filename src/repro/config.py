@@ -1,0 +1,167 @@
+"""Configuration dataclasses for brokers, clients, and streams.
+
+Field names follow the Kafka configuration keys they model (snake_cased),
+so users of the real system can map them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import InvalidConfigError
+
+# Processing guarantees (StreamsConfig.processing_guarantee).
+# EXACTLY_ONCE uses one transactional producer per instance thread that
+# groups all its tasks into one ongoing transaction (the Kafka 2.6 behaviour
+# Section 6.1 highlights: coordination overhead scales with threads, not
+# partitions). EXACTLY_ONCE_V1 is the original design with one transactional
+# producer per task.
+AT_LEAST_ONCE = "at_least_once"
+EXACTLY_ONCE = "exactly_once"
+EXACTLY_ONCE_V1 = "exactly_once_v1"
+
+# Consumer isolation levels. READ_SPECULATIVE is this repo's
+# implementation of the paper's future-work idea (Section 8): it returns
+# records of *open* transactions (no LSO gating) so downstream processing
+# can start early, but still filters records of aborted transactions so a
+# rolled-back speculation never re-reads poisoned data.
+READ_UNCOMMITTED = "read_uncommitted"
+READ_COMMITTED = "read_committed"
+READ_SPECULATIVE = "read_speculative"
+
+
+@dataclass
+class BrokerConfig:
+    """Per-cluster broker settings."""
+
+    replication_factor: int = 3
+    min_insync_replicas: int = 2
+    transaction_log_partitions: int = 4
+    offsets_topic_partitions: int = 4
+    transaction_timeout_ms: float = 60_000.0
+    # How many records a replica fetches per replication round.
+    replica_fetch_max_records: int = 10_000
+
+    def validate(self) -> None:
+        if self.replication_factor < 1:
+            raise InvalidConfigError("replication_factor must be >= 1")
+        if not 1 <= self.min_insync_replicas <= self.replication_factor:
+            raise InvalidConfigError(
+                "min_insync_replicas must be in [1, replication_factor]"
+            )
+        if self.transaction_log_partitions < 1:
+            raise InvalidConfigError("transaction_log_partitions must be >= 1")
+        if self.offsets_topic_partitions < 1:
+            raise InvalidConfigError("offsets_topic_partitions must be >= 1")
+
+
+@dataclass
+class ProducerConfig:
+    """Producer client settings."""
+
+    client_id: str = "producer"
+    enable_idempotence: bool = True
+    transactional_id: Optional[str] = None
+    acks: str = "all"                 # "all" or "1"
+    retries: int = 5
+    batch_max_records: int = 500
+    linger_ms: float = 0.0
+    transaction_timeout_ms: float = 60_000.0
+
+    def validate(self) -> None:
+        if self.transactional_id is not None and not self.enable_idempotence:
+            raise InvalidConfigError(
+                "transactional producers require enable_idempotence=True"
+            )
+        if self.acks not in ("all", "1"):
+            raise InvalidConfigError(f"acks must be 'all' or '1', got {self.acks!r}")
+        if self.retries < 0:
+            raise InvalidConfigError("retries must be >= 0")
+        if self.batch_max_records < 1:
+            raise InvalidConfigError("batch_max_records must be >= 1")
+
+
+@dataclass
+class ConsumerConfig:
+    """Consumer client settings."""
+
+    client_id: str = "consumer"
+    group_id: Optional[str] = None
+    isolation_level: str = READ_UNCOMMITTED
+    auto_offset_reset: str = "earliest"   # "earliest" | "latest" | "none"
+    max_poll_records: int = 500
+    session_timeout_ms: float = 10_000.0
+
+    def validate(self) -> None:
+        if self.isolation_level not in (
+            READ_UNCOMMITTED,
+            READ_COMMITTED,
+            READ_SPECULATIVE,
+        ):
+            raise InvalidConfigError(
+                f"unknown isolation level: {self.isolation_level!r}"
+            )
+        if self.auto_offset_reset not in ("earliest", "latest", "none"):
+            raise InvalidConfigError(
+                f"unknown auto_offset_reset: {self.auto_offset_reset!r}"
+            )
+
+
+@dataclass
+class StreamsConfig:
+    """Kafka Streams application settings.
+
+    ``commit_interval_ms`` is the transaction commit interval in EOS mode
+    (the knob on the x-axis of Figure 5.b); ``processing_guarantee``
+    switches between at-least-once and exactly-once with a single value,
+    as the paper describes in Section 4.3.
+    """
+
+    application_id: str = "streams-app"
+    processing_guarantee: str = AT_LEAST_ONCE
+    commit_interval_ms: float = 100.0
+    num_stream_threads: int = 1
+    max_poll_records: int = 500
+    transaction_timeout_ms: float = 60_000.0
+    # >0 keeps warm shadow copies of stateful tasks' stores on non-owner
+    # instances, replayed continuously from the changelogs, so task
+    # migration restores incrementally instead of from scratch.
+    num_standby_replicas: int = 0
+    # The paper's future-work optimization (Section 8): process upstream
+    # data *before* its transaction commits (read_speculative sources) and
+    # gate this instance's own commit on the upstream outcome, rolling the
+    # speculation back if the upstream transaction aborts. Requires
+    # processing_guarantee=EXACTLY_ONCE.
+    speculative: bool = False
+
+    def validate(self) -> None:
+        if self.processing_guarantee not in (
+            AT_LEAST_ONCE,
+            EXACTLY_ONCE,
+            EXACTLY_ONCE_V1,
+        ):
+            raise InvalidConfigError(
+                f"unknown processing_guarantee: {self.processing_guarantee!r}"
+            )
+        if self.commit_interval_ms <= 0:
+            raise InvalidConfigError("commit_interval_ms must be > 0")
+        if self.num_stream_threads < 1:
+            raise InvalidConfigError("num_stream_threads must be >= 1")
+        if not self.application_id:
+            raise InvalidConfigError("application_id must be non-empty")
+        if self.num_standby_replicas < 0:
+            raise InvalidConfigError("num_standby_replicas must be >= 0")
+        if self.speculative and self.processing_guarantee != EXACTLY_ONCE:
+            raise InvalidConfigError(
+                "speculative processing requires processing_guarantee="
+                "exactly_once (per-thread transactions)"
+            )
+
+    @property
+    def eos_enabled(self) -> bool:
+        return self.processing_guarantee in (EXACTLY_ONCE, EXACTLY_ONCE_V1)
+
+    @property
+    def eos_per_task_producer(self) -> bool:
+        return self.processing_guarantee == EXACTLY_ONCE_V1

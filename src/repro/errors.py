@@ -1,0 +1,141 @@
+"""Exception hierarchy for the repro Kafka/Streams stack.
+
+Mirrors the split the real Kafka clients make between *retriable* errors
+(transient: the operation may succeed if retried, e.g. a request timeout)
+and *fatal* errors (the client instance must not continue, e.g. a fenced
+transactional producer).
+"""
+
+from __future__ import annotations
+
+
+class KafkaError(Exception):
+    """Base class for every error raised by the broker or the clients."""
+
+    retriable = False
+
+
+class RetriableError(KafkaError):
+    """Transient failure; the caller may retry the same operation."""
+
+    retriable = True
+
+
+class RequestTimeoutError(RetriableError):
+    """An RPC timed out. The operation may or may not have been applied."""
+
+
+class NotLeaderError(RetriableError):
+    """The addressed broker is not (or no longer) the partition leader."""
+
+
+class BrokerUnavailableError(RetriableError):
+    """The addressed broker is down."""
+
+
+class NotEnoughReplicasError(RetriableError):
+    """Fewer in-sync replicas than required to accept the write."""
+
+
+class CoordinatorNotAvailableError(RetriableError):
+    """The group or transaction coordinator is not currently available."""
+
+
+class UnknownTopicOrPartitionError(KafkaError):
+    """The topic or partition does not exist."""
+
+
+class TopicAlreadyExistsError(KafkaError):
+    """Attempted to create a topic that already exists."""
+
+
+class OffsetOutOfRangeError(KafkaError):
+    """A fetch or seek addressed an offset outside the log's range."""
+
+
+class InvalidConfigError(KafkaError):
+    """A configuration value is out of its legal range."""
+
+
+class AuthorizationError(KafkaError):
+    """The principal is not allowed to perform the operation."""
+
+
+# --- idempotence / transactions -------------------------------------------
+
+
+class DuplicateSequenceError(KafkaError):
+    """The batch was already appended (same producer id + sequence).
+
+    Not really an *error* for the producer: it treats this as a successful
+    (deduplicated) append. Raised internally by the log.
+    """
+
+
+class OutOfOrderSequenceError(KafkaError):
+    """A producer batch skipped sequence numbers; previous data was lost."""
+
+
+class ProducerFencedError(KafkaError):
+    """Another producer with the same transactional id and a newer epoch
+    has registered; this producer is a zombie and must close."""
+
+
+class InvalidProducerEpochError(ProducerFencedError):
+    """The producer epoch is stale for this partition."""
+
+
+class InvalidTxnStateError(KafkaError):
+    """The transaction is not in a state that allows the operation."""
+
+
+class TransactionAbortedError(KafkaError):
+    """The ongoing transaction was aborted (e.g. by timeout) and the
+    producer must start a new one."""
+
+
+class ConcurrentTransactionsError(RetriableError):
+    """The previous transaction with this id has not finished completing."""
+
+
+# --- consumer groups --------------------------------------------------------
+
+
+class RebalanceInProgressError(RetriableError):
+    """The consumer group is rebalancing; rejoin before continuing."""
+
+
+class IllegalGenerationError(KafkaError):
+    """The member's generation id is stale; it was kicked from the group."""
+
+
+class UnknownMemberError(KafkaError):
+    """The member id is not part of the group."""
+
+
+class CommitFailedError(KafkaError):
+    """An offset commit was rejected (stale generation / fenced member)."""
+
+
+# --- streams ----------------------------------------------------------------
+
+
+class StreamsError(Exception):
+    """Base class for errors raised by the streams library."""
+
+
+class TopologyError(StreamsError):
+    """The topology definition is invalid."""
+
+
+class TaskMigratedError(StreamsError):
+    """The task was migrated to another instance (producer got fenced);
+    the losing instance must drop the task and rejoin."""
+
+
+class StateStoreError(StreamsError):
+    """A state store operation failed."""
+
+
+class SerializationError(StreamsError):
+    """A record key or value could not be (de)serialized."""

@@ -1,0 +1,15 @@
+"""ksqlDB-lite: continuous SQL queries compiled to Kafka Streams apps.
+
+The paper (Section 3.2) describes ksqlDB as "an event streaming database
+built to work with streaming data in Apache Kafka. ... Those continuous
+queries submitted to ksqlDB are compiled and executed as Kafka Streams
+applications that run indefinitely until terminated." This package
+reproduces that layer: a small SQL dialect (CREATE STREAM/TABLE, CSAS/CTAS
+with WHERE, PARTITION BY, GROUP BY, windowing, and stream-table joins)
+parsed into an AST and compiled onto :class:`~repro.streams.StreamsBuilder`.
+"""
+
+from repro.ksql.engine import KsqlEngine, QueryHandle
+from repro.ksql.parser import KsqlParseError, parse
+
+__all__ = ["KsqlEngine", "QueryHandle", "parse", "KsqlParseError"]

@@ -1,0 +1,112 @@
+"""AST node types for the ksql dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+
+# --- expressions --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    name: str               # "ROWKEY" refers to the record key
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Any
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    op: str                 # = != < <= > >= + - * / AND OR
+    left: Any
+    right: Any
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    name: str               # COUNT SUM AVG MIN MAX (aggregates only)
+    argument: Optional[Any]  # None for COUNT(*)
+
+
+@dataclass(frozen=True)
+class Projection:
+    expression: Any
+    alias: Optional[str] = None
+
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expression, ColumnRef):
+            return self.expression.name
+        if isinstance(self.expression, FunctionCall):
+            arg = (
+                self.expression.argument.name
+                if isinstance(self.expression.argument, ColumnRef)
+                else "expr"
+            )
+            return f"{self.expression.name.lower()}_{arg}".lower()
+        return "expr"
+
+
+# --- window specs -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    kind: str               # TUMBLING | HOPPING | SESSION
+    size_ms: float = 0.0    # gap for SESSION
+    advance_ms: Optional[float] = None
+    grace_ms: Optional[float] = None
+
+
+# --- statements -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CreateSource:
+    """CREATE STREAM/TABLE name WITH (KAFKA_TOPIC=..., PARTITIONS=...)."""
+
+    name: str
+    kind: str               # STREAM | TABLE
+    topic: str
+    partitions: int = 1
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """[LEFT] JOIN <table> ON <stream_column> = <table_name>.ROWKEY"""
+
+    table: str
+    stream_column: ColumnRef
+    left: bool = False
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    projections: List[Projection]
+    source: str
+    where: Optional[Any] = None
+    group_by: Optional[ColumnRef] = None
+    window: Optional[WindowSpec] = None
+    join: Optional[JoinClause] = None
+    partition_by: Optional[ColumnRef] = None
+
+
+@dataclass(frozen=True)
+class CreateAsSelect:
+    """CREATE STREAM/TABLE name [WITH(...)] AS SELECT ..."""
+
+    name: str
+    kind: str               # STREAM | TABLE
+    query: SelectQuery
+    topic: Optional[str] = None
+    partitions: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class DropStatement:
+    name: str

@@ -1,0 +1,292 @@
+"""Compile parsed ksql statements onto a StreamsBuilder topology.
+
+Each CREATE ... AS SELECT becomes one Kafka Streams application, exactly
+as the paper describes ksqlDB executing its continuous queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.ksql.ast import (
+    ColumnRef,
+    CreateAsSelect,
+    FunctionCall,
+    Projection,
+    SelectQuery,
+    WindowSpec,
+)
+from repro.ksql.evaluator import evaluate
+from repro.ksql.parser import KsqlParseError
+from repro.streams.builder import StreamsBuilder
+from repro.streams.windows import SessionWindows, TimeWindows
+
+
+@dataclass
+class SourceInfo:
+    """Catalog entry for a stream/table name."""
+
+    name: str
+    kind: str               # STREAM | TABLE
+    topic: str
+    partitions: int
+
+
+@dataclass
+class CompiledQuery:
+    """A ready-to-run continuous query."""
+
+    name: str
+    builder: StreamsBuilder
+    sink_topic: str
+    sink_partitions: int
+    table_store: Optional[str] = None     # set for CTAS results
+    # Maps raw aggregation state to the projected row (CTAS only).
+    finalizer: Optional[Any] = None
+
+
+# --- aggregate machinery ----------------------------------------------------------
+
+
+def _aggregate_projections(projections: List[Projection]) -> List[Projection]:
+    return [p for p in projections if isinstance(p.expression, FunctionCall)]
+
+
+def _update_state(name: str, state: Any, value: Any) -> Any:
+    if name == "COUNT":
+        return (state or 0) + 1
+    if value is None:
+        return state
+    if name == "SUM":
+        return (state or 0) + value
+    if name == "MIN":
+        return value if state is None else min(state, value)
+    if name == "MAX":
+        return value if state is None else max(state, value)
+    if name == "AVG":
+        total, count = state or (0, 0)
+        return (total + value, count + 1)
+    raise KsqlParseError(f"unknown aggregate: {name}")
+
+
+def _merge_state(name: str, a: Any, b: Any) -> Any:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if name in ("COUNT", "SUM"):
+        return a + b
+    if name == "MIN":
+        return min(a, b)
+    if name == "MAX":
+        return max(a, b)
+    if name == "AVG":
+        return (a[0] + b[0], a[1] + b[1])
+    raise KsqlParseError(f"unknown aggregate: {name}")
+
+
+def _finalize_state(name: str, state: Any) -> Any:
+    if state is None:
+        return 0 if name == "COUNT" else None
+    if name == "AVG":
+        total, count = state
+        return total / count if count else None
+    return state
+
+
+# --- compilation ---------------------------------------------------------------------
+
+
+class Compiler:
+    """Stateless compiler over a catalog of known sources."""
+
+    def __init__(self, catalog: Dict[str, SourceInfo]) -> None:
+        self.catalog = catalog
+
+    def lookup(self, name: str) -> SourceInfo:
+        info = self.catalog.get(name.lower())
+        if info is None:
+            raise KsqlParseError(f"unknown stream/table: {name}")
+        return info
+
+    def compile(self, statement: CreateAsSelect) -> CompiledQuery:
+        source = self.lookup(statement.query.source)
+        sink_topic = statement.topic or statement.name.lower()
+        sink_partitions = statement.partitions or source.partitions
+        builder = StreamsBuilder()
+        if statement.kind == "TABLE":
+            store, finalizer = self._compile_ctas(
+                builder, statement.query, sink_topic
+            )
+            return CompiledQuery(
+                name=statement.name,
+                builder=builder,
+                sink_topic=sink_topic,
+                sink_partitions=sink_partitions,
+                table_store=store,
+                finalizer=finalizer,
+            )
+        self._compile_csas(builder, statement.query, sink_topic)
+        return CompiledQuery(
+            name=statement.name,
+            builder=builder,
+            sink_topic=sink_topic,
+            sink_partitions=sink_partitions,
+        )
+
+    # -- CSAS: stream in, stream out ---------------------------------------------------
+
+    def _compile_csas(
+        self, builder: StreamsBuilder, query: SelectQuery, sink_topic: str
+    ) -> None:
+        source = self.lookup(query.source)
+        if source.kind != "STREAM":
+            raise KsqlParseError("CREATE STREAM AS must select FROM a stream")
+        if query.group_by is not None or _aggregate_projections(query.projections):
+            raise KsqlParseError(
+                "aggregations require CREATE TABLE ... GROUP BY"
+            )
+        stream = builder.stream(source.topic)
+
+        if query.join is not None:
+            join = query.join
+            table_info = self.lookup(join.table)
+            if table_info.kind != "TABLE":
+                raise KsqlParseError(f"{join.table} is not a table")
+            table = builder.table(table_info.topic)
+            column = join.stream_column
+            stream = stream.select_key(
+                lambda k, v, column=column: evaluate(column, k, v)
+            )
+            def joiner(stream_value, table_value):
+                merged = dict(stream_value) if isinstance(stream_value, dict) else {
+                    "value": stream_value
+                }
+                if isinstance(table_value, dict):
+                    for field, field_value in table_value.items():
+                        merged.setdefault(field, field_value)
+                elif table_value is not None:
+                    merged.setdefault("joined", table_value)
+                return merged
+
+            if join.left:
+                stream = stream.left_join(table, joiner)
+            else:
+                stream = stream.join(table, joiner)
+
+        if query.where is not None:
+            where = query.where
+            stream = stream.filter(
+                lambda k, v, where=where: bool(evaluate(where, k, v))
+            )
+
+        projections = query.projections
+        def project(key, value, projections=projections):
+            return {
+                p.output_name(): evaluate(p.expression, key, value)
+                for p in projections
+            }
+
+        stream = stream.map(lambda k, v: (k, project(k, v)))
+        if query.partition_by is not None:
+            column = query.partition_by
+            stream = stream.select_key(
+                lambda k, v, column=column: evaluate(column, k, v)
+            )
+        stream.to(sink_topic)
+
+    # -- CTAS: stream in, aggregated table out ---------------------------------------------
+
+    def _compile_ctas(
+        self, builder: StreamsBuilder, query: SelectQuery, sink_topic: str
+    ) -> Tuple[str, Any]:
+        source = self.lookup(query.source)
+        if source.kind != "STREAM":
+            raise KsqlParseError("CREATE TABLE AS must select FROM a stream")
+        if query.group_by is None:
+            raise KsqlParseError("CREATE TABLE AS requires GROUP BY")
+        aggregates = _aggregate_projections(query.projections)
+        if not aggregates:
+            raise KsqlParseError(
+                "CREATE TABLE AS requires at least one aggregate projection"
+            )
+        for projection in query.projections:
+            expr = projection.expression
+            if isinstance(expr, FunctionCall):
+                continue
+            if isinstance(expr, ColumnRef) and (
+                expr.name.upper() == "ROWKEY"
+                or expr.name.lower() == query.group_by.name.lower()
+            ):
+                continue
+            raise KsqlParseError(
+                "non-aggregate projections must be the GROUP BY column"
+            )
+
+        stream = builder.stream(source.topic)
+        if query.where is not None:
+            where = query.where
+            stream = stream.filter(
+                lambda k, v, where=where: bool(evaluate(where, k, v))
+            )
+        group_col = query.group_by
+        grouped = stream.group_by(
+            lambda k, v, column=group_col: evaluate(column, k, v)
+        )
+
+        agg_specs: List[Tuple[str, str, Any]] = [
+            (p.output_name(), p.expression.name, p.expression.argument)
+            for p in aggregates
+        ]
+
+        def initializer():
+            return {name: None for name, _, _ in agg_specs}
+
+        def aggregator(key, value, state, specs=tuple(agg_specs)):
+            new_state = dict(state)
+            for name, fn, argument in specs:
+                arg_value = (
+                    None if argument is None else evaluate(argument, key, value)
+                )
+                if fn == "COUNT" and argument is not None and arg_value is None:
+                    continue   # COUNT(col) skips NULLs
+                new_state[name] = _update_state(fn, state.get(name), arg_value)
+            return new_state
+
+        store_name = f"{sink_topic}-store"
+        window = query.window
+        if window is None:
+            table = grouped.aggregate(initializer, aggregator, store_name)
+        elif window.kind == "SESSION":
+            session = SessionWindows.with_gap(window.size_ms)
+            if window.grace_ms is not None:
+                session = session.grace(window.grace_ms)
+
+            def merger(key, a, b, specs=tuple(agg_specs)):
+                return {
+                    name: _merge_state(fn, a.get(name), b.get(name))
+                    for name, fn, _ in specs
+                }
+
+            table = grouped.windowed_by(session).aggregate(
+                initializer, aggregator, merger, store_name
+            )
+        else:
+            windows = TimeWindows.of(window.size_ms)
+            if window.advance_ms is not None:
+                windows = windows.advance_by(window.advance_ms)
+            if window.grace_ms is not None:
+                windows = windows.grace(window.grace_ms)
+            table = grouped.windowed_by(windows).aggregate(
+                initializer, aggregator, store_name=store_name
+            )
+
+        def finalize(key, state, specs=tuple(agg_specs)):
+            return {
+                name: _finalize_state(fn, state.get(name))
+                for name, fn, _ in specs
+            }
+
+        table.map_values(finalize).to_stream().to(sink_topic)
+        return store_name, finalize

@@ -1,0 +1,182 @@
+"""The ksql engine: catalog, query lifecycle, and execution.
+
+Every persistent query (CREATE ... AS SELECT) runs as its own Kafka
+Streams application against the shared cluster — the deployment model the
+paper attributes to ksqlDB. The engine steps all running queries
+cooperatively and exposes their materialized state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.broker.cluster import Cluster
+from repro.config import EXACTLY_ONCE, StreamsConfig
+from repro.ksql.ast import CreateAsSelect, CreateSource, DropStatement
+from repro.ksql.compiler import CompiledQuery, Compiler, SourceInfo
+from repro.ksql.parser import KsqlParseError, parse
+from repro.streams import KafkaStreams
+
+
+@dataclass
+class QueryHandle:
+    """A running persistent query."""
+
+    name: str
+    statement: CreateAsSelect
+    app: KafkaStreams
+    compiled: CompiledQuery
+
+    def table_contents(self) -> Dict[Any, Any]:
+        """Materialized, finalized result of a CTAS query (empty for CSAS).
+
+        Window-store keys are (group key, window start) tuples; plain
+        aggregations are keyed by the group key."""
+        if self.compiled.table_store is None:
+            return {}
+        raw = self.app.store_contents(self.compiled.table_store)
+        finalize = self.compiled.finalizer
+        if finalize is None:
+            return raw
+        window = self.statement.query.window
+        if window is not None and window.kind == "SESSION":
+            # Session stores hold (session last-timestamp, state) values.
+            return {
+                key: finalize(key, state)
+                for key, (_last_ts, state) in raw.items()
+            }
+        return {key: finalize(key, state) for key, state in raw.items()}
+
+
+class KsqlEngine:
+    """Executes ksql statements against a simulated cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        processing_guarantee: str = EXACTLY_ONCE,
+        commit_interval_ms: float = 100.0,
+    ) -> None:
+        self.cluster = cluster
+        self.processing_guarantee = processing_guarantee
+        self.commit_interval_ms = commit_interval_ms
+        self.catalog: Dict[str, SourceInfo] = {}
+        self.queries: Dict[str, QueryHandle] = {}
+        self._compiler = Compiler(self.catalog)
+
+    # -- statement execution -----------------------------------------------------------
+
+    def execute(self, sql: str) -> List[Any]:
+        """Execute one or more statements; returns per-statement results
+        (SourceInfo, QueryHandle, or the dropped query's name)."""
+        results = []
+        for statement in parse(sql):
+            if isinstance(statement, CreateSource):
+                results.append(self._create_source(statement))
+            elif isinstance(statement, CreateAsSelect):
+                results.append(self._create_query(statement))
+            elif isinstance(statement, DropStatement):
+                results.append(self._drop_query(statement.name))
+            else:  # pragma: no cover - parser only emits the above
+                raise KsqlParseError(f"unsupported statement: {statement}")
+        return results
+
+    def _create_source(self, statement: CreateSource) -> SourceInfo:
+        key = statement.name.lower()
+        if key in self.catalog:
+            raise KsqlParseError(f"{statement.name} already exists")
+        if not self.cluster.has_topic(statement.topic):
+            self.cluster.create_topic(statement.topic, statement.partitions)
+        partitions = self.cluster.topic_metadata(statement.topic).num_partitions
+        info = SourceInfo(
+            name=statement.name,
+            kind=statement.kind,
+            topic=statement.topic,
+            partitions=partitions,
+        )
+        self.catalog[key] = info
+        return info
+
+    def _create_query(self, statement: CreateAsSelect) -> QueryHandle:
+        key = statement.name.lower()
+        if key in self.catalog or key in self.queries:
+            raise KsqlParseError(f"{statement.name} already exists")
+        compiled = self._compiler.compile(statement)
+        if not self.cluster.has_topic(compiled.sink_topic):
+            self.cluster.create_topic(
+                compiled.sink_topic, compiled.sink_partitions
+            )
+        app = KafkaStreams(
+            compiled.builder.build(),
+            self.cluster,
+            StreamsConfig(
+                application_id=f"ksql-{key}",
+                processing_guarantee=self.processing_guarantee,
+                commit_interval_ms=self.commit_interval_ms,
+            ),
+        )
+        app.start(1)
+        handle = QueryHandle(
+            name=statement.name, statement=statement, app=app, compiled=compiled
+        )
+        self.queries[key] = handle
+        # The query's sink is itself a stream/table other queries may read.
+        self.catalog[key] = SourceInfo(
+            name=statement.name,
+            kind=statement.kind,
+            topic=compiled.sink_topic,
+            partitions=compiled.sink_partitions,
+        )
+        return handle
+
+    def _drop_query(self, name: str) -> str:
+        key = name.lower()
+        handle = self.queries.pop(key, None)
+        if handle is None:
+            raise KsqlParseError(f"unknown query: {name}")
+        handle.app.close()
+        self.catalog.pop(key, None)
+        return name
+
+    # -- driving ---------------------------------------------------------------------------
+
+    def query(self, name: str) -> QueryHandle:
+        handle = self.queries.get(name.lower())
+        if handle is None:
+            raise KsqlParseError(f"unknown query: {name}")
+        return handle
+
+    def step(self) -> int:
+        processed = 0
+        for handle in self.queries.values():
+            processed += handle.app.step()
+        return processed
+
+    def run_until_idle(self, max_steps: int = 10_000) -> int:
+        """Step all queries (they feed each other through topics) until
+        nothing moves."""
+        total = 0
+        idle = 0
+        for _ in range(max_steps):
+            processed = self.step()
+            if processed == 0:
+                for handle in self.queries.values():
+                    handle.app.commit_all()
+                self.cluster.clock.advance(1.0)
+                processed = self.step()
+            total += processed
+            if processed == 0:
+                idle += 1
+                if idle >= 2:
+                    break
+            else:
+                idle = 0
+        for handle in self.queries.values():
+            handle.app.commit_all()
+        self.cluster.clock.advance(5.0)
+        return total
+
+    def close(self) -> None:
+        for key in list(self.queries):
+            self._drop_query(key)

@@ -1,0 +1,86 @@
+"""Row-expression evaluation over (key, value-dict) records.
+
+SQL-ish null semantics, simplified: comparisons involving NULL are false,
+arithmetic involving NULL yields NULL.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.ksql.ast import BinaryOp, ColumnRef, FunctionCall, Literal
+from repro.ksql.parser import KsqlParseError
+
+
+def evaluate(expr: Any, key: Any, value: Any) -> Any:
+    """Evaluate a non-aggregate expression against one record."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, ColumnRef):
+        return _resolve_column(expr.name, key, value)
+    if isinstance(expr, BinaryOp):
+        return _binary(expr, key, value)
+    if isinstance(expr, FunctionCall):
+        raise KsqlParseError(
+            f"aggregate {expr.name} is only allowed in CREATE TABLE ... "
+            f"GROUP BY queries"
+        )
+    raise KsqlParseError(f"cannot evaluate {expr!r}")
+
+
+def _resolve_column(name: str, key: Any, value: Any) -> Any:
+    if name.upper() == "ROWKEY":
+        return key
+    if isinstance(value, dict):
+        if name in value:
+            return value[name]
+        lowered = name.lower()
+        for field, field_value in value.items():
+            if isinstance(field, str) and field.lower() == lowered:
+                return field_value
+        return None
+    # Scalar values: the only addressable column is the value itself.
+    if name.upper() in ("ROWVAL", "VALUE"):
+        return value
+    return None
+
+
+def _binary(expr: BinaryOp, key: Any, value: Any) -> Any:
+    op = expr.op
+    if op == "AND":
+        return bool(evaluate(expr.left, key, value)) and bool(
+            evaluate(expr.right, key, value)
+        )
+    if op == "OR":
+        return bool(evaluate(expr.left, key, value)) or bool(
+            evaluate(expr.right, key, value)
+        )
+    left = evaluate(expr.left, key, value)
+    right = evaluate(expr.right, key, value)
+    if op in ("+", "-", "*", "/"):
+        if left is None or right is None:
+            return None
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if right == 0:
+            return None
+        return left / right
+    if left is None or right is None:
+        return False
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise KsqlParseError(f"unknown operator: {op}")

@@ -1,0 +1,394 @@
+"""Tokenizer + recursive-descent parser for the ksql dialect.
+
+Supported grammar (case-insensitive keywords; `--` line comments):
+
+    CREATE STREAM name WITH (KAFKA_TOPIC='t' [, PARTITIONS=n]) ;
+    CREATE TABLE  name WITH (KAFKA_TOPIC='t' [, PARTITIONS=n]) ;
+
+    CREATE STREAM name [WITH (...)] AS
+        SELECT proj [, proj ...] FROM source
+        [LEFT] JOIN table ON source_col = table.ROWKEY
+        [WHERE condition]
+        [PARTITION BY col] ;
+
+    CREATE TABLE name [WITH (...)] AS
+        SELECT proj [, proj ...] FROM source
+        [WHERE condition]
+        [WINDOW TUMBLING (SIZE n MILLISECONDS [, GRACE n MILLISECONDS])
+        |WINDOW HOPPING  (SIZE n MILLISECONDS, ADVANCE BY n MILLISECONDS [, GRACE ...])
+        |WINDOW SESSION  (n MILLISECONDS [, GRACE ...])]
+        GROUP BY col
+        [EMIT CHANGES] ;
+
+    DROP QUERY name ;
+
+Projections: column, ROWKEY, literals, arithmetic (+ - * /), AS aliases,
+aggregates COUNT(*) / COUNT(col) / SUM / AVG / MIN / MAX.
+Conditions: comparisons (= != <> < <= > >=) combined with AND / OR / NOT.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Optional
+
+from repro.ksql.ast import (
+    BinaryOp,
+    ColumnRef,
+    CreateAsSelect,
+    CreateSource,
+    DropStatement,
+    FunctionCall,
+    JoinClause,
+    Literal,
+    Projection,
+    SelectQuery,
+    WindowSpec,
+)
+
+
+class KsqlParseError(Exception):
+    """The statement is not valid ksql-lite."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s+
+  | --[^\n]*
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9.]*)
+  | (?P<op><=|>=|<>|!=|=|<|>|\(|\)|,|;|\*|\+|-|/)
+    """,
+    re.VERBOSE,
+)
+
+AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+_TIME_UNITS = {
+    "MILLISECONDS": 1.0,
+    "MILLISECOND": 1.0,
+    "SECONDS": 1000.0,
+    "SECOND": 1000.0,
+    "MINUTES": 60_000.0,
+    "MINUTE": 60_000.0,
+    "HOURS": 3_600_000.0,
+    "HOUR": 3_600_000.0,
+}
+
+
+def tokenize(sql: str) -> List[str]:
+    tokens: List[str] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            raise KsqlParseError(
+                f"unexpected character {sql[position]!r} at offset {position}"
+            )
+        position = match.end()
+        for group in ("string", "number", "ident", "op"):
+            text = match.group(group)
+            if text is not None:
+                tokens.append(text)
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[str]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing ---------------------------------------------------------
+
+    def peek(self) -> Optional[str]:
+        if self.position >= len(self.tokens):
+            return None
+        return self.tokens[self.position]
+
+    def peek_upper(self) -> Optional[str]:
+        token = self.peek()
+        return token.upper() if token is not None else None
+
+    def advance(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise KsqlParseError("unexpected end of statement")
+        self.position += 1
+        return token
+
+    def expect(self, keyword: str) -> str:
+        token = self.advance()
+        if token.upper() != keyword.upper():
+            raise KsqlParseError(f"expected {keyword!r}, got {token!r}")
+        return token
+
+    def accept(self, keyword: str) -> bool:
+        if self.peek_upper() == keyword.upper():
+            self.advance()
+            return True
+        return False
+
+    def identifier(self) -> str:
+        token = self.advance()
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", token):
+            raise KsqlParseError(f"expected identifier, got {token!r}")
+        return token
+
+    # -- statements -----------------------------------------------------------------
+
+    def statement(self):
+        keyword = self.peek_upper()
+        if keyword == "CREATE":
+            return self._create()
+        if keyword == "DROP":
+            self.advance()
+            self.expect("QUERY")
+            name = self.identifier()
+            self.accept(";")
+            return DropStatement(name)
+        raise KsqlParseError(f"unsupported statement start: {keyword!r}")
+
+    def _create(self):
+        self.expect("CREATE")
+        kind = self.advance().upper()
+        if kind not in ("STREAM", "TABLE"):
+            raise KsqlParseError(f"expected STREAM or TABLE, got {kind!r}")
+        name = self.identifier()
+        topic = None
+        partitions = None
+        if self.peek_upper() == "WITH":
+            topic, partitions = self._with_clause()
+        if self.accept("AS"):
+            query = self._select()
+            self.accept(";")
+            return CreateAsSelect(
+                name=name, kind=kind, query=query,
+                topic=topic, partitions=partitions,
+            )
+        if topic is None:
+            raise KsqlParseError(
+                "CREATE without AS SELECT requires WITH (KAFKA_TOPIC=...)"
+            )
+        self.accept(";")
+        return CreateSource(
+            name=name, kind=kind, topic=topic, partitions=partitions or 1
+        )
+
+    def _with_clause(self):
+        self.expect("WITH")
+        self.expect("(")
+        topic = None
+        partitions = None
+        while True:
+            key = self.identifier().upper()
+            self.expect("=")
+            value = self.advance()
+            if key == "KAFKA_TOPIC":
+                topic = self._string_value(value)
+            elif key == "PARTITIONS":
+                partitions = int(value)
+            else:
+                raise KsqlParseError(f"unknown WITH property: {key}")
+            if not self.accept(","):
+                break
+        self.expect(")")
+        return topic, partitions
+
+    @staticmethod
+    def _string_value(token: str) -> str:
+        if not (token.startswith("'") and token.endswith("'")):
+            raise KsqlParseError(f"expected a quoted string, got {token!r}")
+        return token[1:-1].replace("''", "'")
+
+    # -- SELECT ------------------------------------------------------------------------
+
+    def _select(self) -> SelectQuery:
+        self.expect("SELECT")
+        projections = [self._projection()]
+        while self.accept(","):
+            projections.append(self._projection())
+        self.expect("FROM")
+        source = self.identifier()
+
+        join = None
+        left = False
+        if self.peek_upper() in ("JOIN", "LEFT"):
+            if self.accept("LEFT"):
+                left = True
+            self.expect("JOIN")
+            table = self.identifier()
+            self.expect("ON")
+            join_left = self._primary()
+            self.expect("=")
+            join_right = self._primary()
+            join = self._make_join(table, join_left, join_right, left)
+
+        where = None
+        if self.accept("WHERE"):
+            where = self._condition()
+        window = None
+        if self.accept("WINDOW"):
+            window = self._window()
+        group_by = None
+        if self.accept("GROUP"):
+            self.expect("BY")
+            group_by = ColumnRef(self.identifier())
+        partition_by = None
+        if self.accept("PARTITION"):
+            self.expect("BY")
+            partition_by = ColumnRef(self.identifier())
+        if self.accept("EMIT"):
+            self.expect("CHANGES")
+        return SelectQuery(
+            projections=projections,
+            source=source,
+            where=where,
+            group_by=group_by,
+            window=window,
+            join=join,
+            partition_by=partition_by,
+        )
+
+    def _make_join(self, table, a, b, left) -> JoinClause:
+        def is_rowkey_of(expr, name):
+            return isinstance(expr, ColumnRef) and expr.name.upper() == f"{name.upper()}.ROWKEY"
+
+        if is_rowkey_of(b, table) and isinstance(a, ColumnRef):
+            return JoinClause(table=table, stream_column=a, left=left)
+        if is_rowkey_of(a, table) and isinstance(b, ColumnRef):
+            return JoinClause(table=table, stream_column=b, left=left)
+        raise KsqlParseError(
+            "joins must equate a stream column with <table>.ROWKEY"
+        )
+
+    def _projection(self) -> Projection:
+        expression = self._expression()
+        alias = None
+        if self.accept("AS"):
+            alias = self.identifier()
+        return Projection(expression=expression, alias=alias)
+
+    def _window(self) -> WindowSpec:
+        kind = self.advance().upper()
+        if kind not in ("TUMBLING", "HOPPING", "SESSION"):
+            raise KsqlParseError(f"unknown window kind: {kind}")
+        self.expect("(")
+        size = None
+        advance = None
+        grace = None
+        if kind == "SESSION":
+            size = self._duration()
+        while self.peek() != ")":
+            keyword = self.advance().upper()
+            if keyword == ",":
+                continue
+            if keyword == "SIZE":
+                size = self._duration()
+            elif keyword == "ADVANCE":
+                self.expect("BY")
+                advance = self._duration()
+            elif keyword == "GRACE":
+                self.accept("PERIOD")
+                grace = self._duration()
+            else:
+                raise KsqlParseError(f"unexpected token in window spec: {keyword}")
+        self.expect(")")
+        if size is None:
+            raise KsqlParseError("window requires a SIZE")
+        return WindowSpec(kind=kind, size_ms=size, advance_ms=advance, grace_ms=grace)
+
+    def _duration(self) -> float:
+        amount = float(self.advance())
+        unit = self.advance().upper()
+        if unit not in _TIME_UNITS:
+            raise KsqlParseError(f"unknown time unit: {unit}")
+        return amount * _TIME_UNITS[unit]
+
+    # -- expressions ------------------------------------------------------------------------
+
+    def _condition(self):
+        return self._or()
+
+    def _or(self):
+        node = self._and()
+        while self.peek_upper() == "OR":
+            self.advance()
+            node = BinaryOp("OR", node, self._and())
+        return node
+
+    def _and(self):
+        node = self._not()
+        while self.peek_upper() == "AND":
+            self.advance()
+            node = BinaryOp("AND", node, self._not())
+        return node
+
+    def _not(self):
+        if self.peek_upper() == "NOT":
+            self.advance()
+            return BinaryOp("=", self._not(), Literal(False))
+        return self._comparison()
+
+    def _comparison(self):
+        node = self._expression()
+        op = self.peek()
+        if op in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            self.advance()
+            right = self._expression()
+            return BinaryOp("!=" if op == "<>" else op, node, right)
+        return node
+
+    def _expression(self):
+        node = self._term()
+        while self.peek() in ("+", "-"):
+            op = self.advance()
+            node = BinaryOp(op, node, self._term())
+        return node
+
+    def _term(self):
+        node = self._primary()
+        while self.peek() in ("*", "/"):
+            op = self.advance()
+            node = BinaryOp(op, node, self._primary())
+        return node
+
+    def _primary(self):
+        token = self.advance()
+        upper = token.upper()
+        if token == "(":
+            node = self._condition()
+            self.expect(")")
+            return node
+        if token.startswith("'"):
+            return Literal(self._string_value(token))
+        if re.fullmatch(r"\d+(\.\d+)?", token):
+            return Literal(float(token) if "." in token else int(token))
+        if upper in ("TRUE", "FALSE"):
+            return Literal(upper == "TRUE")
+        if upper == "NULL":
+            return Literal(None)
+        if upper in AGGREGATES and self.peek() == "(":
+            self.advance()
+            if self.accept("*"):
+                argument = None
+            else:
+                argument = self._expression()
+            self.expect(")")
+            return FunctionCall(upper, argument)
+        if re.fullmatch(r"[A-Za-z_][A-Za-z_0-9.]*", token):
+            return ColumnRef(token)
+        raise KsqlParseError(f"unexpected token: {token!r}")
+
+
+def parse(sql: str):
+    """Parse one or more ';'-separated statements; returns a list."""
+    tokens = tokenize(sql)
+    parser = _Parser(tokens)
+    statements = []
+    while parser.peek() is not None:
+        statements.append(parser.statement())
+    if not statements:
+        raise KsqlParseError("empty statement")
+    return statements

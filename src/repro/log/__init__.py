@@ -1,0 +1,22 @@
+"""Append-only partition logs: the storage primitive everything builds on."""
+
+from repro.log.record import (
+    ABORT_MARKER,
+    COMMIT_MARKER,
+    Record,
+    RecordBatch,
+    control_marker,
+)
+from repro.log.partition_log import AbortedTxn, PartitionLog
+from repro.log.compaction import compact
+
+__all__ = [
+    "Record",
+    "RecordBatch",
+    "control_marker",
+    "COMMIT_MARKER",
+    "ABORT_MARKER",
+    "PartitionLog",
+    "AbortedTxn",
+    "compact",
+]

@@ -1,0 +1,88 @@
+"""Key-based log compaction for changelog topics.
+
+Kafka brokers compact changelog topics by removing records for which a
+later record exists with the same key (Section 3.2 of the paper): the
+compacted log is a complete snapshot of the latest value per key, which is
+exactly what state-store restoration needs.
+
+Rules implemented here:
+
+* only records below the *dirty point* (we use the last stable offset) are
+  eligible, so open-transaction data is never compacted away;
+* control markers are dropped once everything before them is compacted
+  (they carry no key);
+* aborted records are dropped entirely — they were never visible;
+* a tombstone (``value is None``) removes earlier records for the key; the
+  tombstone itself is retained (delete-retention is modelled as "forever"
+  unless ``drop_tombstones`` is set).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+from repro.log.partition_log import AbortedTxn, PartitionLog
+from repro.log.record import Record
+
+
+def _aborted_offsets(aborted: Iterable[AbortedTxn]) -> List[Tuple[int, int, int]]:
+    return [(a.first_offset, a.last_offset, a.producer_id) for a in aborted]
+
+
+def compact(
+    records: List[Record],
+    aborted: Iterable[AbortedTxn] = (),
+    dirty_from: int = 2**63,
+    drop_tombstones: bool = False,
+) -> List[Record]:
+    """Return the compacted form of ``records``.
+
+    ``dirty_from``: offsets at or beyond this are kept untouched (not yet
+    safe to compact). Offsets of retained records are preserved, so the
+    result is a sparse but still offset-ordered log.
+    """
+    spans = _aborted_offsets(aborted)
+
+    def is_aborted(record: Record) -> bool:
+        for first, last, pid in spans:
+            if first <= record.offset <= last and record.producer_id == pid:
+                return True
+        return False
+
+    clean = [r for r in records if r.offset < dirty_from]
+    dirty = [r for r in records if r.offset >= dirty_from]
+
+    # Latest clean offset per key (aborted and control records never count).
+    latest: dict = {}
+    for record in clean:
+        if record.is_control or is_aborted(record):
+            continue
+        latest[record.key] = record.offset
+
+    # Records beyond the dirty point may still belong to open transactions,
+    # so they must NOT shadow clean records: if the transaction aborts, the
+    # older value is still the live one.
+    kept: List[Record] = []
+    for record in clean:
+        if record.is_control or is_aborted(record):
+            continue
+        if latest.get(record.key) != record.offset:
+            continue
+        if drop_tombstones and record.value is None:
+            continue
+        kept.append(record)
+    kept.extend(dirty)
+    return kept
+
+
+def compact_log(log: PartitionLog, drop_tombstones: bool = False) -> int:
+    """Compact a partition log in place; returns records removed."""
+    before = len(log)
+    compacted = compact(
+        log.records(),
+        aborted=log.aborted_transactions(),
+        dirty_from=log.last_stable_offset,
+        drop_tombstones=drop_tombstones,
+    )
+    log.replace_records(compacted)
+    return before - len(log)

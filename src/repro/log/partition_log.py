@@ -1,0 +1,353 @@
+"""The append-only partition log.
+
+This is the storage primitive the whole paper builds on: an immutable,
+offset-ordered sequence of records. On top of plain appends it implements
+
+* **idempotent appends** (Section 4.1): per-producer-id sequence validation
+  with a bounded cache of recent batch metadata, so a retried batch (after a
+  lost acknowledgement) is recognised and not appended twice;
+* **transactional visibility** (Section 4.2.3): the log tracks the first
+  offset of every open transaction and exposes the *last stable offset*
+  (LSO). Read-committed consumers never read past the LSO, and spans of
+  aborted transactions are recorded in an index so they can be filtered out;
+* **log compaction** hooks for changelog topics, and ``delete_records`` for
+  repartition-topic truncation.
+
+The log itself is single-writer (the partition leader); replication copies
+appended entries verbatim (see :mod:`repro.broker.replication`).
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    InvalidProducerEpochError,
+    OffsetOutOfRangeError,
+    OutOfOrderSequenceError,
+)
+from repro.log.record import (
+    ABORT_MARKER,
+    NO_PRODUCER_ID,
+    NO_SEQUENCE,
+    Record,
+    RecordBatch,
+    control_marker,
+)
+
+# How many recent batches of metadata to retain per producer id for
+# duplicate detection (Kafka retains 5).
+_PRODUCER_BATCH_CACHE = 5
+
+
+@dataclass(frozen=True)
+class AbortedTxn:
+    """Index entry: records of ``producer_id`` in [first_offset, last_offset]
+    belong to an aborted transaction and must be filtered for read_committed."""
+
+    producer_id: int
+    first_offset: int
+    last_offset: int
+
+
+@dataclass
+class AppendResult:
+    """Outcome of an (idempotent) append."""
+
+    base_offset: int
+    last_offset: int
+    duplicate: bool = False
+
+
+@dataclass
+class _BatchMeta:
+    base_sequence: int
+    last_sequence: int
+    base_offset: int
+    last_offset: int
+
+
+class _ProducerIdState:
+    """Sequence/epoch bookkeeping for one producer id on one partition."""
+
+    def __init__(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.batches: Deque[_BatchMeta] = deque(maxlen=_PRODUCER_BATCH_CACHE)
+
+    @property
+    def last_sequence(self) -> int:
+        if not self.batches:
+            return NO_SEQUENCE
+        return self.batches[-1].last_sequence
+
+    def find_duplicate(self, batch: RecordBatch) -> Optional[_BatchMeta]:
+        for meta in self.batches:
+            if (
+                meta.base_sequence == batch.base_sequence
+                and meta.last_sequence == batch.last_sequence
+            ):
+                return meta
+        return None
+
+
+class PartitionLog:
+    """One partition's log: records, producer state, and txn visibility."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._records: List[Record] = []
+        self._offsets: List[int] = []        # parallel array for bisect
+        self._next_offset = 0
+        self.log_start_offset = 0
+        self.high_watermark = 0              # managed by replication
+        self._producers: Dict[int, _ProducerIdState] = {}
+        # producer_id -> first offset of its currently open transaction
+        self._open_txns: Dict[int, int] = {}
+        self._aborted: List[AbortedTxn] = []
+
+    # -- basic accessors -------------------------------------------------------
+
+    @property
+    def log_end_offset(self) -> int:
+        """Offset that the next appended record will receive."""
+        return self._next_offset
+
+    @property
+    def last_stable_offset(self) -> int:
+        """First offset of the earliest open transaction, else the high
+        watermark. Read-committed fetches are capped here."""
+        if self._open_txns:
+            return min(min(self._open_txns.values()), self.high_watermark)
+        return self.high_watermark
+
+    def records(self) -> List[Record]:
+        """All retained records, oldest first (includes control markers)."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def open_transactions(self) -> Dict[int, int]:
+        """producer_id -> first offset of its open transaction (copy)."""
+        return dict(self._open_txns)
+
+    def aborted_transactions(self) -> List[AbortedTxn]:
+        return list(self._aborted)
+
+    # -- appends ---------------------------------------------------------------
+
+    def append_batch(self, batch: RecordBatch) -> AppendResult:
+        """Append a producer batch with idempotence validation.
+
+        Returns the assigned offsets; a recognised retry of an already
+        appended batch returns the *original* offsets with
+        ``duplicate=True`` instead of appending again.
+        """
+        if batch.producer_id == NO_PRODUCER_ID:
+            return self._do_append(batch)
+
+        state = self._producers.get(batch.producer_id)
+        if state is None:
+            state = _ProducerIdState(batch.producer_epoch)
+            self._producers[batch.producer_id] = state
+        elif batch.producer_epoch < state.epoch:
+            raise InvalidProducerEpochError(
+                f"{self.name}: producer {batch.producer_id} epoch "
+                f"{batch.producer_epoch} < current {state.epoch}"
+            )
+        elif batch.producer_epoch > state.epoch:
+            # A new producer incarnation must restart sequencing at 0.
+            if batch.base_sequence not in (0, NO_SEQUENCE):
+                raise OutOfOrderSequenceError(
+                    f"{self.name}: new epoch {batch.producer_epoch} for producer "
+                    f"{batch.producer_id} must begin at sequence 0, got "
+                    f"{batch.base_sequence}"
+                )
+            state.epoch = batch.producer_epoch
+            state.batches.clear()
+
+        if batch.base_sequence == NO_SEQUENCE:
+            # Sequence-less batch (e.g. a coordinator-side offset commit):
+            # epoch-validated above, but exempt from idempotence dedup —
+            # two such batches are distinct appends, not retries.
+            return self._do_append(batch)
+
+        duplicate = state.find_duplicate(batch)
+        if duplicate is not None:
+            return AppendResult(
+                duplicate.base_offset, duplicate.last_offset, duplicate=True
+            )
+
+        expected = state.last_sequence + 1
+        if state.last_sequence != NO_SEQUENCE and batch.base_sequence != expected:
+            raise OutOfOrderSequenceError(
+                f"{self.name}: producer {batch.producer_id} sent sequence "
+                f"{batch.base_sequence}, expected {expected}"
+            )
+
+        result = self._do_append(batch)
+        state.batches.append(
+            _BatchMeta(
+                batch.base_sequence,
+                batch.last_sequence,
+                result.base_offset,
+                result.last_offset,
+            )
+        )
+        return result
+
+    def _do_append(self, batch: RecordBatch) -> AppendResult:
+        base_offset = self._next_offset
+        for record in batch.stamped_records():
+            self._append_record(record)
+        if batch.is_transactional and batch.producer_id not in self._open_txns:
+            self._open_txns[batch.producer_id] = base_offset
+        return AppendResult(base_offset, self._next_offset - 1)
+
+    def _append_record(self, record: Record) -> None:
+        stamped = record.with_offset(self._next_offset)
+        self._records.append(stamped)
+        self._offsets.append(self._next_offset)
+        self._next_offset += 1
+
+    def append_marker(self, marker: Record) -> int:
+        """Append a transaction commit/abort marker, closing the producer's
+        open transaction on this partition. Returns the marker's offset."""
+        if not marker.is_control:
+            raise ValueError("append_marker requires a control record")
+        state = self._producers.get(marker.producer_id)
+        if state is not None and marker.producer_epoch > state.epoch:
+            # Markers carry the (possibly bumped) epoch: once written, any
+            # still-running zombie with the old epoch is fenced on this
+            # partition too.
+            state.epoch = marker.producer_epoch
+            state.batches.clear()
+        first_offset = self._open_txns.pop(marker.producer_id, None)
+        offset = self._next_offset
+        self._append_record(marker)
+        if marker.control_type == ABORT_MARKER and first_offset is not None:
+            self._aborted.append(
+                AbortedTxn(marker.producer_id, first_offset, offset - 1)
+            )
+        return offset
+
+    def replicate_from(self, records: List[Record]) -> None:
+        """Follower path: copy already-offset-stamped records verbatim,
+        reconstructing producer/transaction state from their metadata."""
+        for record in records:
+            if record.offset != self._next_offset:
+                raise ValueError(
+                    f"{self.name}: replication gap, expected offset "
+                    f"{self._next_offset}, got {record.offset}"
+                )
+            self._records.append(record)
+            self._offsets.append(record.offset)
+            self._next_offset = record.offset + 1
+            pid = record.producer_id
+            if record.is_control:
+                first = self._open_txns.pop(pid, None)
+                if record.control_type == ABORT_MARKER and first is not None:
+                    self._aborted.append(AbortedTxn(pid, first, record.offset - 1))
+                continue
+            if pid != NO_PRODUCER_ID:
+                state = self._producers.get(pid)
+                if state is None or record.producer_epoch > state.epoch:
+                    state = _ProducerIdState(record.producer_epoch)
+                    self._producers[pid] = state
+                if record.sequence != NO_SEQUENCE:
+                    state.batches.append(
+                        _BatchMeta(
+                            record.sequence,
+                            record.sequence,
+                            record.offset,
+                            record.offset,
+                        )
+                    )
+                if record.is_transactional and pid not in self._open_txns:
+                    self._open_txns[pid] = record.offset
+
+    # -- reads -------------------------------------------------------------------
+
+    def read(
+        self,
+        from_offset: int,
+        max_records: int = 1_000_000,
+        up_to_offset: Optional[int] = None,
+    ) -> List[Record]:
+        """Records with ``from_offset <= offset < up_to_offset`` (default:
+        the high watermark), oldest first, including control markers.
+
+        Raises OffsetOutOfRangeError if ``from_offset`` precedes the log
+        start (records were deleted) or exceeds the log end.
+        """
+        if from_offset < self.log_start_offset or from_offset > self._next_offset:
+            raise OffsetOutOfRangeError(
+                f"{self.name}: offset {from_offset} outside "
+                f"[{self.log_start_offset}, {self._next_offset}]"
+            )
+        limit = self.high_watermark if up_to_offset is None else up_to_offset
+        start = bisect.bisect_left(self._offsets, from_offset)
+        out: List[Record] = []
+        for record in self._records[start:]:
+            if record.offset >= limit or len(out) >= max_records:
+                break
+            out.append(record)
+        return out
+
+    def earliest_offset(self) -> int:
+        return self.log_start_offset
+
+    def truncate_to(self, offset: int) -> None:
+        """Remove records with offsets >= ``offset`` (follower reconciliation)."""
+        keep = bisect.bisect_left(self._offsets, offset)
+        del self._records[keep:]
+        del self._offsets[keep:]
+        self._next_offset = offset if not self._offsets else self._offsets[-1] + 1
+        self.high_watermark = min(self.high_watermark, self._next_offset)
+
+    def reset_to(self, offset: int) -> None:
+        """Discard everything and restart the log at ``offset`` (a follower
+        resyncing against a leader whose older records were deleted)."""
+        self._records.clear()
+        self._offsets.clear()
+        self._next_offset = offset
+        self.log_start_offset = offset
+        self.high_watermark = offset
+        self._producers.clear()
+        self._open_txns.clear()
+        self._aborted.clear()
+
+    def delete_records_before(self, offset: int) -> int:
+        """Advance the log start offset (repartition-topic purge).
+
+        Returns how many records were physically removed.
+        """
+        offset = min(offset, self.high_watermark)
+        if offset <= self.log_start_offset:
+            return 0
+        keep = bisect.bisect_left(self._offsets, offset)
+        removed = keep
+        del self._records[:keep]
+        del self._offsets[:keep]
+        self.log_start_offset = offset
+        return removed
+
+    # -- compaction hook ---------------------------------------------------------
+
+    def replace_records(self, records: List[Record]) -> None:
+        """Install a compacted record list (offsets must stay ascending)."""
+        offsets = [r.offset for r in records]
+        if offsets != sorted(offsets):
+            raise ValueError("compacted records must keep ascending offsets")
+        self._records = list(records)
+        self._offsets = offsets
+
+    # -- queries used by coordinators ---------------------------------------------
+
+    def last_timestamp(self) -> float:
+        if not self._records:
+            return -1.0
+        return self._records[-1].timestamp

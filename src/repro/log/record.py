@@ -1,0 +1,117 @@
+"""Records, batches, and control (transaction-marker) records.
+
+A :class:`Record` models one Kafka log entry: a timestamped key/value pair
+plus the producer metadata (producer id, epoch, sequence) that makes
+idempotent and transactional appends possible, and an ``is_control`` flag
+for transaction commit/abort markers (Section 4.2.2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional
+
+NO_PRODUCER_ID = -1
+NO_SEQUENCE = -1
+
+COMMIT_MARKER = "commit"
+ABORT_MARKER = "abort"
+
+
+@dataclass
+class Record:
+    """One log entry.
+
+    ``offset`` is assigned by the partition log at append time and is -1
+    until then. ``timestamp`` is the event time set by the producer
+    (Section 3.1: offset order need not match timestamp order).
+    """
+
+    key: Any
+    value: Any
+    timestamp: float = -1.0
+    headers: Dict[str, Any] = field(default_factory=dict)
+    offset: int = -1
+    producer_id: int = NO_PRODUCER_ID
+    producer_epoch: int = -1
+    sequence: int = NO_SEQUENCE
+    is_transactional: bool = False
+    is_control: bool = False
+    control_type: Optional[str] = None   # COMMIT_MARKER | ABORT_MARKER
+
+    def with_offset(self, offset: int) -> "Record":
+        return replace(self, offset=offset)
+
+    def __repr__(self) -> str:  # compact, log-friendly
+        if self.is_control:
+            return f"Marker({self.control_type}, pid={self.producer_id}, off={self.offset})"
+        return (
+            f"Record(off={self.offset}, ts={self.timestamp}, "
+            f"key={self.key!r}, value={self.value!r})"
+        )
+
+
+@dataclass
+class RecordBatch:
+    """A producer batch appended atomically to one partition log.
+
+    Only the first record's sequence number is encoded; followers are
+    inferred monotonically (Section 4.1). ``base_sequence`` is -1 for
+    non-idempotent producers.
+    """
+
+    records: List[Record]
+    producer_id: int = NO_PRODUCER_ID
+    producer_epoch: int = -1
+    base_sequence: int = NO_SEQUENCE
+    is_transactional: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise ValueError("a RecordBatch must contain at least one record")
+
+    @property
+    def last_sequence(self) -> int:
+        if self.base_sequence == NO_SEQUENCE:
+            return NO_SEQUENCE
+        return self.base_sequence + len(self.records) - 1
+
+    @property
+    def record_count(self) -> int:
+        return len(self.records)
+
+    def stamped_records(self) -> List[Record]:
+        """Records carrying the batch's producer metadata."""
+        stamped = []
+        for i, record in enumerate(self.records):
+            seq = NO_SEQUENCE
+            if self.base_sequence != NO_SEQUENCE:
+                seq = self.base_sequence + i
+            stamped.append(
+                replace(
+                    record,
+                    producer_id=self.producer_id,
+                    producer_epoch=self.producer_epoch,
+                    sequence=seq,
+                    is_transactional=self.is_transactional,
+                )
+            )
+        return stamped
+
+
+def control_marker(
+    marker_type: str, producer_id: int, producer_epoch: int, timestamp: float = -1.0
+) -> Record:
+    """Build a transaction commit/abort marker record."""
+    if marker_type not in (COMMIT_MARKER, ABORT_MARKER):
+        raise ValueError(f"unknown marker type: {marker_type!r}")
+    return Record(
+        key=None,
+        value=None,
+        timestamp=timestamp,
+        producer_id=producer_id,
+        producer_epoch=producer_epoch,
+        is_transactional=True,
+        is_control=True,
+        control_type=marker_type,
+    )

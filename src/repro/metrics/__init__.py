@@ -1,0 +1,14 @@
+"""Metrics: counters, histograms, end-to-end latency, bench reporting."""
+
+from repro.metrics.registry import Counter, Histogram, MetricsRegistry
+from repro.metrics.latency import LatencyTracker
+from repro.metrics.reporter import format_series, format_table
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "LatencyTracker",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,80 @@
+"""Minimal metrics primitives used by benchmarks and examples."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def increment(self, by: int = 1) -> None:
+        if by < 0:
+            raise ValueError("counters only increase")
+        self.value += by
+
+
+class Histogram:
+    """Stores observations; exposes mean and percentiles."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def mean(self) -> float:
+        if not self._values:
+            return 0.0
+        return math.fsum(self._values) / len(self._values)
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile, p in [0, 100]."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100) * (len(ordered) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high or ordered[low] == ordered[high]:
+            return ordered[low]
+        frac = rank - low
+        # Exact at the endpoints; no one-ulp overshoot past the max.
+        return ordered[low] + (ordered[high] - ordered[low]) * frac
+
+    def max(self) -> float:
+        return max(self._values) if self._values else 0.0
+
+    def min(self) -> float:
+        return min(self._values) if self._values else 0.0
+
+
+class MetricsRegistry:
+    """Named counters and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._counters.setdefault(name, Counter(name))
+
+    def histogram(self, name: str) -> Histogram:
+        return self._histograms.setdefault(name, Histogram(name))
+
+    def counters(self) -> Dict[str, int]:
+        return {name: c.value for name, c in sorted(self._counters.items())}

@@ -1,0 +1,7 @@
+"""Simulation substrate: virtual clock, network cost model, fault injection."""
+
+from repro.sim.clock import SimClock
+from repro.sim.network import FaultRule, Network, NetworkCosts
+from repro.sim.failures import FailureInjector
+
+__all__ = ["SimClock", "Network", "NetworkCosts", "FaultRule", "FailureInjector"]

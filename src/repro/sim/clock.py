@@ -1,0 +1,97 @@
+"""Virtual time.
+
+Everything in the repro stack runs against a :class:`SimClock` instead of
+wall-clock time. The clock only moves when something advances it: the
+network charges RPC latencies, drivers advance it between poll cycles, and
+benchmarks advance it to model processing cost. This makes every run
+deterministic and lets latency experiments finish in milliseconds of real
+time.
+
+Times are floats in **milliseconds**, matching the units the paper uses for
+commit intervals and end-to-end latencies.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+
+class SimClock:
+    """A manually advanced virtual clock with one-shot timers.
+
+    Timers fire (in timestamp order) whenever the clock is advanced past
+    their deadline. They are used for transaction timeouts, group session
+    timeouts, and streams commit intervals.
+    """
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        self._now = float(start_ms)
+        self._timers: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    def advance(self, delta_ms: float) -> None:
+        """Move time forward by ``delta_ms`` milliseconds, firing timers."""
+        if delta_ms < 0:
+            raise ValueError(f"cannot move time backwards: {delta_ms}")
+        self.advance_to(self._now + delta_ms)
+
+    def advance_to(self, deadline_ms: float) -> None:
+        """Move time forward to ``deadline_ms``, firing due timers in order."""
+        if deadline_ms < self._now:
+            raise ValueError(
+                f"cannot move time backwards: now={self._now}, to={deadline_ms}"
+            )
+        while self._timers and self._timers[0][0] <= deadline_ms:
+            fire_at, _, callback = heapq.heappop(self._timers)
+            # Fire the timer at its own deadline so callbacks observe a
+            # consistent "now".
+            self._now = max(self._now, fire_at)
+            callback()
+        self._now = deadline_ms
+
+    def schedule(self, delay_ms: float, callback: Callable[[], None]) -> "Timer":
+        """Schedule ``callback`` to run ``delay_ms`` from now.
+
+        Returns a :class:`Timer` handle that can be cancelled.
+        """
+        if delay_ms < 0:
+            raise ValueError(f"negative delay: {delay_ms}")
+        timer = Timer(self, self._now + delay_ms, callback)
+        heapq.heappush(self._timers, (timer.deadline, next(self._seq), timer._fire))
+        return timer
+
+    def pending_timers(self) -> int:
+        """Number of scheduled (possibly cancelled) timers; for tests."""
+        return len(self._timers)
+
+
+class Timer:
+    """Handle for a scheduled callback; cancellable."""
+
+    def __init__(self, clock: SimClock, deadline: float, callback: Callable[[], None]):
+        self._clock = clock
+        self.deadline = deadline
+        self._callback: Optional[Callable[[], None]] = callback
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if already fired)."""
+        self._callback = None
+
+    @property
+    def cancelled(self) -> bool:
+        return self._callback is None and not self.fired
+
+    def _fire(self) -> None:
+        if self._callback is None:
+            return
+        callback, self._callback = self._callback, None
+        self.fired = True
+        callback()

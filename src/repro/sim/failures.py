@@ -1,0 +1,59 @@
+"""Failure-scenario orchestration (the scenarios of Section 2.1).
+
+Convenience wrappers that arm the failure modes the paper enumerates:
+storage-engine failure (broker crash), stream-processor failure (instance
+crash/restart — driven by the streams runtime), lost inter-processor acks
+(network fault rules), and zombie instances (two producers sharing one
+transactional id).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.sim.network import FaultRule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.broker.cluster import Cluster
+
+
+class FailureInjector:
+    """Scenario helpers bound to one cluster."""
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+
+    # -- the storage engine can fail -------------------------------------------------
+
+    def crash_broker(self, broker_id: int) -> None:
+        self.cluster.crash_broker(broker_id)
+
+    def restart_broker(self, broker_id: int) -> None:
+        self.cluster.restart_broker(broker_id)
+
+    def crash_brokers(self, broker_ids: List[int]) -> None:
+        for broker_id in broker_ids:
+            self.cluster.crash_broker(broker_id)
+
+    # -- the inter-processor RPC can fail ---------------------------------------------
+
+    def drop_next_produce_ack(self, count: int = 1, broker_id: Optional[int] = None) -> FaultRule:
+        """The append is applied but the acknowledgement is lost: the
+        producer will retry, and only idempotence prevents a duplicate."""
+        return self.cluster.network.add_fault(
+            FaultRule(kind="drop_ack", match_api="produce", match_dst=broker_id, count=count)
+        )
+
+    def drop_next_produce_request(self, count: int = 1) -> FaultRule:
+        """The produce request never arrives; the retry is the first append."""
+        return self.cluster.network.add_fault(
+            FaultRule(kind="drop_request", match_api="produce", count=count)
+        )
+
+    def delay_rpcs(self, api: str, delay_ms: float, count: int = 1) -> FaultRule:
+        return self.cluster.network.add_fault(
+            FaultRule(kind="delay", match_api=api, count=count, delay_ms=delay_ms)
+        )
+
+    def clear(self) -> None:
+        self.cluster.network.clear_faults()

@@ -1,0 +1,197 @@
+"""Network RPC layer: latency cost model and fault injection.
+
+Every client→broker and broker→broker interaction in the repro stack is a
+synchronous Python call routed through :meth:`Network.call`. The network
+
+* charges a virtual-time latency for the round trip (request + response),
+  sized by the RPC kind — this is what makes throughput/latency benchmarks
+  meaningful;
+* can inject the failure scenarios of Section 2.1 of the paper, most
+  importantly the *lost acknowledgement*: the remote operation **is applied**
+  but the caller sees a :class:`~repro.errors.RequestTimeoutError` and will
+  retry, producing a duplicate send that only idempotence can de-duplicate.
+
+Latencies are deterministic: a seeded RNG adds bounded jitter.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import BrokerUnavailableError, RequestTimeoutError
+from repro.sim.clock import SimClock
+
+
+@dataclass
+class NetworkCosts:
+    """Virtual-time cost model (milliseconds) for RPC kinds.
+
+    The defaults are calibrated so that the Figure 5 benchmarks land in the
+    same regime as the paper's i3.large testbed: a produce round trip below
+    a millisecond (batched appends, page-cache writes), coordinator round
+    trips of the same order, and per-partition transaction-marker writes
+    that make end-to-end latency grow linearly with the number of output
+    partitions.
+    """
+
+    rpc_base_ms: float = 0.25          # request/response framing + queueing
+    produce_per_batch_ms: float = 0.15  # leader append of one batch
+    produce_per_record_us: float = 1.0  # marginal per-record append cost (µs)
+    fetch_ms: float = 0.20             # consumer/replica fetch round trip
+    coordinator_ms: float = 2.0        # txn/group coordinator round trip
+                                       # (replicated metadata update)
+    marker_write_ms: float = 0.30      # one txn marker append to one partition
+    jitter_frac: float = 0.10          # +/- fraction of uniform jitter
+
+    def sample(self, rng: random.Random, base_ms: float) -> float:
+        """Latency with deterministic jitter applied."""
+        if base_ms <= 0:
+            return 0.0
+        jitter = base_ms * self.jitter_frac
+        return base_ms + rng.uniform(-jitter, jitter)
+
+
+@dataclass
+class FaultRule:
+    """Declarative fault to inject on matching RPCs.
+
+    ``kind`` selects the failure mode:
+
+    * ``"drop_ack"`` — apply the operation, then raise RequestTimeoutError
+      to the caller (the paper's delayed/lost acknowledgement).
+    * ``"drop_request"`` — do *not* apply the operation; raise
+      RequestTimeoutError (classic lost request).
+    * ``"delay"`` — apply normally but add ``delay_ms`` extra latency.
+    """
+
+    kind: str
+    match_api: Optional[str] = None     # e.g. "produce"; None matches any
+    match_dst: Optional[int] = None     # broker id; None matches any
+    count: int = 1                      # how many matching RPCs to affect
+    delay_ms: float = 0.0
+    triggered: int = field(default=0, init=False)
+
+    def matches(self, api: str, dst: int) -> bool:
+        if self.triggered >= self.count:
+            return False
+        if self.match_api is not None and self.match_api != api:
+            return False
+        if self.match_dst is not None and self.match_dst != dst:
+            return False
+        return True
+
+
+class Network:
+    """Routes RPCs, charges virtual latency, and injects faults."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        costs: Optional[NetworkCosts] = None,
+        seed: int = 17,
+    ) -> None:
+        self.clock = clock
+        self.costs = costs or NetworkCosts()
+        self.rng = random.Random(seed)
+        self._rules: List[FaultRule] = []
+        self._down: set = set()
+        self.rpc_counts: Dict[str, int] = {}
+        self.charge_latency = True
+
+    # -- fault control -------------------------------------------------------
+
+    def add_fault(self, rule: FaultRule) -> FaultRule:
+        """Arm a fault rule; returns it so tests can inspect ``triggered``."""
+        self._rules.append(rule)
+        return rule
+
+    def clear_faults(self) -> None:
+        self._rules.clear()
+
+    def set_broker_down(self, broker_id: int, down: bool = True) -> None:
+        """Mark a broker unreachable (RPCs raise BrokerUnavailableError)."""
+        if down:
+            self._down.add(broker_id)
+        else:
+            self._down.discard(broker_id)
+
+    def is_down(self, broker_id: int) -> bool:
+        return broker_id in self._down
+
+    # -- RPC dispatch ----------------------------------------------------------
+
+    def call(
+        self,
+        api: str,
+        dst: int,
+        fn: Callable[[], Any],
+        base_cost_ms: Optional[float] = None,
+    ) -> Any:
+        """Invoke ``fn`` as an RPC of kind ``api`` against broker ``dst``.
+
+        Charges round-trip latency on the shared clock and applies the first
+        matching fault rule. The *lost ack* fault applies ``fn`` first, then
+        raises — exactly the ambiguity a real sender faces.
+        """
+        self.rpc_counts[api] = self.rpc_counts.get(api, 0) + 1
+        if dst in self._down:
+            raise BrokerUnavailableError(f"broker {dst} is down ({api})")
+
+        cost = self.costs.rpc_base_ms if base_cost_ms is None else base_cost_ms
+        rule = self._first_match(api, dst)
+        if rule is not None:
+            rule.triggered += 1
+            if rule.kind == "drop_request":
+                self._charge(cost)
+                raise RequestTimeoutError(f"{api} to broker {dst}: request lost")
+            if rule.kind == "drop_ack":
+                result = fn()
+                del result  # applied, but the ack never arrives
+                self._charge(cost)
+                raise RequestTimeoutError(f"{api} to broker {dst}: ack lost")
+            if rule.kind == "delay":
+                self._charge(rule.delay_ms)
+            else:
+                raise ValueError(f"unknown fault kind: {rule.kind}")
+
+        result = fn()
+        self._charge(cost)
+        return result
+
+    def _first_match(self, api: str, dst: int) -> Optional[FaultRule]:
+        for rule in self._rules:
+            if rule.matches(api, dst):
+                return rule
+        return None
+
+    def _charge(self, base_ms: float) -> None:
+        if not self.charge_latency:
+            return
+        self.clock.advance(self.costs.sample(self.rng, base_ms))
+
+    # -- cost helpers used by brokers/clients ----------------------------------
+
+    def produce_cost(self, record_count: int) -> float:
+        """Latency of one produce request carrying ``record_count`` records."""
+        per_record = self.costs.produce_per_record_us / 1000.0
+        return (
+            self.costs.rpc_base_ms
+            + self.costs.produce_per_batch_ms
+            + per_record * record_count
+        )
+
+    def fetch_cost(self) -> float:
+        return self.costs.rpc_base_ms + self.costs.fetch_ms
+
+    def coordinator_cost(self) -> float:
+        return self.costs.rpc_base_ms + self.costs.coordinator_ms
+
+    def marker_cost(self, partition_count: int) -> float:
+        """Cost of writing txn markers to ``partition_count`` partitions.
+
+        Markers to partitions on the same broker are batched into one RPC in
+        Kafka; we approximate with a per-partition append cost plus one base.
+        """
+        return self.costs.rpc_base_ms + self.costs.marker_write_ms * partition_count

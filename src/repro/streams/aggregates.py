@@ -1,0 +1,214 @@
+"""Aggregation processors with revision-based speculative emission.
+
+These implement Section 5's core mechanism: aggregates emit a result the
+moment it changes (no watermark blocking). Each emission is a
+:class:`~repro.streams.records.Change` carrying the new and the prior
+value, so downstream table consumers can retract before accumulating. An
+out-of-order record within the grace period re-opens the affected window
+and emits a *revision*; a record older than the grace bound is dropped and
+counted.
+
+The window-expiry rule follows Figure 6 exactly: when stream time reaches
+23 with a 10 s grace, window [10, 15) is collected (its start, 10, is older
+than stream-time − grace = 13) while [15, 20) survives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.streams.processor import Processor
+from repro.streams.records import Change, StreamRecord
+from repro.streams.state.cache import StoreCache
+from repro.streams.windows import TimeWindows, Window, Windowed
+
+Initializer = Callable[[], Any]
+Aggregator = Callable[[Any, Any, Any], Any]      # (key, value, aggregate) -> new
+
+
+class StreamAggregateProcessor(Processor):
+    """Non-windowed aggregation of a grouped stream into a table.
+
+    Optionally caches writes: with a cache, consecutive updates to one key
+    within a commit interval consolidate into a single changelog append and
+    a single downstream Change.
+    """
+
+    def __init__(
+        self,
+        store_name: str,
+        initializer: Initializer,
+        aggregator: Aggregator,
+        cache_entries: int = 0,
+    ) -> None:
+        self._store_name = store_name
+        self._initializer = initializer
+        self._aggregator = aggregator
+        self._cache_entries = cache_entries
+        self._cache: Optional[StoreCache] = None
+        self.records_processed = 0
+
+    def init(self, context) -> None:
+        super().init(context)
+        self._store = context.state_store(self._store_name)
+        if self._cache_entries > 0:
+            self._cache = StoreCache(self._cache_entries, self._emit)
+
+    def process(self, record: StreamRecord) -> None:
+        self.records_processed += 1
+        key = record.key
+        if key is None:
+            return
+        if self._cache is not None and self._cache.contains(key):
+            old = self._cache.get(key)
+        else:
+            old = self._store.get(key)
+        base = old if old is not None else self._initializer()
+        new = self._aggregator(key, record.value, base)
+        if self._cache is not None:
+            self._cache.put(key, new, old, record.timestamp, record.headers)
+        else:
+            self._store.put(key, new)
+            self.context.forward(
+                StreamRecord(
+                    key=key,
+                    value=Change(new, old),
+                    timestamp=record.timestamp,
+                    headers=dict(record.headers),
+                )
+            )
+
+    def _emit(self, key: Any, new: Any, old: Any, timestamp: float, headers=None) -> None:
+        self._store.put(key, new)
+        self.context.forward(
+            StreamRecord(
+                key=key,
+                value=Change(new, old),
+                timestamp=timestamp,
+                headers=dict(headers or {}),
+            )
+        )
+
+    def on_commit(self) -> None:
+        if self._cache is not None:
+            self._cache.flush()
+
+
+class WindowedAggregateProcessor(Processor):
+    """Windowed aggregation with per-operator grace period.
+
+    * In-order record: update the window(s), emit Change immediately.
+    * Out-of-order record within grace: revise the window, emit a revision
+      Change (new count, old count) to the same key — downstream tables
+      amend (Figure 6.c).
+    * Record whose window expired (window.start < stream_time − grace):
+      dropped, counted in ``dropped_records`` (Figure 6.d).
+    """
+
+    def __init__(
+        self,
+        store_name: str,
+        windows: TimeWindows,
+        initializer: Initializer,
+        aggregator: Aggregator,
+        cache_entries: int = 0,
+    ) -> None:
+        self._store_name = store_name
+        self._windows = windows
+        self._initializer = initializer
+        self._aggregator = aggregator
+        self._cache_entries = cache_entries
+        self._cache: Optional[StoreCache] = None
+        self.records_processed = 0
+        self.dropped_records = 0
+        self.revisions_emitted = 0
+
+    def init(self, context) -> None:
+        super().init(context)
+        self._store = context.state_store(self._store_name)
+        if self._cache_entries > 0:
+            self._cache = StoreCache(self._cache_entries, self._emit_windowed)
+
+    def process(self, record: StreamRecord) -> None:
+        self.records_processed += 1
+        if record.key is None:
+            return
+        stream_time = self.context.stream_time
+        expiry_bound = stream_time - self._windows.grace_ms
+        for window in self._windows.windows_for(record.timestamp):
+            if window.start < expiry_bound:
+                self.dropped_records += 1
+                continue
+            self._update_window(record, window)
+        # Garbage-collect expired windows (Figure 6.d).
+        self._store.expire_before(expiry_bound)
+
+    def _update_window(self, record: StreamRecord, window: Window) -> None:
+        key = record.key
+        cache_key = (key, window.start)
+        if self._cache is not None and self._cache.contains(cache_key):
+            old = self._cache.get(cache_key)
+        else:
+            old = self._store.fetch(key, window.start)
+        base = old if old is not None else self._initializer()
+        new = self._aggregator(key, record.value, base)
+        if old is not None:
+            # Every update after a window's first emission revises a
+            # previously emitted result.
+            self.revisions_emitted += 1
+        if self._cache is not None:
+            self._cache.put(cache_key, new, old, record.timestamp, record.headers)
+        else:
+            self._store.put(key, window.start, new)
+            self.context.forward(
+                StreamRecord(
+                    key=Windowed(key, window),
+                    value=Change(new, old),
+                    timestamp=record.timestamp,
+                    headers=dict(record.headers),
+                )
+            )
+
+    def _emit_windowed(self, cache_key, new, old, timestamp: float, headers=None) -> None:
+        key, window_start = cache_key
+        window = Window(window_start, window_start + self._windows.size_ms)
+        self._store.put(key, window_start, new)
+        self.context.forward(
+            StreamRecord(
+                key=Windowed(key, window),
+                value=Change(new, old),
+                timestamp=timestamp,
+                headers=dict(headers or {}),
+            )
+        )
+
+    def on_commit(self) -> None:
+        if self._cache is not None:
+            self._cache.flush()
+
+
+def count_initializer() -> int:
+    return 0
+
+
+def count_aggregator(key: Any, value: Any, aggregate: int) -> int:
+    return aggregate + 1
+
+
+def reduce_adapter(reducer: Callable[[Any, Any], Any]) -> Aggregator:
+    """Adapt a (aggregate, value) -> aggregate reducer to an Aggregator;
+    the first value for a key becomes the initial aggregate."""
+
+    def aggregate(key: Any, value: Any, agg: Any) -> Any:
+        if agg is _REDUCE_SENTINEL:
+            return value
+        return reducer(agg, value)
+
+    return aggregate
+
+
+_REDUCE_SENTINEL = object()
+
+
+def reduce_initializer() -> Any:
+    return _REDUCE_SENTINEL

@@ -1,0 +1,206 @@
+"""KTable: the evolving-table half of the DSL.
+
+A KTable node forwards :class:`~repro.streams.records.Change` values — the
+amendment semantics of Section 5. Because a later update can always
+overwrite an earlier one downstream, table operators emit speculatively and
+revisions propagate as further Changes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.streams.joins import TableTableJoinProcessor
+from repro.streams.kstream import KStream, _PassThroughProcessor
+from repro.streams.suppress import Suppressed, SuppressProcessor
+from repro.streams.table_ops import (
+    TableFilterProcessor,
+    TableGroupByMapProcessor,
+    TableMapValuesProcessor,
+    TableMaterializeProcessor,
+    TableToStreamProcessor,
+)
+from repro.streams.topology import StateStoreSpec
+from repro.streams.windows import TimeWindows
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.streams.builder import StreamsBuilder
+    from repro.streams.grouped import KGroupedTable
+
+
+class KTable:
+    """A table node in the topology under construction."""
+
+    def __init__(
+        self,
+        builder: "StreamsBuilder",
+        node: str,
+        store_name: Optional[str],
+        source_topics: Set[str],
+        windows: Optional[TimeWindows] = None,
+    ) -> None:
+        self.builder = builder
+        self.node = node
+        self.store_name = store_name
+        self.source_topics = set(source_topics)
+        self.windows = windows
+
+    # -- materialization ------------------------------------------------------------
+
+    def require_materialized(self) -> str:
+        """Store name backing this table, adding a materialization node if
+        the table was derived without one (needed by joins)."""
+        if self.store_name is not None:
+            return self.store_name
+        topo = self.builder.topology
+        store = topo.unique_name("KTABLE-MATERIALIZED-STORE")
+        topo.add_state_store(StateStoreSpec(name=store, kind="kv"))
+        node = topo.unique_name("KTABLE-MATERIALIZE")
+        topo.add_processor(
+            node,
+            lambda: TableMaterializeProcessor(store),
+            parents=[self.node],
+            stores=[store],
+        )
+        self.node = node
+        self.store_name = store
+        return store
+
+    def _derive(self, node: str, store_name: Optional[str] = None) -> "KTable":
+        return KTable(
+            builder=self.builder,
+            node=node,
+            store_name=store_name,
+            source_topics=self.source_topics,
+            windows=self.windows,
+        )
+
+    # -- transforms --------------------------------------------------------------------
+
+    def filter(self, predicate: Callable[[Any, Any], bool]) -> "KTable":
+        """Keep rows matching the predicate; rows that stop matching are
+        retracted downstream (Change.new becomes None)."""
+        topo = self.builder.topology
+        node = topo.unique_name("KTABLE-FILTER")
+        topo.add_processor(
+            node, lambda: TableFilterProcessor(predicate), parents=[self.node]
+        )
+        return self._derive(node)
+
+    def map_values(self, mapper: Callable[[Any, Any], Any]) -> "KTable":
+        """Transform row values; ``mapper(key, value)`` applies to both the
+        new and old side of every Change."""
+        topo = self.builder.topology
+        node = topo.unique_name("KTABLE-MAPVALUES")
+        topo.add_processor(
+            node, lambda: TableMapValuesProcessor(mapper), parents=[self.node]
+        )
+        return self._derive(node)
+
+    def suppress(self, suppressed: Suppressed) -> "KTable":
+        """Buffer intermediate revisions and emit consolidated results
+        (Section 5's suppress operator)."""
+        topo = self.builder.topology
+        grace = self.windows.grace_ms if self.windows is not None else 0.0
+        node = topo.unique_name("KTABLE-SUPPRESS")
+        topo.add_processor(
+            node,
+            lambda: SuppressProcessor(suppressed, grace_ms=grace),
+            parents=[self.node],
+        )
+        return self._derive(node)
+
+    def to_stream(
+        self, key_mapper: Optional[Callable[[Any], Any]] = None
+    ) -> KStream:
+        """The table's changelog as a record stream of new values."""
+        topo = self.builder.topology
+        node = topo.unique_name("KTABLE-TOSTREAM")
+        topo.add_processor(node, TableToStreamProcessor, parents=[self.node])
+        stream = KStream(
+            builder=self.builder,
+            node=node,
+            source_topics=self.source_topics,
+            repartition_required=False,
+        )
+        if key_mapper is not None:
+            stream = stream.select_key(lambda k, v: key_mapper(k))
+        return stream
+
+    # -- re-grouping -----------------------------------------------------------------------
+
+    def group_by(
+        self,
+        selector: Callable[[Any, Any], Tuple[Any, Any]],
+        num_partitions: Optional[int] = None,
+    ) -> "KGroupedTable":
+        """Re-key the table for re-aggregation; records flow through a
+        repartition topic carrying both accumulations and retractions."""
+        from repro.streams.builder import APP_ID_TOKEN
+        from repro.streams.grouped import KGroupedTable
+
+        topo = self.builder.topology
+        select = topo.unique_name("KTABLE-GROUPBY-SELECT")
+        topo.add_processor(
+            select, lambda: TableGroupByMapProcessor(selector), parents=[self.node]
+        )
+        base = topo.unique_name("KTABLE-REPARTITION")
+        topic = f"{APP_ID_TOKEN}-{base}-repartition"
+        topo.add_repartition_topic(topic, num_partitions)
+        sink = topo.unique_name("KTABLE-SINK")
+        topo.add_sink(sink, topic, parents=[select])
+        source = topo.unique_name("KTABLE-SOURCE")
+        topo.add_source(source, [topic])
+        return KGroupedTable(self.builder, source, {topic})
+
+    # -- joins -------------------------------------------------------------------------------
+
+    def join(self, other: "KTable", joiner: Callable[[Any, Any], Any]) -> "KTable":
+        return self._table_join(other, joiner, left_outer=False, right_outer=False)
+
+    def left_join(self, other: "KTable", joiner: Callable[[Any, Any], Any]) -> "KTable":
+        return self._table_join(other, joiner, left_outer=True, right_outer=False)
+
+    def outer_join(self, other: "KTable", joiner: Callable[[Any, Any], Any]) -> "KTable":
+        return self._table_join(other, joiner, left_outer=True, right_outer=True)
+
+    def _table_join(
+        self,
+        other: "KTable",
+        joiner: Callable[[Any, Any], Any],
+        left_outer: bool,
+        right_outer: bool,
+    ) -> "KTable":
+        topo = self.builder.topology
+        this_store = self.require_materialized()
+        other_store = other.require_materialized()
+
+        this_side = topo.unique_name("KTABLE-JOINTHIS")
+        topo.add_processor(
+            this_side,
+            lambda: TableTableJoinProcessor(
+                other_store, joiner, True, left_outer, right_outer
+            ),
+            parents=[self.node],
+            stores=[other_store],
+        )
+        other_side = topo.unique_name("KTABLE-JOINOTHER")
+        topo.add_processor(
+            other_side,
+            lambda: TableTableJoinProcessor(
+                this_store, joiner, False, left_outer, right_outer
+            ),
+            parents=[other.node],
+            stores=[this_store],
+        )
+        merge = topo.unique_name("KTABLE-JOINMERGE")
+        topo.add_processor(
+            merge, _PassThroughProcessor, parents=[this_side, other_side]
+        )
+        return KTable(
+            builder=self.builder,
+            node=merge,
+            store_name=None,
+            source_topics=self.source_topics | other.source_topics,
+            windows=self.windows or other.windows,
+        )

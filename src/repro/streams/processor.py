@@ -1,0 +1,155 @@
+"""The Processor API: the low-level layer the DSL compiles onto.
+
+A :class:`Processor` receives records via :meth:`process` and forwards
+results to child nodes through its :class:`ProcessorContext`. Within a
+sub-topology, forwarding is a direct method call — the operator fusion the
+paper describes in Section 3.2 ("operators within a sub-topology are
+effectively fused together ... without incurring any network overhead").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import StateStoreError
+from repro.streams.records import StreamRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.streams.runtime.task import StreamTask
+
+
+PUNCTUATION_STREAM_TIME = "stream_time"
+PUNCTUATION_WALL_CLOCK = "wall_clock"
+
+
+class Punctuation:
+    """A scheduled recurring callback (Processor API ``schedule``)."""
+
+    def __init__(
+        self, interval_ms: float, punctuation_type: str, callback
+    ) -> None:
+        if interval_ms <= 0:
+            raise ValueError("punctuation interval must be positive")
+        if punctuation_type not in (PUNCTUATION_STREAM_TIME, PUNCTUATION_WALL_CLOCK):
+            raise ValueError(f"unknown punctuation type: {punctuation_type!r}")
+        self.interval_ms = interval_ms
+        self.punctuation_type = punctuation_type
+        self.callback = callback
+        self.next_fire: Optional[float] = None
+        self.cancelled = False
+        self.fired = 0
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def maybe_fire(self, now: float) -> bool:
+        """Fire (possibly repeatedly, catching up) if ``now`` passed the
+        deadline; returns whether anything fired."""
+        if self.cancelled:
+            return False
+        if self.next_fire is None:
+            self.next_fire = now + self.interval_ms
+            return False
+        fired = False
+        while now >= self.next_fire and not self.cancelled:
+            fire_at = self.next_fire
+            self.next_fire += self.interval_ms
+            self.fired += 1
+            fired = True
+            self.callback(fire_at)
+        return fired
+
+
+class Processor:
+    """Base class for all processors; subclasses override :meth:`process`."""
+
+    def init(self, context: "ProcessorContext") -> None:
+        self.context = context
+
+    def process(self, record: StreamRecord) -> None:
+        raise NotImplementedError
+
+    def on_commit(self) -> None:
+        """Hook invoked when the owning task commits (flush caches etc.)."""
+
+    def close(self) -> None:
+        """Hook invoked when the owning task closes."""
+
+
+class ForwardingProcessor(Processor):
+    """Convenience base for stateless one-in-N-out processors built from a
+    function returning zero or more output records."""
+
+    def __init__(self, fn: Callable[[StreamRecord], List[StreamRecord]]):
+        self._fn = fn
+
+    def process(self, record: StreamRecord) -> None:
+        for out in self._fn(record):
+            self.context.forward(out)
+
+
+class ProcessorContext:
+    """Per-node execution context: forwarding, stores, task metadata."""
+
+    def __init__(
+        self,
+        task: "StreamTask",
+        node_name: str,
+        children: List[str],
+        store_names: List[str],
+    ) -> None:
+        self._task = task
+        self.node_name = node_name
+        self._children = children
+        self._store_names = set(store_names)
+
+    # -- forwarding -----------------------------------------------------------
+
+    def forward(self, record: StreamRecord, to: Optional[str] = None) -> None:
+        """Send ``record`` to child node(s) — a direct call, no network."""
+        if to is not None:
+            if to not in self._children:
+                raise ValueError(
+                    f"{self.node_name}: {to!r} is not a child "
+                    f"(children: {self._children})"
+                )
+            self._task.process_at(to, record)
+            return
+        for child in self._children:
+            self._task.process_at(child, record)
+
+    # -- state ------------------------------------------------------------------
+
+    def state_store(self, name: str):
+        if name not in self._store_names:
+            raise StateStoreError(
+                f"{self.node_name}: store {name!r} not connected to this node"
+            )
+        return self._task.state_store(name)
+
+    # -- punctuation ---------------------------------------------------------------
+
+    def schedule(
+        self, interval_ms: float, punctuation_type: str, callback
+    ) -> Punctuation:
+        """Register a recurring callback on stream time or wall-clock time
+        (the Processor API's ``schedule``). ``callback(timestamp)`` may
+        forward records through this context."""
+        punctuation = Punctuation(interval_ms, punctuation_type, callback)
+        self._task.register_punctuation(punctuation)
+        return punctuation
+
+    # -- metadata -----------------------------------------------------------------
+
+    @property
+    def task_id(self):
+        return self._task.task_id
+
+    @property
+    def stream_time(self) -> float:
+        """Largest record timestamp observed by this task so far."""
+        return self._task.stream_time
+
+    @property
+    def application_id(self) -> str:
+        return self._task.application_id

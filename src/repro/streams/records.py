@@ -1,0 +1,51 @@
+"""Record types flowing through a streams topology.
+
+A :class:`StreamRecord` is the unit processors exchange. Table-typed
+operators forward :class:`Change` values carrying both the *new* and the
+*old* result: the paper's revision mechanism requires downstream operators
+to retract the effect of the prior result before accumulating the update
+(Section 5), so both must travel together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+
+@dataclass
+class StreamRecord:
+    """One record as seen by processors inside a task."""
+
+    key: Any
+    value: Any
+    timestamp: float
+    headers: Dict[str, Any] = field(default_factory=dict)
+    offset: int = -1
+    topic: Optional[str] = None
+    partition: Optional[int] = None
+
+    def with_kv(self, key: Any, value: Any) -> "StreamRecord":
+        return replace(self, key=key, value=value)
+
+    def with_value(self, value: Any) -> "StreamRecord":
+        return replace(self, value=value)
+
+    def with_timestamp(self, timestamp: float) -> "StreamRecord":
+        return replace(self, timestamp=timestamp)
+
+
+@dataclass(frozen=True)
+class Change:
+    """A table update: the new result plus the one it replaces.
+
+    ``old`` is ``None`` for the first result of a key; a deletion carries
+    ``new=None``. Downstream revision-aware processors retract ``old``
+    and accumulate ``new``.
+    """
+
+    new: Any
+    old: Any = None
+
+    def __repr__(self) -> str:
+        return f"Change(new={self.new!r}, old={self.old!r})"

@@ -1,0 +1,5 @@
+"""Streams runtime: tasks, instances, assignment, restoration."""
+
+from repro.streams.runtime.app import KafkaStreams
+
+__all__ = ["KafkaStreams"]

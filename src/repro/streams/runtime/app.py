@@ -1,0 +1,258 @@
+"""KafkaStreams: the application handle.
+
+Creates internal topics (repartition + changelog), validates
+co-partitioning, registers the task-aware assignor with the group
+coordinator, and manages instances. Driving is cooperative: ``step()``
+runs one poll-process-commit cycle on every live instance (no real
+threads; the virtual clock supplies time).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set
+
+from repro.broker.cluster import Cluster
+from repro.broker.partition import TopicPartition
+from repro.config import StreamsConfig
+from repro.errors import TopologyError
+from repro.streams.builder import resolve_topic
+from repro.streams.runtime.assignor import StreamsAssignor
+from repro.streams.runtime.instance import StreamsInstance
+from repro.streams.runtime.task import TaskId
+from repro.streams.topology import SubTopology, Topology
+
+
+class KafkaStreams:
+    """Run a :class:`Topology` against a :class:`Cluster`."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        cluster: Cluster,
+        config: Optional[StreamsConfig] = None,
+    ) -> None:
+        self.topology = topology
+        self.cluster = cluster
+        self.config = config or StreamsConfig()
+        self.config.validate()
+        self.instances: List[StreamsInstance] = []
+        self._instance_seq = 0
+
+        self._sub_topologies: Dict[int, SubTopology] = {
+            sub.sub_id: sub for sub in topology.sub_topologies()
+        }
+        self._repartition_topics: Set[str] = set()
+        for spec in topology.global_tables().values():
+            cluster.topic_metadata(spec.topic)   # must already exist
+        self._create_repartition_topics()
+        self._task_counts = self._validate_copartitioning()
+        self._create_changelog_topics()
+
+        task_partitions: Dict[TaskId, List[TopicPartition]] = {}
+        for sub in self._sub_topologies.values():
+            for partition in range(self._task_counts[sub.sub_id]):
+                task_id = TaskId(sub.sub_id, partition)
+                task_partitions[task_id] = [
+                    TopicPartition(self.resolve_topic(topic), partition)
+                    for topic in sorted(sub.source_topics)
+                ]
+        self.assignor = StreamsAssignor(task_partitions)
+        cluster.group_coordinator.set_assignor(
+            self.config.application_id, self.assignor
+        )
+
+        self.all_source_topics: Set[str] = {
+            self.resolve_topic(topic)
+            for sub in self._sub_topologies.values()
+            for topic in sub.source_topics
+        }
+
+    # -- topic management ---------------------------------------------------------------
+
+    def resolve_topic(self, name: str) -> str:
+        return resolve_topic(name, self.config.application_id)
+
+    def is_repartition_topic(self, resolved_name: str) -> bool:
+        return resolved_name in self._repartition_topics
+
+    def _default_partitions(self) -> int:
+        counts = [
+            self.cluster.topic_metadata(topic).num_partitions
+            for sub in self._sub_topologies.values()
+            for topic in sub.source_topics
+            if not self.topology.is_internal_topic(topic)
+            and self.cluster.has_topic(topic)
+        ]
+        return max(counts) if counts else 1
+
+    def _create_repartition_topics(self) -> None:
+        default = self._default_partitions()
+        for name, spec in self.topology.repartition_topics().items():
+            physical = self.resolve_topic(name)
+            self._repartition_topics.add(physical)
+            if not self.cluster.has_topic(physical):
+                self.cluster.create_topic(
+                    physical, spec.num_partitions or default
+                )
+
+    def _validate_copartitioning(self) -> Dict[int, int]:
+        """Every source topic of a sub-topology must exist and have the
+        same partition count — that count is the sub-topology's task count."""
+        task_counts: Dict[int, int] = {}
+        for sub in self._sub_topologies.values():
+            counts = {}
+            for topic in sorted(sub.source_topics):
+                physical = self.resolve_topic(topic)
+                counts[physical] = self.cluster.topic_metadata(physical).num_partitions
+            distinct = set(counts.values())
+            if len(distinct) != 1:
+                raise TopologyError(
+                    f"sub-topology {sub.sub_id}: source topics are not "
+                    f"co-partitioned: {counts}"
+                )
+            task_counts[sub.sub_id] = distinct.pop()
+        return task_counts
+
+    def _create_changelog_topics(self) -> None:
+        for sub in self._sub_topologies.values():
+            for spec in sub.stores:
+                if not spec.changelog:
+                    continue
+                topic = spec.changelog_topic(self.config.application_id)
+                if not self.cluster.has_topic(topic):
+                    self.cluster.create_topic(
+                        topic, self._task_counts[sub.sub_id], compacted=True
+                    )
+
+    def sub_topology(self, sub_id: int) -> SubTopology:
+        return self._sub_topologies[sub_id]
+
+    def task_ids(self) -> List[TaskId]:
+        return sorted(
+            TaskId(sub_id, p)
+            for sub_id, count in self._task_counts.items()
+            for p in range(count)
+        )
+
+    # -- instance lifecycle -----------------------------------------------------------------
+
+    def add_instance(self) -> StreamsInstance:
+        instance = StreamsInstance(self, self._instance_seq)
+        self._instance_seq += 1
+        self.instances.append(instance)
+        return instance
+
+    def start(self, num_instances: int = 1) -> "KafkaStreams":
+        for _ in range(num_instances):
+            self.add_instance()
+        return self
+
+    def remove_instance(self, instance: StreamsInstance) -> None:
+        """Graceful shutdown of one instance (commits, leaves the group)."""
+        instance.close(commit=True)
+        self.instances.remove(instance)
+
+    def crash_instance(self, instance: StreamsInstance) -> None:
+        """Abrupt failure: no commit, no abort. The group coordinator
+        notices (modelled as an immediate session timeout) and rebalances;
+        a dangling transaction stays open until fenced or timed out."""
+        instance.crash()
+        if instance.consumer.member_id is not None:
+            self.cluster.group_coordinator.leave_group(
+                self.config.application_id, instance.consumer.member_id
+            )
+        self.instances.remove(instance)
+
+    def close(self) -> None:
+        for instance in list(self.instances):
+            self.remove_instance(instance)
+
+    # -- driving ------------------------------------------------------------------------------
+
+    def step(self) -> int:
+        """One cooperative cycle across all instances; returns records
+        processed. Also lets the transaction coordinator reap timed-out
+        transactions, as a real broker would do continuously."""
+        processed = 0
+        for instance in list(self.instances):
+            processed += instance.step()
+        self.cluster.txn_coordinator.abort_timed_out()
+        return processed
+
+    def run_until_idle(
+        self, max_steps: int = 10_000, idle_advance_ms: float = 1.0
+    ) -> int:
+        """Step until two consecutive cycles process nothing. Advances the
+        clock a little on idle cycles so commit intervals elapse.
+
+        Always finishes with a commit on every instance so all outputs are
+        visible to read-committed consumers.
+        """
+        total = 0
+        idle_cycles = 0
+        for _ in range(max_steps):
+            processed = self.step()
+            if processed == 0:
+                # Nothing in flight: force a commit so that transactional
+                # outputs become visible to downstream sub-topologies, then
+                # check once more before declaring the app idle.
+                self.commit_all()
+                self.cluster.clock.advance(idle_advance_ms)
+                processed = self.step()
+            total += processed
+            if processed == 0:
+                idle_cycles += 1
+                if idle_cycles >= 2:
+                    break
+            else:
+                idle_cycles = 0
+        # Two final passes: a speculative downstream instance may defer its
+        # commit until the (same-pass, later-ordered) upstream commits.
+        self.commit_all()
+        self.step()
+        self.commit_all()
+        return total
+
+    def run_for(self, duration_ms: float, idle_advance_ms: float = 1.0) -> int:
+        """Step repeatedly until ``duration_ms`` of virtual time passes."""
+        deadline = self.cluster.clock.now + duration_ms
+        total = 0
+        while self.cluster.clock.now < deadline:
+            processed = self.step()
+            total += processed
+            if processed == 0:
+                self.cluster.clock.advance(idle_advance_ms)
+        return total
+
+    def commit_all(self) -> None:
+        from repro.errors import TaskMigratedError
+
+        for instance in self.instances:
+            if instance.alive and instance.tasks:
+                try:
+                    instance.commit()
+                except TaskMigratedError:
+                    instance._handle_migration()
+
+    # -- interactive queries ----------------------------------------------------------------------
+
+    def store_contents(self, store_name: str) -> Dict[Any, Any]:
+        """Merge a store's entries across all tasks hosting it (the
+        interactive-query surface used by state catalogs, Section 6.1)."""
+        merged: Dict[Any, Any] = {}
+        for instance in self.instances:
+            for task in instance.tasks.values():
+                stores = task.stores()
+                if store_name in stores:
+                    merged.update(dict(stores[store_name].all()))
+        return merged
+
+    def metric_total(self, attr: str) -> int:
+        """Sum a numeric attribute over all live processors (e.g.
+        ``dropped_records``)."""
+        total = 0
+        for instance in self.instances:
+            for task in instance.tasks.values():
+                for processor in task._processors.values():
+                    total += getattr(processor, attr, 0)
+        return total

@@ -1,0 +1,67 @@
+"""The streams partition assignor: task-aware, sticky, balanced.
+
+Kafka Streams installs its own assignor in the consumer-group protocol so
+that all source partitions of one task land on the same member, tasks are
+spread evenly, and reassignments prefer previous owners to minimise state
+migration (task stickiness, Section 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.broker.partition import TopicPartition
+from repro.streams.runtime.task import TaskId
+
+
+class StreamsAssignor:
+    """Callable assignor registered with the group coordinator."""
+
+    def __init__(self, task_partitions: Dict[TaskId, List[TopicPartition]]) -> None:
+        # TaskId -> every source partition the task consumes.
+        self._task_partitions = {
+            task: sorted(tps) for task, tps in task_partitions.items()
+        }
+        self._partition_task: Dict[TopicPartition, TaskId] = {}
+        for task, tps in self._task_partitions.items():
+            for tp in tps:
+                self._partition_task[tp] = task
+
+    def task_for(self, tp: TopicPartition) -> TaskId:
+        return self._partition_task[tp]
+
+    def __call__(self, members, partitions) -> Dict[str, List[TopicPartition]]:
+        member_ids = sorted(members)
+        if not member_ids:
+            return {}
+
+        tasks = sorted(self._task_partitions)
+        quota = -(-len(tasks) // len(member_ids))
+
+        # Previous owners, for stickiness.
+        previous: Dict[TaskId, str] = {}
+        for member_id, member in members.items():
+            for tp in member.assignment:
+                task = self._partition_task.get(tp)
+                if task is not None:
+                    previous[task] = member_id
+
+        task_assignment: Dict[str, List[TaskId]] = {m: [] for m in member_ids}
+        unplaced: List[TaskId] = []
+        for task in tasks:
+            owner = previous.get(task)
+            if owner in task_assignment and len(task_assignment[owner]) < quota:
+                task_assignment[owner].append(task)
+            else:
+                unplaced.append(task)
+        for task in unplaced:
+            target = min(member_ids, key=lambda m: len(task_assignment[m]))
+            task_assignment[target].append(task)
+
+        result: Dict[str, List[TopicPartition]] = {}
+        for member_id, assigned_tasks in task_assignment.items():
+            tps: List[TopicPartition] = []
+            for task in assigned_tasks:
+                tps.extend(self._task_partitions[task])
+            result[member_id] = sorted(tps)
+        return result

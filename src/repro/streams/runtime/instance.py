@@ -1,0 +1,509 @@
+"""StreamsInstance: one deployed copy of the application.
+
+Owns an embedded consumer (a group member) and embedded producer(s), hosts
+the tasks assigned to it, and drives their read-process-write cycles. In
+exactly-once mode every output — sink records, changelog appends, and the
+source-offset commit — happens inside one transaction per commit interval;
+in at-least-once mode offsets are committed non-transactionally after the
+outputs are flushed, which is precisely the window in which a crash causes
+duplicated effects (Figure 1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.broker.partition import TopicPartition
+from repro.clients.consumer import Consumer
+from repro.clients.producer import Producer
+from repro.config import (
+    READ_COMMITTED,
+    READ_SPECULATIVE,
+    READ_UNCOMMITTED,
+    ConsumerConfig,
+    ProducerConfig,
+    StreamsConfig,
+)
+from repro.errors import (
+    CommitFailedError,
+    IllegalGenerationError,
+    ProducerFencedError,
+    TaskMigratedError,
+    UnknownMemberError,
+)
+# (ProducerFencedError is both caught around commits — wrapped as
+# TaskMigratedError — and around the processing loop directly.)
+from repro.streams.runtime.task import StreamTask, TaskId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.streams.runtime.app import KafkaStreams
+
+# Modelled CPU cost of processing one record through a sub-topology.
+PROCESS_COST_MS_PER_RECORD = 0.008
+
+
+class StreamsInstance:
+    """One application instance (modelled as a single stream thread)."""
+
+    def __init__(self, app: "KafkaStreams", instance_id: int) -> None:
+        self.app = app
+        self.instance_id = instance_id
+        self.config: StreamsConfig = app.config
+        self.cluster = app.cluster
+        self.tasks: Dict[TaskId, StreamTask] = {}
+        self.standby_tasks: Dict[TaskId, Any] = {}
+        self.alive = True
+        self.commits_performed = 0
+        self.commits_deferred = 0      # speculative commits awaiting upstream
+        self.speculation_rollbacks = 0
+        self.records_processed = 0
+
+        if self.config.speculative:
+            isolation = READ_SPECULATIVE
+        elif self.config.eos_enabled:
+            isolation = READ_COMMITTED
+        else:
+            isolation = READ_UNCOMMITTED
+        self.consumer = Consumer(
+            self.cluster,
+            ConsumerConfig(
+                client_id=f"{self.config.application_id}-consumer-{instance_id}",
+                group_id=self.config.application_id,
+                isolation_level=isolation,
+                auto_offset_reset="earliest",
+                max_poll_records=self.config.max_poll_records,
+            ),
+        )
+        self._task_producers: Dict[TaskId, Producer] = {}
+        self._thread_producer: Optional[Producer] = None
+        if not self.config.eos_per_task_producer:
+            self._thread_producer = self._make_producer(
+                transactional_id=(
+                    f"{self.config.application_id}-{instance_id}"
+                    if self.config.eos_enabled
+                    else None
+                )
+            )
+        self._txn_open = False
+        self._last_commit_ms = self.cluster.clock.now
+        # Global tables: one full local replica per instance.
+        from repro.streams.global_table import GlobalStateStore
+
+        self.global_state = {
+            name: GlobalStateStore(self.cluster, spec)
+            for name, spec in app.topology.global_tables().items()
+        }
+        self.consumer.subscribe(sorted(app.all_source_topics))
+        # Revocation barrier: before any rebalance hands partitions to
+        # another member, this instance commits its in-flight work.
+        self.cluster.group_coordinator.set_rebalance_listener(
+            self.config.application_id,
+            self.consumer.member_id,
+            self._on_rebalance_revoke,
+        )
+
+    def _on_rebalance_revoke(self) -> None:
+        if not self.alive or not self.tasks:
+            return
+        try:
+            self.commit()
+        except TaskMigratedError:
+            self._handle_migration()
+
+    def _make_producer(self, transactional_id: Optional[str]) -> Producer:
+        producer = Producer(
+            self.cluster,
+            ProducerConfig(
+                client_id=f"{self.config.application_id}-producer-{self.instance_id}",
+                transactional_id=transactional_id,
+                transaction_timeout_ms=self.config.transaction_timeout_ms,
+            ),
+        )
+        if transactional_id is not None:
+            producer.init_transactions()
+        return producer
+
+    # -- producers per mode ------------------------------------------------------------
+
+    def producer_for(self, task_id: TaskId) -> Producer:
+        if self._thread_producer is not None:
+            return self._thread_producer
+        producer = self._task_producers.get(task_id)
+        if producer is None:
+            producer = self._make_producer(
+                f"{self.config.application_id}-{task_id}"
+            )
+            self._task_producers[task_id] = producer
+        return producer
+
+    def transactional_producer_count(self) -> int:
+        """Metric for the Section 6.1 insight: EOS coordination overhead
+        scales with producers — per thread (v2) vs per task (v1)."""
+        if not self.config.eos_enabled:
+            return 0
+        if self._thread_producer is not None:
+            return 1
+        return len(self._task_producers)
+
+    # -- the poll/process/commit cycle ----------------------------------------------------
+
+    def step(self) -> int:
+        """One cycle: poll, sync task set, process, maybe commit.
+
+        Returns the number of records processed.
+        """
+        if not self.alive:
+            return 0
+        try:
+            for global_store in self.global_state.values():
+                global_store.update()
+            records = self.consumer.poll()
+            if self.consumer.take_partitions_lost():
+                # We were kicked from the group (zombie scenario): nothing
+                # processed since the last commit may survive.
+                raise TaskMigratedError("partitions lost: member was kicked")
+            self._sync_tasks()
+            self._route(records)
+            if self.config.eos_enabled:
+                self._ensure_transactions()
+            # Process one record per task per round: tasks interleave
+            # finely, as in the real stream thread's loop, so a task with a
+            # deep buffer does not starve others (and does not flood
+            # repartition topics with long out-of-order timestamp runs).
+            processed = 0
+            while True:
+                round_count = 0
+                for task in self.tasks.values():
+                    round_count += task.process_batch(1)
+                if round_count == 0:
+                    break
+                processed += round_count
+                self.cluster.clock.advance(round_count * PROCESS_COST_MS_PER_RECORD)
+                if (
+                    self.cluster.clock.now - self._last_commit_ms
+                    >= self.config.commit_interval_ms
+                ):
+                    self.commit()
+                    if self.config.eos_enabled:
+                        self._ensure_transactions()
+            self.records_processed += processed
+            if self.config.speculative and processed:
+                # Make in-flight (uncommitted) writes visible to
+                # read_speculative downstreams promptly, like a real
+                # producer's linger-based sending — not only at commit.
+                for producer in self._all_producers():
+                    if producer._in_transaction:
+                        producer.flush()
+            now = self.cluster.clock.now
+            for task in self.tasks.values():
+                task.punctuate_wall_clock(now)
+            for standby in self.standby_tasks.values():
+                standby.update()
+            if now - self._last_commit_ms >= self.config.commit_interval_ms:
+                self.commit()
+            return processed
+        except TaskMigratedError:
+            self._handle_migration()
+            return 0
+        except ProducerFencedError:
+            # A newer incarnation (or the transaction reaper) fenced this
+            # instance's producer mid-processing.
+            self._handle_migration()
+            return 0
+
+    def _sync_tasks(self) -> None:
+        """Create tasks for newly assigned partitions, close removed ones.
+
+        Revoked tasks are *committed* before closing (the rebalance-listener
+        behaviour of Kafka Streams): their uncommitted sends already sit in
+        this instance's ongoing transaction, so dropping them without a
+        commit would later commit that data without its input offsets and
+        break exactly-once.
+        """
+        assigned_tasks: Dict[TaskId, List[TopicPartition]] = {}
+        for tp in self.consumer.assignment():
+            task_id = self.app.assignor.task_for(tp)
+            assigned_tasks.setdefault(task_id, []).append(tp)
+
+        removed = [t for t in self.tasks if t not in assigned_tasks]
+        if removed:
+            self.commit()
+            for task_id in removed:
+                self.tasks.pop(task_id).close()
+                producer = self._task_producers.pop(task_id, None)
+                if producer is not None:
+                    producer.close()
+
+        for task_id in sorted(assigned_tasks):
+            if task_id in self.tasks:
+                continue
+            producer = self.producer_for(task_id)
+            standby_state = None
+            standby = self.standby_tasks.pop(task_id, None)
+            if standby is not None:
+                standby.update()              # final catch-up before promotion
+                standby_state = standby.handoff()
+            self.tasks[task_id] = StreamTask(
+                task_id=task_id,
+                sub_topology=self.app.sub_topology(task_id.sub_id),
+                application_id=self.config.application_id,
+                cluster=self.cluster,
+                producer=producer,
+                resolve=self.app.resolve_topic,
+                standby_state=standby_state,
+                global_stores={
+                    name: gs.store for name, gs in self.global_state.items()
+                },
+                track_speculation=self.config.speculative,
+            )
+        self._sync_standbys()
+
+    def _sync_standbys(self) -> None:
+        """Maintain warm shadow stores for stateful tasks owned elsewhere.
+
+        Simplification vs Kafka: with ``num_standby_replicas > 0`` every
+        non-owner instance keeps a shadow of every stateful task (i.e. the
+        replica count is effectively capped by the instance count).
+        """
+        if self.config.num_standby_replicas <= 0:
+            return
+        from repro.streams.runtime.standby import StandbyTask
+
+        wanted = set()
+        for task_id in self.app.task_ids():
+            if task_id in self.tasks:
+                continue
+            sub = self.app.sub_topology(task_id.sub_id)
+            if any(spec.changelog for spec in sub.stores):
+                wanted.add(task_id)
+        for task_id in list(self.standby_tasks):
+            if task_id not in wanted:
+                del self.standby_tasks[task_id]
+        for task_id in sorted(wanted):
+            if task_id not in self.standby_tasks:
+                self.standby_tasks[task_id] = StandbyTask(
+                    task_id=task_id,
+                    sub_topology=self.app.sub_topology(task_id.sub_id),
+                    application_id=self.config.application_id,
+                    cluster=self.cluster,
+                )
+
+    def _route(self, records) -> None:
+        by_tp: Dict[TopicPartition, list] = {}
+        for record in records:
+            tp = TopicPartition(record.headers["__topic"], record.headers["__partition"])
+            by_tp.setdefault(tp, []).append(record)
+        for tp, batch in by_tp.items():
+            task_id = self.app.assignor.task_for(tp)
+            task = self.tasks.get(task_id)
+            if task is not None:
+                task.add_records(tp, batch)
+
+    def _ensure_transactions(self) -> None:
+        if self._thread_producer is not None:
+            if not self._thread_producer._in_transaction:
+                self._thread_producer.begin_transaction()
+                self._txn_open = True
+            return
+        for producer in self._task_producers.values():
+            if not producer._in_transaction:
+                producer.begin_transaction()
+
+    # -- commit ---------------------------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Commit all tasks' progress (Figure 4's full cycle).
+
+        In speculative mode the commit is gated on the upstream outcome:
+        deferred while a consumed upstream transaction is still open,
+        rolled back (cascading) if one aborted.
+        """
+        if not self.tasks:
+            self._last_commit_ms = self.cluster.clock.now
+            return
+        if self.config.speculative:
+            status = self._speculation_status()
+            if status == "aborted":
+                self._rollback_speculation()
+                return
+            if status == "pending":
+                self.commits_deferred += 1
+                return
+        try:
+            if self.config.eos_enabled:
+                self._commit_eos()
+            else:
+                self._commit_alos()
+        except (
+            ProducerFencedError,
+            IllegalGenerationError,
+            UnknownMemberError,
+            CommitFailedError,
+        ) as exc:
+            raise TaskMigratedError(str(exc)) from exc
+        self.commits_performed += 1
+        self._last_commit_ms = self.cluster.clock.now
+
+    def _commit_eos(self) -> None:
+        if self._thread_producer is not None:
+            # One transaction groups every task on this instance.
+            for task in self.tasks.values():
+                task.prepare_commit()
+            offsets: Dict[TopicPartition, int] = {}
+            for task in self.tasks.values():
+                offsets.update(task.pending_offsets())
+            producer = self._thread_producer
+            if not producer._in_transaction:
+                if not offsets:
+                    return
+                producer.begin_transaction()
+            if offsets:
+                producer.send_offsets_to_transaction(
+                    offsets,
+                    self.config.application_id,
+                    member_id=self.consumer.member_id,
+                    generation=self.consumer.generation,
+                )
+            producer.commit_transaction()
+            for task in self.tasks.values():
+                task.mark_committed()
+            self._purge_repartition(offsets)
+            return
+        # One transaction per task (EOS v1).
+        for task_id, task in sorted(self.tasks.items()):
+            producer = self.producer_for(task_id)
+            task.prepare_commit()
+            offsets = task.pending_offsets()
+            if not producer._in_transaction and not offsets:
+                continue
+            if not producer._in_transaction:
+                producer.begin_transaction()
+            if offsets:
+                producer.send_offsets_to_transaction(
+                    offsets, self.config.application_id
+                )
+            producer.commit_transaction()
+            task.mark_committed()
+            self._purge_repartition(offsets)
+
+    def _commit_alos(self) -> None:
+        producer = self._thread_producer
+        offsets: Dict[TopicPartition, int] = {}
+        for task in self.tasks.values():
+            task.prepare_commit()
+            offsets.update(task.pending_offsets())
+        producer.flush()
+        if offsets:
+            self.consumer.commit_sync(offsets)
+            for task in self.tasks.values():
+                task.mark_committed()
+            self._purge_repartition(offsets)
+
+    def _purge_repartition(self, offsets: Dict[TopicPartition, int]) -> None:
+        """Ask the brokers to delete fully processed repartition records —
+        downstream sub-topologies have consumed them (Section 3.2)."""
+        for tp, offset in offsets.items():
+            if self.app.is_repartition_topic(tp.topic):
+                self.cluster.delete_records(tp, offset)
+
+    def _speculation_status(self) -> str:
+        own_pids = {p.producer_id for p in self._all_producers()}
+        worst = "clean"
+        for task in self.tasks.values():
+            status = task.speculation_status(ignore_pids=own_pids)
+            if status == "aborted":
+                return "aborted"
+            if status == "pending":
+                worst = "pending"
+        return worst
+
+    def _rollback_speculation(self) -> None:
+        """Cascading rollback: an upstream transaction we consumed aborted.
+
+        Abort our own (shared) transaction — which retracts every derived
+        output and changelog append of this interval — discard all task
+        state, and resume from the last committed offsets. The aborted
+        upstream records are filtered by the read_speculative isolation on
+        re-read, so the re-speculation converges.
+        """
+        self.speculation_rollbacks += 1
+        for producer in self._all_producers():
+            if producer._in_transaction:
+                try:
+                    producer.abort_transaction()
+                except Exception:
+                    pass
+        for task in self.tasks.values():
+            task.close()
+        self.tasks.clear()
+        self._reset_positions_to_committed()
+        self._last_commit_ms = self.cluster.clock.now
+
+    def _reset_positions_to_committed(self) -> None:
+        """Rewind the consumer to the group's committed offsets — records
+        fetched into now-discarded tasks must be re-fetched."""
+        coordinator = self.cluster.group_coordinator
+        committed = coordinator.fetch_committed(
+            self.config.application_id, self.consumer.assignment()
+        )
+        for tp, offset in committed.items():
+            if offset is not None:
+                self.consumer.seek(tp, offset)
+            else:
+                self.consumer.seek_to_beginning(tp)
+
+    def _handle_migration(self) -> None:
+        """This instance lost its tasks (fenced / kicked): abort, drop all
+        task state, and rejoin — the tasks restart elsewhere from the last
+        committed transaction."""
+        for producer in self._all_producers():
+            if producer._in_transaction:
+                try:
+                    producer.abort_transaction()
+                except Exception:
+                    pass
+        # Re-register transactional producers: a fenced or timed-out epoch
+        # is unusable; registration hands this incarnation a fresh one
+        # (Kafka Streams recreates its producers after TaskMigrated).
+        for producer in self._all_producers():
+            if producer.transactional:
+                try:
+                    producer.init_transactions()
+                except Exception:
+                    pass
+        for task in self.tasks.values():
+            task.close()
+        self.tasks.clear()
+        self.consumer.subscribe(sorted(self.app.all_source_topics))
+        self._reset_positions_to_committed()
+
+    def _all_producers(self) -> List[Producer]:
+        producers = list(self._task_producers.values())
+        if self._thread_producer is not None:
+            producers.append(self._thread_producer)
+        return producers
+
+    # -- lifecycle --------------------------------------------------------------------------------
+
+    def close(self, commit: bool = True) -> None:
+        """Graceful shutdown: commit progress and leave the group."""
+        if not self.alive:
+            return
+        if commit and self.tasks:
+            try:
+                self.commit()
+            except TaskMigratedError:
+                pass
+        for task in self.tasks.values():
+            task.close()
+        self.tasks.clear()
+        for producer in self._all_producers():
+            producer.close()
+        self.consumer.close()
+        self.alive = False
+
+    def crash(self) -> None:
+        """Abrupt failure: nothing is committed or aborted; any open
+        transaction dangles until fenced or timed out."""
+        self.alive = False
+        self.tasks.clear()

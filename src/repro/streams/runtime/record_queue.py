@@ -1,0 +1,74 @@
+"""Per-partition record queues and the deterministic next-record choice.
+
+Within a task, records from each source topic partition are buffered in a
+FIFO queue; the task always processes the queue whose head record has the
+smallest timestamp. This is the deterministic, timestamp-based incoming
+record choice the paper credits for Kafka Streams' determinism when
+multiple input streams feed one task (Section 7).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.broker.partition import TopicPartition
+from repro.streams.records import StreamRecord
+
+
+class RecordQueue:
+    """FIFO of records from one source topic partition."""
+
+    def __init__(self, tp: TopicPartition) -> None:
+        self.tp = tp
+        self._queue: Deque[StreamRecord] = deque()
+
+    def push(self, record: StreamRecord) -> None:
+        self._queue.append(record)
+
+    def head_timestamp(self) -> Optional[float]:
+        if not self._queue:
+            return None
+        return self._queue[0].timestamp
+
+    def pop(self) -> StreamRecord:
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class PartitionGroup:
+    """All of a task's record queues plus the choosing logic."""
+
+    def __init__(self, partitions: List[TopicPartition]) -> None:
+        self._queues: Dict[TopicPartition, RecordQueue] = {
+            tp: RecordQueue(tp) for tp in partitions
+        }
+
+    def add_records(self, tp: TopicPartition, records: List[StreamRecord]) -> None:
+        queue = self._queues[tp]
+        for record in records:
+            queue.push(record)
+
+    def next_record(self) -> Optional[Tuple[TopicPartition, StreamRecord]]:
+        """Pop from the non-empty queue with the smallest head timestamp
+        (ties broken by partition for determinism)."""
+        best: Optional[RecordQueue] = None
+        best_ts: Optional[float] = None
+        for tp in sorted(self._queues):
+            queue = self._queues[tp]
+            ts = queue.head_timestamp()
+            if ts is None:
+                continue
+            if best_ts is None or ts < best_ts:
+                best, best_ts = queue, ts
+        if best is None:
+            return None
+        return best.tp, best.pop()
+
+    def buffered(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def partitions(self) -> List[TopicPartition]:
+        return sorted(self._queues)

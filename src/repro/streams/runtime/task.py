@@ -1,0 +1,307 @@
+"""StreamTask: the smallest parallel unit of work (Section 3.3).
+
+A task executes one sub-topology for one partition. Input records from its
+source topic partitions are chosen in timestamp order, traverse the fused
+processor graph synchronously, update the task's state stores (mirrored to
+changelog topics), and emit output records to sink topic partitions —
+the read-process-write cycle of Section 4.2.
+
+Tasks are stateless to lose: both their inputs and outputs live in Kafka
+logs, so a task can be closed on one instance and recreated on another by
+replaying its changelogs (see :mod:`repro.streams.runtime.restore`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, NamedTuple, Optional
+
+from repro.broker.partition import TopicPartition
+from repro.errors import TopologyError
+from repro.log.record import Record
+from repro.streams.processor import (
+    PUNCTUATION_STREAM_TIME,
+    PUNCTUATION_WALL_CLOCK,
+    Processor,
+    ProcessorContext,
+)
+from repro.streams.records import StreamRecord
+from repro.streams.runtime.record_queue import PartitionGroup
+from repro.streams.runtime.restore import restore_store
+from repro.streams.state.kv_store import InMemoryKeyValueStore
+from repro.streams.state.window_store import InMemoryWindowStore
+from repro.streams.topology import (
+    ProcessorNode,
+    SinkNode,
+    SourceNode,
+    StateStoreSpec,
+    SubTopology,
+)
+from repro.util import partition_for
+
+
+class TaskId(NamedTuple):
+    sub_id: int
+    partition: int
+
+    def __repr__(self) -> str:
+        return f"{self.sub_id}_{self.partition}"
+
+
+class StreamTask:
+    """One running task on one instance."""
+
+    def __init__(
+        self,
+        task_id: TaskId,
+        sub_topology: SubTopology,
+        application_id: str,
+        cluster,
+        producer,
+        resolve: Callable[[str], str],
+        standby_state: Optional[Dict[str, Any]] = None,
+        global_stores: Optional[Dict[str, Any]] = None,
+        track_speculation: bool = False,
+    ) -> None:
+        # (tp, producer_id) -> [min offset, max offset] consumed from that
+        # producer's (possibly still open) transaction — the commit
+        # dependencies of speculative processing.
+        self._track_speculation = track_speculation
+        self.speculative_deps: Dict[Any, List[int]] = {}
+        # standby_state: store name -> (warm store, changelog position),
+        # handed over by a StandbyTask for incremental restoration.
+        self._standby_state = standby_state or {}
+        # Instance-wide read-only global-table stores, shared by tasks.
+        self._global_stores = global_stores or {}
+        self.task_id = task_id
+        self.sub = sub_topology
+        self.application_id = application_id
+        self.cluster = cluster
+        self.producer = producer
+        self.resolve = resolve
+        self.stream_time = float("-inf")
+        self.records_processed = 0
+        self.restored_records = 0
+
+        self.partitions = sorted(
+            TopicPartition(resolve(topic), task_id.partition)
+            for topic in sub_topology.source_topics
+        )
+        self._queues = PartitionGroup(self.partitions)
+        # Committed progress only covers fully processed records.
+        self._consumed: Dict[TopicPartition, int] = {}
+
+        # topic (resolved) -> source node children
+        self._source_children: Dict[str, List[str]] = {}
+        for node in sub_topology.source_nodes():
+            for topic in node.topics:
+                self._source_children.setdefault(resolve(topic), []).extend(
+                    node.children
+                )
+
+        self._stores: Dict[str, Any] = {}
+        self._build_stores()
+        self._punctuations: List[Any] = []
+        self._processors: Dict[str, Processor] = {}
+        self._build_processors()
+
+    # -- construction ---------------------------------------------------------------
+
+    def _build_stores(self) -> None:
+        for spec in self.sub.stores:
+            handed = self._standby_state.get(spec.name)
+            if handed is not None:
+                store, from_offset = handed
+            else:
+                store, from_offset = self._create_store(spec), 0
+            self._stores[spec.name] = store
+            if spec.changelog:
+                applied, _ = restore_store(
+                    self.cluster,
+                    store,
+                    spec.changelog_topic(self.application_id),
+                    self.task_id.partition,
+                    from_offset=from_offset,
+                )
+                self.restored_records += applied
+                store.set_update_hook(self._changelog_hook(spec))
+
+    def _create_store(self, spec: StateStoreSpec):
+        if spec.kind == "kv":
+            return InMemoryKeyValueStore(spec.name)
+        if spec.kind == "window":
+            return InMemoryWindowStore(spec.name, retention_ms=spec.retention_ms)
+        raise TopologyError(f"unknown store kind: {spec.kind}")
+
+    def _changelog_hook(self, spec: StateStoreSpec):
+        topic = spec.changelog_topic(self.application_id)
+        partition = self.task_id.partition
+
+        def on_update(key: Any, value: Any) -> None:
+            self.producer.send(
+                topic,
+                key=key,
+                value=value,
+                timestamp=max(self.stream_time, 0.0),
+                partition=partition,
+            )
+
+        return on_update
+
+    def _build_processors(self) -> None:
+        for name, node in self.sub.nodes.items():
+            if not isinstance(node, ProcessorNode):
+                continue
+            processor = node.supplier()
+            context = ProcessorContext(
+                task=self,
+                node_name=name,
+                children=list(node.children),
+                store_names=list(node.stores),
+            )
+            processor.init(context)
+            self._processors[name] = processor
+
+    # -- record intake -------------------------------------------------------------------
+
+    def add_records(self, tp: TopicPartition, records: List[Record]) -> None:
+        if self._track_speculation:
+            for r in records:
+                if r.is_transactional and r.producer_id >= 0:
+                    span = self.speculative_deps.setdefault(
+                        (tp, r.producer_id), [r.offset, r.offset]
+                    )
+                    span[0] = min(span[0], r.offset)
+                    span[1] = max(span[1], r.offset)
+        stream_records = [
+            StreamRecord(
+                key=r.key,
+                value=r.value,
+                timestamp=r.timestamp,
+                headers=dict(r.headers),
+                offset=r.offset,
+                topic=tp.topic,
+                partition=tp.partition,
+            )
+            for r in records
+        ]
+        self._queues.add_records(tp, stream_records)
+
+    def buffered(self) -> int:
+        return self._queues.buffered()
+
+    # -- processing -------------------------------------------------------------------------
+
+    def process_batch(self, max_records: int = 2**31) -> int:
+        """Process up to ``max_records`` buffered records in timestamp order."""
+        processed = 0
+        while processed < max_records:
+            item = self._queues.next_record()
+            if item is None:
+                break
+            tp, record = item
+            self.stream_time = max(self.stream_time, record.timestamp)
+            for child in self._source_children[tp.topic]:
+                self.process_at(child, record)
+            self._consumed[tp] = record.offset + 1
+            self.records_processed += 1
+            processed += 1
+            self._punctuate(PUNCTUATION_STREAM_TIME, self.stream_time)
+        return processed
+
+    def punctuate_wall_clock(self, now_ms: float) -> None:
+        """Fire wall-clock punctuators (called by the instance's loop)."""
+        self._punctuate(PUNCTUATION_WALL_CLOCK, now_ms)
+
+    def register_punctuation(self, punctuation) -> None:
+        self._punctuations.append(punctuation)
+
+    def _punctuate(self, punctuation_type: str, now: float) -> None:
+        for punctuation in self._punctuations:
+            if punctuation.punctuation_type == punctuation_type:
+                punctuation.maybe_fire(now)
+
+    def process_at(self, node_name: str, record: StreamRecord) -> None:
+        """Deliver a record to a node (processor or sink) — the fused
+        direct call between operators of one sub-topology."""
+        node = self.sub.nodes[node_name]
+        if isinstance(node, SinkNode):
+            self._send_to_sink(node, record)
+            return
+        self._processors[node_name].process(record)
+
+    def _send_to_sink(self, node: SinkNode, record: StreamRecord) -> None:
+        topic = self.resolve(node.topic)
+        meta = self.cluster.topic_metadata(topic)
+        if node.partitioner is not None:
+            partition = node.partitioner(record.key, record.value, meta.num_partitions)
+        else:
+            partition = partition_for(record.key, meta.num_partitions)
+        self.producer.send(
+            topic,
+            key=record.key,
+            value=record.value,
+            timestamp=record.timestamp,
+            partition=partition,
+            headers=record.headers,
+        )
+
+    # -- commit hooks --------------------------------------------------------------------------
+
+    def prepare_commit(self) -> None:
+        """Flush caches and suppression buffers (may forward more records),
+        then flush stores. Must run inside the ongoing transaction."""
+        for processor in self._processors.values():
+            processor.on_commit()
+        for store in self._stores.values():
+            store.flush()
+
+    def pending_offsets(self) -> Dict[TopicPartition, int]:
+        return dict(self._consumed)
+
+    def mark_committed(self) -> None:
+        self._consumed.clear()
+        self.speculative_deps.clear()
+
+    def speculation_status(self, ignore_pids=()) -> str:
+        """Resolve this task's commit dependencies against the source logs:
+
+        * ``"aborted"`` — some consumed upstream transaction aborted; the
+          speculation is poisoned and must roll back;
+        * ``"pending"`` — an upstream transaction is still open; our own
+          commit must wait;
+        * ``"clean"`` — every dependency committed.
+
+        ``ignore_pids``: producer ids owned by this instance itself — data
+        this very commit is about to commit is not a dependency.
+        """
+        pending = False
+        for (tp, pid), (lo, hi) in self.speculative_deps.items():
+            if pid in ignore_pids:
+                continue
+            log = self.cluster.partition_state(tp).leader_log()
+            for span in log.aborted_transactions():
+                if (
+                    span.producer_id == pid
+                    and span.first_offset <= hi
+                    and span.last_offset >= lo
+                ):
+                    return "aborted"
+            open_txns = log.open_transactions()
+            if pid in open_txns and open_txns[pid] <= hi:
+                pending = True
+        return "pending" if pending else "clean"
+
+    # -- context services -------------------------------------------------------------------------
+
+    def state_store(self, name: str):
+        store = self._stores.get(name)
+        if store is not None:
+            return store
+        return self._global_stores[name]
+
+    def stores(self) -> Dict[str, Any]:
+        return dict(self._stores)
+
+    def close(self) -> None:
+        for processor in self._processors.values():
+            processor.close()

@@ -1,0 +1,80 @@
+"""Serializers/deserializers.
+
+The simulated broker stores Python objects directly, so serdes are not
+needed for transport; they exist for API fidelity, for measuring
+serialization cost in benchmarks, and for the windowed-key encoding used
+in changelog topics.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, NamedTuple
+
+from repro.errors import SerializationError
+from repro.streams.windows import Window, Windowed
+
+
+class Serde(NamedTuple):
+    """A serializer/deserializer pair."""
+
+    serialize: Callable[[Any], Any]
+    deserialize: Callable[[Any], Any]
+
+
+def _identity(x: Any) -> Any:
+    return x
+
+
+IDENTITY_SERDE = Serde(_identity, _identity)
+
+
+def _json_ser(value: Any) -> str:
+    try:
+        return json.dumps(value, sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"not JSON-serializable: {value!r}") from exc
+
+
+def _json_de(data: Any) -> Any:
+    if data is None:
+        return None
+    try:
+        return json.loads(data)
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"not valid JSON: {data!r}") from exc
+
+
+JSON_SERDE = Serde(_json_ser, _json_de)
+
+
+def _string_ser(value: Any) -> str:
+    if value is None:
+        return None
+    return str(value)
+
+
+STRING_SERDE = Serde(_string_ser, _identity)
+
+
+def _int_ser(value: Any) -> int:
+    if value is None:
+        return None
+    return int(value)
+
+
+INT_SERDE = Serde(_int_ser, _int_ser)
+
+
+def windowed_key_serialize(windowed: Windowed) -> tuple:
+    """Encode a windowed key for changelog/sink topics as a plain tuple
+    (key, window_start, window_end) — hashable and order-friendly."""
+    return (windowed.key, windowed.window.start, windowed.window.end)
+
+
+def windowed_key_deserialize(encoded: tuple) -> Windowed:
+    key, start, end = encoded
+    return Windowed(key, Window(start, end))
+
+
+WINDOWED_KEY_SERDE = Serde(windowed_key_serialize, windowed_key_deserialize)

@@ -1,0 +1,13 @@
+"""State stores: disposable materialized views of changelog topics."""
+
+from repro.streams.state.kv_store import InMemoryKeyValueStore, KeyValueStore
+from repro.streams.state.window_store import InMemoryWindowStore, WindowStore
+from repro.streams.state.cache import StoreCache
+
+__all__ = [
+    "KeyValueStore",
+    "InMemoryKeyValueStore",
+    "WindowStore",
+    "InMemoryWindowStore",
+    "StoreCache",
+]

@@ -1,0 +1,85 @@
+"""Key-value state stores.
+
+Writes are mirrored to the store's changelog topic through the ``on_update``
+hook the owning task installs (Section 3.2: "writes to the state stores are
+also replicated to Kafka as changelog topics"). The store itself is a
+disposable materialized view — it can always be rebuilt by replaying the
+changelog (see :mod:`repro.streams.runtime.restore`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+UpdateHook = Callable[[Any, Any], None]
+
+
+class KeyValueStore:
+    """Interface for key-value stores (users may supply custom ones)."""
+
+    name: str
+
+    def get(self, key: Any) -> Any:
+        raise NotImplementedError
+
+    def put(self, key: Any, value: Any) -> None:
+        raise NotImplementedError
+
+    def delete(self, key: Any) -> None:
+        raise NotImplementedError
+
+    def all(self) -> Iterator[Tuple[Any, Any]]:
+        raise NotImplementedError
+
+    def approximate_num_entries(self) -> int:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Flush any buffered writes (no-op for unbuffered stores)."""
+
+
+class InMemoryKeyValueStore(KeyValueStore):
+    """Dict-backed store with a changelog hook."""
+
+    def __init__(self, name: str, on_update: Optional[UpdateHook] = None) -> None:
+        self.name = name
+        self._data: Dict[Any, Any] = {}
+        self._on_update = on_update
+        self.puts = 0
+        self.gets = 0
+
+    def set_update_hook(self, on_update: Optional[UpdateHook]) -> None:
+        self._on_update = on_update
+
+    def get(self, key: Any) -> Any:
+        self.gets += 1
+        return self._data.get(key)
+
+    def put(self, key: Any, value: Any) -> None:
+        self.puts += 1
+        self._data[key] = value
+        if self._on_update is not None:
+            self._on_update(key, value)
+
+    def delete(self, key: Any) -> None:
+        self.puts += 1
+        self._data.pop(key, None)
+        if self._on_update is not None:
+            self._on_update(key, None)   # tombstone
+
+    def restore_put(self, key: Any, value: Any) -> None:
+        """Apply a changelog record during restoration (no hook — the
+        update is already in the changelog)."""
+        if value is None:
+            self._data.pop(key, None)
+        else:
+            self._data[key] = value
+
+    def all(self) -> Iterator[Tuple[Any, Any]]:
+        return iter(sorted(self._data.items(), key=lambda kv: repr(kv[0])))
+
+    def approximate_num_entries(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()

@@ -1,0 +1,103 @@
+"""Window state stores.
+
+Entries are keyed by (record key, window start) and garbage-collected once
+the window falls out of the retention period (window size + grace): in
+Figure 6.d the window [10, 15) is collected when stream time passes its
+grace bound, after which late records for it are dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+UpdateHook = Callable[[Any, Any], None]   # key=(record_key, window_start)
+
+
+class WindowStore:
+    """Interface for window stores."""
+
+    name: str
+
+    def fetch(self, key: Any, window_start: float) -> Any:
+        raise NotImplementedError
+
+    def put(self, key: Any, window_start: float, value: Any) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Flush any buffered writes."""
+
+
+class InMemoryWindowStore(WindowStore):
+    """Dict-backed window store with retention-based garbage collection."""
+
+    def __init__(
+        self,
+        name: str,
+        retention_ms: float,
+        on_update: Optional[UpdateHook] = None,
+    ) -> None:
+        if retention_ms < 0:
+            raise ValueError("retention must be >= 0")
+        self.name = name
+        self.retention_ms = retention_ms
+        self._data: Dict[Tuple[Any, float], Any] = {}
+        self._on_update = on_update
+        self.expired_entries = 0
+
+    def set_update_hook(self, on_update: Optional[UpdateHook]) -> None:
+        self._on_update = on_update
+
+    def fetch(self, key: Any, window_start: float) -> Any:
+        return self._data.get((key, window_start))
+
+    def put(self, key: Any, window_start: float, value: Any) -> None:
+        composite = (key, window_start)
+        if value is None:
+            self._data.pop(composite, None)
+        else:
+            self._data[composite] = value
+        if self._on_update is not None:
+            self._on_update(composite, value)
+
+    def restore_put(self, composite_key: Tuple[Any, float], value: Any) -> None:
+        """Apply a changelog record during restoration."""
+        if value is None:
+            self._data.pop(composite_key, None)
+        else:
+            self._data[composite_key] = value
+
+    def fetch_key_windows(self, key: Any) -> List[Tuple[float, Any]]:
+        """All (window_start, value) entries for ``key``, oldest first."""
+        return sorted(
+            (start, value)
+            for (k, start), value in self._data.items()
+            if k == key
+        )
+
+    def fetch_range(
+        self, key: Any, from_start: float, to_start: float
+    ) -> List[Tuple[float, Any]]:
+        """(window_start, value) entries with from_start <= start <= to_start."""
+        return sorted(
+            (start, value)
+            for (k, start), value in self._data.items()
+            if k == key and from_start <= start <= to_start
+        )
+
+    def all(self) -> Iterator[Tuple[Tuple[Any, float], Any]]:
+        return iter(sorted(self._data.items(), key=lambda kv: (kv[0][1], repr(kv[0][0]))))
+
+    def approximate_num_entries(self) -> int:
+        return len(self._data)
+
+    def expire_before(self, min_window_start: float) -> int:
+        """Drop windows starting before ``min_window_start`` (grace-period
+        GC, Figure 6.d). Returns how many entries were collected."""
+        doomed = [ck for ck in self._data if ck[1] < min_window_start]
+        for composite in doomed:
+            del self._data[composite]
+            self.expired_entries += 1
+            # GC is local bookkeeping: the changelog keeps its (compacted)
+            # history; restoration re-applies retention separately.
+        return len(doomed)

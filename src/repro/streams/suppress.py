@@ -1,0 +1,114 @@
+"""The suppress operator: consolidate intermediate revisions.
+
+Section 5 closes with the observation that emitting *every* revision
+downstream costs network and CPU in retract/accumulate pairs that offset
+each other. ``suppress`` buffers a table's Changes and emits per key:
+
+* ``Suppressed.until_window_closes()`` — only the final result, once the
+  window's grace period has elapsed in stream time (requires a windowed
+  table);
+* ``Suppressed.until_time_limit(ms)`` — at most one consolidated Change
+  per key per time limit (flushed on commit as well).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.streams.processor import Processor
+from repro.streams.records import Change, StreamRecord
+from repro.streams.windows import Windowed
+
+UNTIL_WINDOW_CLOSES = "until_window_closes"
+UNTIL_TIME_LIMIT = "until_time_limit"
+
+
+@dataclass(frozen=True)
+class Suppressed:
+    """Suppression policy configuration."""
+
+    mode: str
+    time_limit_ms: float = 0.0
+
+    @classmethod
+    def until_window_closes(cls) -> "Suppressed":
+        return cls(mode=UNTIL_WINDOW_CLOSES)
+
+    @classmethod
+    def until_time_limit(cls, time_limit_ms: float) -> "Suppressed":
+        if time_limit_ms < 0:
+            raise ValueError("time limit must be >= 0")
+        return cls(mode=UNTIL_TIME_LIMIT, time_limit_ms=time_limit_ms)
+
+
+class SuppressProcessor(Processor):
+    """Buffers Changes per key and emits consolidated results.
+
+    The consolidated Change spans from the value before the first buffered
+    update to the latest one, so downstream retractions remain exact.
+    """
+
+    def __init__(self, suppressed: Suppressed, grace_ms: float = 0.0) -> None:
+        self._config = suppressed
+        self._grace_ms = grace_ms
+        # key -> (latest_new, pre-run old, latest ts, first buffered at, headers)
+        self._buffer: Dict[Any, Tuple[Any, Any, float, float, dict]] = {}
+        self.records_suppressed = 0
+        self.records_emitted = 0
+
+    def process(self, record: StreamRecord) -> None:
+        change: Change = record.value
+        key = record.key
+        pending = self._buffer.get(key)
+        old = pending[1] if pending is not None else change.old
+        first_at = pending[3] if pending is not None else record.timestamp
+        if pending is not None:
+            self.records_suppressed += 1
+        self._buffer[key] = (
+            change.new, old, record.timestamp, first_at, dict(record.headers)
+        )
+        self._maybe_emit()
+
+    def _maybe_emit(self) -> None:
+        stream_time = self.context.stream_time
+        if self._config.mode == UNTIL_WINDOW_CLOSES:
+            self._emit_closed_windows(stream_time)
+        else:
+            self._emit_past_time_limit(stream_time)
+
+    def _emit_closed_windows(self, stream_time: float) -> None:
+        for key in list(self._buffer):
+            if not isinstance(key, Windowed):
+                raise TypeError(
+                    "until_window_closes requires windowed keys; got "
+                    f"{type(key).__name__}"
+                )
+            if key.window.end + self._grace_ms <= stream_time:
+                self._emit(key)
+
+    def _emit_past_time_limit(self, stream_time: float) -> None:
+        for key, entry in list(self._buffer.items()):
+            if stream_time - entry[3] >= self._config.time_limit_ms:
+                self._emit(key)
+
+    def _emit(self, key: Any) -> None:
+        new, old, ts, _first, headers = self._buffer.pop(key)
+        if new is None and old is None:
+            return
+        self.records_emitted += 1
+        self.context.forward(
+            StreamRecord(key=key, value=Change(new, old), timestamp=ts,
+                         headers=headers)
+        )
+
+    def on_commit(self) -> None:
+        """Commit flush: time-limited buffers drain (their consolidation
+        window is the commit interval); final-mode buffers keep waiting for
+        the window to close."""
+        if self._config.mode == UNTIL_TIME_LIMIT:
+            for key in list(self._buffer):
+                self._emit(key)
+
+    def close(self) -> None:
+        self._buffer.clear()

@@ -1,0 +1,138 @@
+"""Time windows, windowed keys, and grace periods.
+
+The per-operator *grace period* (Section 5) bounds how late an
+out-of-order record may be and still revise a window's result. It controls
+how much old state is retained for revisions — it does **not** delay
+emission: results are emitted speculatively as soon as they change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List
+
+DEFAULT_GRACE_MS = 24 * 3600 * 1000.0
+
+
+@dataclass(frozen=True)
+class Window:
+    """A half-open time interval [start, end)."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"window end {self.end} must exceed start {self.start}")
+
+    def contains(self, timestamp: float) -> bool:
+        return self.start <= timestamp < self.end
+
+    def __repr__(self) -> str:
+        return f"[{self.start}, {self.end})"
+
+
+@dataclass(frozen=True)
+class Windowed:
+    """A record key qualified by the window it belongs to.
+
+    Windowed aggregate results are keyed by (original key, window), as in
+    Figure 6 where results are "indexed by the window start time".
+    """
+
+    key: Any
+    window: Window
+
+    def __repr__(self) -> str:
+        return f"Windowed({self.key!r}, {self.window})"
+
+
+@dataclass(frozen=True)
+class TimeWindows:
+    """Fixed-size tumbling or hopping windows.
+
+    ``TimeWindows.of(5000)`` gives 5-second tumbling windows, as in the
+    paper's Figure 2 example; ``advance_by`` smaller than ``size_ms`` makes
+    them hopping (overlapping).
+    """
+
+    size_ms: float
+    advance_ms: float
+    grace_ms: float = DEFAULT_GRACE_MS
+
+    @classmethod
+    def of(cls, size_ms: float) -> "TimeWindows":
+        if size_ms <= 0:
+            raise ValueError("window size must be positive")
+        return cls(size_ms=size_ms, advance_ms=size_ms)
+
+    def advance_by(self, advance_ms: float) -> "TimeWindows":
+        if not 0 < advance_ms <= self.size_ms:
+            raise ValueError("advance must be in (0, size]")
+        return TimeWindows(self.size_ms, advance_ms, self.grace_ms)
+
+    def grace(self, grace_ms: float) -> "TimeWindows":
+        if grace_ms < 0:
+            raise ValueError("grace must be >= 0")
+        return TimeWindows(self.size_ms, self.advance_ms, grace_ms)
+
+    def windows_for(self, timestamp: float) -> List[Window]:
+        """Every window the record at ``timestamp`` falls into."""
+        if timestamp < 0:
+            raise ValueError("timestamps must be non-negative")
+        windows = []
+        first_start = (
+            (timestamp // self.advance_ms) * self.advance_ms
+        )
+        start = first_start
+        while start + self.size_ms > timestamp:
+            if start >= 0:
+                windows.append(Window(start, start + self.size_ms))
+            start -= self.advance_ms
+        windows.reverse()
+        return windows
+
+    @property
+    def retention_ms(self) -> float:
+        """How long window state is retained: size + grace."""
+        return self.size_ms + self.grace_ms
+
+
+@dataclass(frozen=True)
+class SessionWindows:
+    """Activity sessions: windows separated by an inactivity gap.
+
+    Two records of one key belong to the same session when their
+    timestamps are at most ``gap_ms`` apart; sessions therefore *merge*
+    when a record bridges two of them. Merging is revision processing at
+    its sharpest: the merged sessions' previously emitted results are
+    retracted (Change with new=None) and the merged session's result is
+    emitted.
+    """
+
+    gap_ms: float
+    grace_ms: float = DEFAULT_GRACE_MS
+
+    @classmethod
+    def with_gap(cls, gap_ms: float) -> "SessionWindows":
+        if gap_ms <= 0:
+            raise ValueError("session gap must be positive")
+        return cls(gap_ms=gap_ms)
+
+    def grace(self, grace_ms: float) -> "SessionWindows":
+        if grace_ms < 0:
+            raise ValueError("grace must be >= 0")
+        return SessionWindows(self.gap_ms, grace_ms)
+
+    @property
+    def retention_ms(self) -> float:
+        return self.gap_ms + self.grace_ms
+
+
+def session_window(first_ts: float, last_ts: float) -> Window:
+    """The Window representing a session spanning [first_ts, last_ts].
+
+    Sessions are closed intervals over event time; a single-event session
+    has first == last, so the half-open Window is padded by one unit.
+    """
+    return Window(first_ts, max(last_ts, first_ts) + 1.0)

@@ -1,0 +1,33 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any
+
+
+def stable_hash(value: Any) -> int:
+    """Deterministic non-negative hash, stable across interpreter runs.
+
+    Python's built-in ``hash`` is randomised for strings; partitioners and
+    coordinator-partition routing must be reproducible, so everything in the
+    repro stack hashes through this function instead.
+    """
+    if isinstance(value, bytes):
+        data = value
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+    elif isinstance(value, int):
+        data = str(value).encode("ascii")
+    else:
+        data = repr(value).encode("utf-8")
+    return zlib.crc32(data) & 0x7FFFFFFF
+
+
+def partition_for(key: Any, num_partitions: int) -> int:
+    """Default key-based partitioner (stable hash modulo partition count)."""
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    if key is None:
+        return 0
+    return stable_hash(key) % num_partitions

@@ -1,0 +1,14 @@
+"""Synthetic workload generators standing in for the paper's data sources."""
+
+from repro.workloads.generator import LatenessModel, WorkloadGenerator
+from repro.workloads.pageviews import PageViewGenerator
+from repro.workloads.market_data import MarketDataGenerator
+from repro.workloads.conversations import ConversationGenerator
+
+__all__ = [
+    "WorkloadGenerator",
+    "LatenessModel",
+    "PageViewGenerator",
+    "MarketDataGenerator",
+    "ConversationGenerator",
+]

@@ -1,0 +1,66 @@
+"""Market-data ticks — a synthetic stand-in for the Bloomberg MxFlow feed
+(Section 6.1): derivative quotes with occasional outliers, keyed by
+instrument, at configurable (peak-hour) rates.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.broker.cluster import Cluster
+from repro.workloads.generator import LatenessModel, WorkloadGenerator
+
+INSTRUMENT_TYPES = ["option", "forward", "future", "swap"]
+
+
+def make_tick_factory(outlier_fraction: float = 0.01):
+    """Tick values: mid price around a random walk, bid/ask spread, and a
+    configurable fraction of outlier prints (fat-finger style)."""
+    state = {}
+
+    def tick(rng: random.Random, sequence: int) -> dict:
+        instrument = rng.randrange(200)
+        mid = state.get(instrument, 100.0)
+        mid = max(1.0, mid + rng.gauss(0.0, 0.25))
+        state[instrument] = mid
+        price = mid
+        is_outlier = rng.random() < outlier_fraction
+        if is_outlier:
+            price = mid * rng.choice([0.5, 2.0, 10.0])
+        spread = abs(rng.gauss(0.02, 0.01))
+        return {
+            "instrument_type": INSTRUMENT_TYPES[instrument % len(INSTRUMENT_TYPES)],
+            "bid": round(price - spread, 4),
+            "ask": round(price + spread, 4),
+            "mid": round(price, 4),
+            "size": rng.choice([10, 50, 100, 500]),
+            "outlier_truth": is_outlier,    # ground truth for tests/benches
+        }
+
+    return tick
+
+
+class MarketDataGenerator(WorkloadGenerator):
+    """Derivative ticks keyed by instrument id."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        topic: str = "market-data",
+        rate_per_sec: float = 10_000.0,
+        instruments: int = 200,
+        outlier_fraction: float = 0.01,
+        lateness: Optional[LatenessModel] = None,
+        seed: int = 42,
+    ) -> None:
+        super().__init__(
+            cluster,
+            topic,
+            rate_per_sec=rate_per_sec,
+            key_space=instruments,
+            key_prefix="instr",
+            value_fn=make_tick_factory(outlier_fraction),
+            lateness=lateness,
+            seed=seed,
+        )

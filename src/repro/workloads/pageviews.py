@@ -1,0 +1,46 @@
+"""Pageview events — the workload of the paper's Figure 2 example."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.broker.cluster import Cluster
+from repro.workloads.generator import LatenessModel, WorkloadGenerator
+
+CATEGORIES = [
+    "news", "sports", "tech", "travel", "finance", "music", "food", "games",
+]
+
+
+def pageview_value(rng: random.Random, sequence: int) -> dict:
+    """One pageview event: category browsed and dwell period (ms)."""
+    return {
+        "category": rng.choice(CATEGORIES),
+        "period": rng.choice([5_000, 15_000, 45_000, 90_000, 240_000]),
+        "page": f"/page/{rng.randrange(500)}",
+    }
+
+
+class PageViewGenerator(WorkloadGenerator):
+    """Pageview events keyed by user id."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        topic: str = "pageview-events",
+        rate_per_sec: float = 1000.0,
+        users: int = 1000,
+        lateness: Optional[LatenessModel] = None,
+        seed: int = 42,
+    ) -> None:
+        super().__init__(
+            cluster,
+            topic,
+            rate_per_sec=rate_per_sec,
+            key_space=users,
+            key_prefix="user",
+            value_fn=pageview_value,
+            lateness=lateness,
+            seed=seed,
+        )

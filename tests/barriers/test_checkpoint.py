@@ -1,0 +1,64 @@
+"""Barrier alignment semantics (Chandy-Lamport punctuations)."""
+
+import pytest
+
+from repro.barriers.checkpoint import Barrier, BarrierAligner
+
+
+def test_single_channel_aligns_immediately():
+    aligner = BarrierAligner(["a"])
+    assert aligner.offer("a", "r1") == ["r1"]
+    assert aligner.offer("a", Barrier(1)) == []
+    assert aligner.take_aligned() == 1
+
+
+def test_records_pass_through_before_barrier():
+    aligner = BarrierAligner(["a", "b"])
+    assert aligner.offer("a", "r1") == ["r1"]
+    assert aligner.offer("b", "r2") == ["r2"]
+
+
+def test_alignment_blocks_fast_channel():
+    """Once channel a delivered the barrier, its further records buffer
+    until channel b catches up — the alignment delay the paper discusses."""
+    aligner = BarrierAligner(["a", "b"])
+    aligner.offer("a", Barrier(1))
+    assert aligner.offer("a", "post-barrier") == []     # buffered
+    assert aligner.alignment_buffered == 1
+    assert aligner.offer("b", "pre-barrier") == ["pre-barrier"]
+    released = aligner.offer("b", Barrier(1))
+    assert released == ["post-barrier"]
+    assert aligner.take_aligned() == 1
+
+
+def test_take_aligned_is_one_shot():
+    aligner = BarrierAligner(["a"])
+    aligner.offer("a", Barrier(7))
+    assert aligner.take_aligned() == 7
+    assert aligner.take_aligned() is None
+
+
+def test_overlapping_checkpoints_rejected():
+    aligner = BarrierAligner(["a", "b"])
+    aligner.offer("a", Barrier(1))
+    with pytest.raises(ValueError):
+        aligner.offer("b", Barrier(2))
+
+
+def test_unknown_channel_rejected():
+    aligner = BarrierAligner(["a"])
+    with pytest.raises(ValueError):
+        aligner.offer("z", "r")
+
+
+def test_empty_channel_list_rejected():
+    with pytest.raises(ValueError):
+        BarrierAligner([])
+
+
+def test_multiple_rounds():
+    aligner = BarrierAligner(["a", "b"])
+    for checkpoint_id in (1, 2, 3):
+        aligner.offer("a", Barrier(checkpoint_id))
+        aligner.offer("b", Barrier(checkpoint_id))
+        assert aligner.take_aligned() == checkpoint_id

@@ -1,0 +1,148 @@
+"""Group membership, generations, assignment, and durable offsets."""
+
+import pytest
+
+from repro.broker.partition import TopicPartition
+from repro.errors import IllegalGenerationError, UnknownMemberError
+
+
+@pytest.fixture
+def coordinator(fast_cluster):
+    fast_cluster.create_topic("t", 4)
+    return fast_cluster.group_coordinator
+
+
+class TestMembership:
+    def test_single_member_gets_all_partitions(self, coordinator):
+        member, gen = coordinator.join_group("g", ("t",))
+        assigned = coordinator.assignment("g", member, gen)
+        assert sorted(assigned) == [TopicPartition("t", i) for i in range(4)]
+
+    def test_two_members_split_partitions(self, coordinator):
+        m1, _ = coordinator.join_group("g", ("t",))
+        m2, gen = coordinator.join_group("g", ("t",))
+        a1 = coordinator.assignment("g", m1, gen)
+        a2 = coordinator.assignment("g", m2, gen)
+        assert len(a1) == len(a2) == 2
+        assert not set(a1) & set(a2)
+        assert len(set(a1) | set(a2)) == 4
+
+    def test_join_bumps_generation(self, coordinator):
+        _, gen1 = coordinator.join_group("g", ("t",))
+        _, gen2 = coordinator.join_group("g", ("t",))
+        assert gen2 == gen1 + 1
+
+    def test_stale_generation_rejected(self, coordinator):
+        m1, gen1 = coordinator.join_group("g", ("t",))
+        coordinator.join_group("g", ("t",))
+        with pytest.raises(IllegalGenerationError):
+            coordinator.assignment("g", m1, gen1)
+
+    def test_leave_group_rebalances(self, coordinator):
+        m1, _ = coordinator.join_group("g", ("t",))
+        m2, _ = coordinator.join_group("g", ("t",))
+        coordinator.leave_group("g", m2)
+        gen = coordinator.generation("g")
+        assert len(coordinator.assignment("g", m1, gen)) == 4
+
+    def test_unknown_member_rejected(self, coordinator):
+        coordinator.join_group("g", ("t",))
+        with pytest.raises(UnknownMemberError):
+            coordinator.assignment("g", "ghost", coordinator.generation("g"))
+
+    def test_sticky_reassignment_keeps_partitions(self, coordinator):
+        """Stickiness: a rebalance moves as few partitions as possible."""
+        m1, gen = coordinator.join_group("g", ("t",))
+        before = set(coordinator.assignment("g", m1, gen))
+        m2, gen = coordinator.join_group("g", ("t",))
+        after = set(coordinator.assignment("g", m1, gen))
+        assert after <= before          # m1 only gave partitions away
+        assert len(after) == 2
+
+    def test_rejoin_with_member_id_keeps_identity(self, coordinator):
+        m1, _ = coordinator.join_group("g", ("t",))
+        m1_again, _ = coordinator.join_group("g", ("t",), member_id=m1)
+        assert m1 == m1_again
+        assert coordinator.members("g") == [m1]
+
+    def test_subscription_respected(self, coordinator, fast_cluster):
+        fast_cluster.create_topic("other", 2)
+        m1, _ = coordinator.join_group("g", ("t",))
+        m2, gen = coordinator.join_group("g", ("other",))
+        a2 = coordinator.assignment("g", m2, gen)
+        assert all(tp.topic == "other" for tp in a2)
+
+
+class TestOffsets:
+    def test_commit_and_fetch(self, coordinator):
+        tp = TopicPartition("t", 0)
+        coordinator.commit_offsets("g", {tp: 42})
+        assert coordinator.fetch_committed("g", [tp]) == {tp: 42}
+
+    def test_latest_commit_wins(self, coordinator):
+        tp = TopicPartition("t", 0)
+        coordinator.commit_offsets("g", {tp: 10})
+        coordinator.commit_offsets("g", {tp: 20})
+        assert coordinator.fetch_committed("g", [tp])[tp] == 20
+
+    def test_uncommitted_partition_returns_none(self, coordinator):
+        tp = TopicPartition("t", 3)
+        assert coordinator.fetch_committed("g", [tp])[tp] is None
+
+    def test_groups_are_isolated(self, coordinator):
+        tp = TopicPartition("t", 0)
+        coordinator.commit_offsets("g1", {tp: 5})
+        assert coordinator.fetch_committed("g2", [tp])[tp] is None
+
+    def test_stale_generation_commit_rejected(self, coordinator):
+        m1, gen1 = coordinator.join_group("g", ("t",))
+        coordinator.join_group("g", ("t",))  # bumps generation
+        with pytest.raises(IllegalGenerationError):
+            coordinator.commit_offsets(
+                "g", {TopicPartition("t", 0): 1}, member_id=m1, generation=gen1
+            )
+
+    def test_transactional_offsets_invisible_until_commit(self, fast_cluster, coordinator):
+        """Offsets written inside a transaction only count once the txn
+        commits — the rollback behaviour of Section 4.2.3."""
+        txn = fast_cluster.txn_coordinator
+        pid, epoch = txn.init_producer_id("tid")
+        tp = TopicPartition("t", 0)
+        offsets_tp = coordinator.offsets_partition("g")
+        txn.add_partitions("tid", pid, epoch, [offsets_tp])
+        coordinator.commit_offsets(
+            "g", {tp: 99}, producer_id=pid, producer_epoch=epoch, transactional=True
+        )
+        assert coordinator.fetch_committed("g", [tp])[tp] is None
+        txn.end_transaction("tid", pid, epoch, commit=True)
+        assert coordinator.fetch_committed("g", [tp])[tp] == 99
+
+    def test_aborted_transactional_offsets_rolled_back(self, fast_cluster, coordinator):
+        txn = fast_cluster.txn_coordinator
+        pid, epoch = txn.init_producer_id("tid")
+        tp = TopicPartition("t", 0)
+        coordinator.commit_offsets("g", {tp: 10})  # prior committed progress
+        offsets_tp = coordinator.offsets_partition("g")
+        txn.add_partitions("tid", pid, epoch, [offsets_tp])
+        coordinator.commit_offsets(
+            "g", {tp: 50}, producer_id=pid, producer_epoch=epoch, transactional=True
+        )
+        txn.end_transaction("tid", pid, epoch, commit=False)
+        assert coordinator.fetch_committed("g", [tp])[tp] == 10
+
+
+class TestCustomAssignor:
+    def test_custom_assignor_used(self, coordinator):
+        def everything_to_first(members, partitions):
+            ordered = sorted(members)
+            result = {m: [] for m in ordered}
+            result[ordered[0]] = list(partitions)
+            return result
+
+        coordinator.set_assignor("g", everything_to_first)
+        m1, _ = coordinator.join_group("g", ("t",))
+        m2, gen = coordinator.join_group("g", ("t",))
+        first = sorted([m1, m2])[0]
+        other = m2 if first == m1 else m1
+        assert len(coordinator.assignment("g", first, gen)) == 4
+        assert coordinator.assignment("g", other, gen) == []

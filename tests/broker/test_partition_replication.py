@@ -1,0 +1,149 @@
+"""Replication, ISR, leader election, and durability of acked writes."""
+
+import pytest
+
+from repro.broker.partition import PartitionState, TopicPartition
+from repro.errors import NotEnoughReplicasError, NotLeaderError
+from repro.log.record import Record, RecordBatch
+
+
+def batch(*values):
+    return RecordBatch([Record(key="k", value=v) for v in values])
+
+
+@pytest.fixture
+def partition():
+    return PartitionState(
+        TopicPartition("t", 0), broker_ids=[0, 1, 2], min_insync_replicas=2
+    )
+
+
+def test_acks_all_replicates_to_all_and_advances_hw(partition):
+    partition.append(batch(1, 2), acks="all")
+    for log in partition.replicas.values():
+        assert log.log_end_offset == 2
+        assert log.high_watermark == 2
+
+
+def test_acks_one_defers_replication(partition):
+    partition.append(batch(1), acks="1")
+    assert partition.leader_log().log_end_offset == 1
+    assert partition.leader_log().high_watermark == 0
+    assert partition.replicas[1].log_end_offset == 0
+    partition.replicate()
+    assert partition.leader_log().high_watermark == 1
+    assert partition.replicas[1].log_end_offset == 1
+
+
+def test_leader_failure_elects_in_sync_follower(partition):
+    partition.append(batch(1, 2, 3), acks="all")
+    partition.on_broker_failure(0)
+    assert partition.leader in (1, 2)
+    assert partition.isr == {1, 2}
+    # Acked data survives: the new leader has everything.
+    assert partition.leader_log().log_end_offset == 3
+    assert [r.value for r in partition.leader_log().read(0)] == [1, 2, 3]
+
+
+def test_survives_n_minus_1_failures(partition):
+    partition.append(batch("durable"), acks="all")
+    partition.on_broker_failure(0)
+    partition.on_broker_failure(1)
+    assert partition.leader == 2
+    assert [r.value for r in partition.leader_log().read(0)] == ["durable"]
+
+
+def test_all_replicas_down_then_restart(partition):
+    partition.append(batch("x"), acks="all")
+    for b in (0, 1, 2):
+        partition.on_broker_failure(b)
+    assert partition.leader is None
+    with pytest.raises(NotLeaderError):
+        partition.leader_log()
+    # Broker 2 was the last in-sync replica, so it is the only clean
+    # election candidate: broker 1 returning first must wait.
+    partition.on_broker_restart(1)
+    assert partition.leader is None
+    partition.on_broker_restart(2)
+    assert partition.leader == 2
+    assert partition.isr == {1, 2}    # the waiting replica caught up
+    assert [r.value for r in partition.leader_log().read(0)] == ["x"]
+    assert [r.value for r in partition.replicas[1].read(0)] == ["x"]
+
+
+def test_unclean_candidate_never_leads(partition):
+    """A replica that fell out of the ISR before the outage may miss acked
+    data; it must not be elected (no unclean leader election)."""
+    partition.on_broker_failure(0)                    # 0 leaves the ISR
+    partition.append(batch("after-0-left"), acks="all")
+    partition.on_broker_failure(1)
+    partition.on_broker_failure(2)                    # full outage
+    partition.on_broker_restart(0)                    # stale replica back
+    assert partition.leader is None                   # ...and must wait
+    partition.on_broker_restart(2)                    # eligible leader back
+    assert partition.leader == 2
+    values = [r.value for r in partition.leader_log().read(0)]
+    assert "after-0-left" in values
+
+
+def test_unreplicated_acks_one_write_lost_on_leader_failure(partition):
+    """acks=1 data that never replicated is lost when the leader dies —
+    the durability contract only covers acknowledged-by-ISR writes."""
+    partition.append(batch("acked"), acks="all")
+    partition.append(batch("unacked"), acks="1")
+    partition.on_broker_failure(0)
+    values = [r.value for r in partition.leader_log().read(0)]
+    assert values == ["acked"]
+
+
+def test_restarted_broker_catches_up_and_rejoins_isr(partition):
+    partition.on_broker_failure(2)
+    partition.append(batch(1, 2), acks="all")
+    assert partition.isr == {0, 1}
+    partition.on_broker_restart(2)
+    assert partition.isr == {0, 1, 2}
+    assert partition.replicas[2].log_end_offset == 2
+
+
+def test_diverged_follower_truncates_on_rejoin(partition):
+    """A replica that led briefly with unacked writes truncates to the
+    current leader's log when it comes back."""
+    partition.append(batch("both"), acks="all")
+    # Broker 0 appends without replication, then dies.
+    partition.append(batch("only-on-0"), acks="1")
+    partition.on_broker_failure(0)
+    new_leader = partition.leader
+    partition.append(batch("new-era"), acks="all")
+    partition.on_broker_restart(0)
+    assert partition.replicas[0].log_end_offset == 2
+    values = [r.value for r in partition.replicas[0].read(0)]
+    assert values == ["both", "new-era"]
+    assert new_leader == partition.leader
+
+
+def test_follower_behind_purged_leader_resyncs(partition):
+    """If the records a returning follower misses were already deleted on
+    the leader (retention / repartition purge), it resyncs from the
+    leader's earliest retained offset instead of failing."""
+    partition.on_broker_failure(2)
+    partition.append(batch(*range(10)), acks="all")
+    partition.leader_log().delete_records_before(6)
+    partition.replicas[1].delete_records_before(6)
+    partition.on_broker_restart(2)
+    follower = partition.replicas[2]
+    assert follower.log_start_offset == 6
+    assert [r.value for r in follower.read(6)] == [6, 7, 8, 9]
+    assert 2 in partition.isr
+
+
+def test_min_isr_enforced(partition):
+    partition.on_broker_failure(1)
+    partition.on_broker_failure(2)
+    with pytest.raises(NotEnoughReplicasError):
+        partition.append(batch("x"), acks="all")
+
+
+def test_single_replica_partition():
+    p = PartitionState(TopicPartition("t", 0), broker_ids=[0], min_insync_replicas=1)
+    p.append(batch(1), acks="all")
+    assert p.leader_log().high_watermark == 1

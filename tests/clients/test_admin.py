@@ -1,0 +1,42 @@
+"""Admin client tests."""
+
+import pytest
+
+from repro.broker.partition import TopicPartition
+from repro.clients.admin import AdminClient
+from repro.clients.producer import Producer
+from repro.errors import TopicAlreadyExistsError
+
+
+def test_create_and_describe(fast_cluster):
+    admin = AdminClient(fast_cluster)
+    admin.create_topic("t", 3)
+    assert admin.describe_topic("t").num_partitions == 3
+
+
+def test_create_if_absent(fast_cluster):
+    admin = AdminClient(fast_cluster)
+    admin.create_topic("t", 3)
+    meta = admin.create_topic_if_absent("t", 99)
+    assert meta.num_partitions == 3
+    with pytest.raises(TopicAlreadyExistsError):
+        admin.create_topic("t", 1)
+
+
+def test_list_topics_hides_internal_by_default(fast_cluster):
+    admin = AdminClient(fast_cluster)
+    admin.create_topic("user-topic", 1)
+    assert admin.list_topics() == ["user-topic"]
+    assert "__consumer_offsets" in admin.list_topics(include_internal=True)
+
+
+def test_delete_records(fast_cluster):
+    admin = AdminClient(fast_cluster)
+    admin.create_topic("t", 1)
+    p = Producer(fast_cluster)
+    for i in range(10):
+        p.send("t", key="k", value=i, partition=0)
+    p.flush()
+    tp = TopicPartition("t", 0)
+    removed = admin.delete_records({tp: 6})
+    assert removed[tp] == 6

@@ -1,0 +1,188 @@
+"""Consumer client: assignment, polling, positions, group rebalancing."""
+
+import pytest
+
+from repro.broker.partition import TopicPartition
+from repro.clients.consumer import Consumer
+from repro.clients.producer import Producer
+from repro.config import READ_COMMITTED, ConsumerConfig
+from repro.errors import KafkaError
+
+
+@pytest.fixture
+def topic(fast_cluster):
+    fast_cluster.create_topic("t", 2)
+    return "t"
+
+
+@pytest.fixture
+def producer(fast_cluster, topic):
+    return Producer(fast_cluster)
+
+
+def produce(producer, topic, partition, *values):
+    for v in values:
+        producer.send(topic, key="k", value=v, partition=partition)
+    producer.flush()
+
+
+class TestManualAssignment:
+    def test_poll_returns_produced_records(self, fast_cluster, topic, producer):
+        produce(producer, topic, 0, 1, 2, 3)
+        c = Consumer(fast_cluster)
+        c.assign([TopicPartition(topic, 0)])
+        assert [r.value for r in c.poll()] == [1, 2, 3]
+
+    def test_poll_is_incremental(self, fast_cluster, topic, producer):
+        c = Consumer(fast_cluster)
+        c.assign([TopicPartition(topic, 0)])
+        produce(producer, topic, 0, "a")
+        assert [r.value for r in c.poll()] == ["a"]
+        assert c.poll() == []
+        produce(producer, topic, 0, "b")
+        assert [r.value for r in c.poll()] == ["b"]
+
+    def test_round_robin_across_partitions(self, fast_cluster, topic, producer):
+        produce(producer, topic, 0, *range(5))
+        produce(producer, topic, 1, *range(5))
+        c = Consumer(fast_cluster)
+        c.assign(fast_cluster.partitions_for(topic))
+        records = c.poll(max_records=10)
+        partitions = {r.headers["__partition"] for r in records}
+        assert partitions == {0, 1}
+
+    def test_seek_and_position(self, fast_cluster, topic, producer):
+        produce(producer, topic, 0, *range(5))
+        tp = TopicPartition(topic, 0)
+        c = Consumer(fast_cluster)
+        c.assign([tp])
+        c.poll()
+        assert c.position(tp) == 5
+        c.seek(tp, 2)
+        assert [r.value for r in c.poll()] == [2, 3, 4]
+
+    def test_seek_to_beginning(self, fast_cluster, topic, producer):
+        produce(producer, topic, 0, *range(3))
+        tp = TopicPartition(topic, 0)
+        c = Consumer(fast_cluster)
+        c.assign([tp])
+        c.poll()
+        c.seek_to_beginning(tp)
+        assert len(c.poll()) == 3
+
+    def test_pause_and_resume(self, fast_cluster, topic, producer):
+        produce(producer, topic, 0, "x")
+        tp = TopicPartition(topic, 0)
+        c = Consumer(fast_cluster)
+        c.assign([tp])
+        c.pause(tp)
+        assert c.poll() == []
+        c.resume(tp)
+        assert [r.value for r in c.poll()] == ["x"]
+
+    def test_latest_reset_skips_existing(self, fast_cluster, topic, producer):
+        produce(producer, topic, 0, "old")
+        c = Consumer(fast_cluster, ConsumerConfig(auto_offset_reset="latest"))
+        c.assign([TopicPartition(topic, 0)])
+        assert c.poll() == []
+        produce(producer, topic, 0, "new")
+        assert [r.value for r in c.poll()] == ["new"]
+
+    def test_headers_carry_origin(self, fast_cluster, topic, producer):
+        produce(producer, topic, 1, "v")
+        c = Consumer(fast_cluster)
+        c.assign([TopicPartition(topic, 1)])
+        record = c.poll()[0]
+        assert record.headers["__topic"] == topic
+        assert record.headers["__partition"] == 1
+
+    def test_end_offsets(self, fast_cluster, topic, producer):
+        produce(producer, topic, 0, *range(4))
+        c = Consumer(fast_cluster)
+        tp = TopicPartition(topic, 0)
+        assert c.end_offsets([tp])[tp] == 4
+
+
+class TestGroups:
+    def test_subscribe_requires_group(self, fast_cluster, topic):
+        c = Consumer(fast_cluster)
+        with pytest.raises(KafkaError):
+            c.subscribe([topic])
+
+    def test_subscribe_and_poll(self, fast_cluster, topic, producer):
+        produce(producer, topic, 0, 1)
+        produce(producer, topic, 1, 2)
+        c = Consumer(fast_cluster, ConsumerConfig(group_id="g"))
+        c.subscribe([topic])
+        assert sorted(r.value for r in c.poll()) == [1, 2]
+
+    def test_two_members_split_work(self, fast_cluster, topic, producer):
+        c1 = Consumer(fast_cluster, ConsumerConfig(group_id="g"))
+        c1.subscribe([topic])
+        c2 = Consumer(fast_cluster, ConsumerConfig(group_id="g"))
+        c2.subscribe([topic])
+        produce(producer, topic, 0, "a")
+        produce(producer, topic, 1, "b")
+        got1 = [r.value for r in c1.poll()]
+        got2 = [r.value for r in c2.poll()]
+        assert sorted(got1 + got2) == ["a", "b"]
+        assert len(got1) == len(got2) == 1
+
+    def test_rebalance_on_member_join_is_transparent(self, fast_cluster, topic, producer):
+        c1 = Consumer(fast_cluster, ConsumerConfig(group_id="g"))
+        c1.subscribe([topic])
+        assert len(c1.assignment()) == 2
+        c2 = Consumer(fast_cluster, ConsumerConfig(group_id="g"))
+        c2.subscribe([topic])
+        c1.poll()   # triggers rejoin with the new generation
+        assert len(c1.assignment()) == 1
+        assert len(c2.assignment()) == 1
+
+    def test_commit_and_resume_from_committed(self, fast_cluster, topic, producer):
+        produce(producer, topic, 0, *range(4))
+        tp = TopicPartition(topic, 0)
+        c1 = Consumer(fast_cluster, ConsumerConfig(group_id="g"))
+        c1.subscribe([topic])
+        c1.poll()
+        c1.commit_sync()
+        c1.close()
+        # A fresh member resumes from the committed position.
+        c2 = Consumer(fast_cluster, ConsumerConfig(group_id="g"))
+        c2.subscribe([topic])
+        assert c2.poll() == []
+        produce(producer, topic, 0, "new")
+        assert [r.value for r in c2.poll()] == ["new"]
+
+    def test_committed_accessor(self, fast_cluster, topic, producer):
+        produce(producer, topic, 0, "x")
+        tp = TopicPartition(topic, 0)
+        c = Consumer(fast_cluster, ConsumerConfig(group_id="g"))
+        c.subscribe([topic])
+        c.poll()
+        c.commit_sync()
+        assert c.committed(tp) == 1
+
+    def test_close_leaves_group(self, fast_cluster, topic):
+        c1 = Consumer(fast_cluster, ConsumerConfig(group_id="g"))
+        c1.subscribe([topic])
+        c2 = Consumer(fast_cluster, ConsumerConfig(group_id="g"))
+        c2.subscribe([topic])
+        c1.close()
+        c2.poll()
+        assert len(c2.assignment()) == 2
+
+
+class TestIsolation:
+    def test_read_committed_waits_for_marker(self, fast_cluster, topic):
+        from repro.config import ProducerConfig
+
+        p = Producer(fast_cluster, ProducerConfig(transactional_id="tid"))
+        p.init_transactions()
+        c = Consumer(fast_cluster, ConsumerConfig(isolation_level=READ_COMMITTED))
+        c.assign([TopicPartition(topic, 0)])
+        p.begin_transaction()
+        p.send(topic, key="k", value="pending", partition=0)
+        p.flush()
+        assert c.poll() == []
+        p.commit_transaction()
+        assert [r.value for r in c.poll()] == ["pending"]

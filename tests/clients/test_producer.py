@@ -1,0 +1,228 @@
+"""Producer client: batching, retries, idempotence, transactions API."""
+
+import pytest
+
+from repro.broker.partition import TopicPartition
+from repro.clients.consumer import Consumer
+from repro.clients.producer import Producer
+from repro.config import (
+    READ_COMMITTED,
+    ConsumerConfig,
+    ProducerConfig,
+)
+from repro.errors import (
+    InvalidConfigError,
+    InvalidTxnStateError,
+    ProducerFencedError,
+    RequestTimeoutError,
+)
+from repro.sim.failures import FailureInjector
+
+
+@pytest.fixture
+def topic(fast_cluster):
+    fast_cluster.create_topic("t", 2)
+    return "t"
+
+
+def log_values(cluster, tp):
+    log = cluster.partition_state(tp).leader_log()
+    return [r.value for r in log.records() if not r.is_control]
+
+
+class TestPlainProduce:
+    def test_send_and_flush(self, fast_cluster, topic):
+        p = Producer(fast_cluster)
+        p.send(topic, key="a", value=1, partition=0)
+        p.send(topic, key="b", value=2, partition=1)
+        p.flush()
+        assert log_values(fast_cluster, TopicPartition(topic, 0)) == [1]
+        assert log_values(fast_cluster, TopicPartition(topic, 1)) == [2]
+
+    def test_batch_auto_flush_when_full(self, fast_cluster, topic):
+        p = Producer(fast_cluster, ProducerConfig(batch_max_records=3))
+        for i in range(3):
+            p.send(topic, key="k", value=i, partition=0)
+        assert log_values(fast_cluster, TopicPartition(topic, 0)) == [0, 1, 2]
+
+    def test_default_partitioner_is_stable(self, fast_cluster, topic):
+        p = Producer(fast_cluster)
+        tp1 = p.send(topic, key="user-1", value=1)
+        tp2 = p.send(topic, key="user-1", value=2)
+        assert tp1 == tp2
+
+    def test_timestamp_defaults_to_clock(self, fast_cluster, topic):
+        fast_cluster.clock.advance(123.0)
+        p = Producer(fast_cluster)
+        p.send(topic, key="k", value=1, partition=0)
+        p.flush()
+        log = fast_cluster.partition_state(TopicPartition(topic, 0)).leader_log()
+        assert log.records()[0].timestamp == 123.0
+
+    def test_explicit_timestamp_preserved(self, fast_cluster, topic):
+        p = Producer(fast_cluster)
+        p.send(topic, key="k", value=1, timestamp=42.0, partition=0)
+        p.flush()
+        log = fast_cluster.partition_state(TopicPartition(topic, 0)).leader_log()
+        assert log.records()[0].timestamp == 42.0
+
+    def test_closed_producer_rejects_send(self, fast_cluster, topic):
+        p = Producer(fast_cluster)
+        p.close()
+        from repro.errors import KafkaError
+
+        with pytest.raises(KafkaError):
+            p.send(topic, key="k", value=1)
+
+
+class TestIdempotence:
+    def test_retry_after_lost_ack_no_duplicate(self, fast_cluster, topic):
+        injector = FailureInjector(fast_cluster)
+        p = Producer(fast_cluster)  # idempotent by default
+        injector.drop_next_produce_ack()
+        p.send(topic, key="k", value="once", partition=0)
+        p.flush()
+        assert p.retries_performed == 1
+        assert log_values(fast_cluster, TopicPartition(topic, 0)) == ["once"]
+
+    def test_without_idempotence_retry_duplicates(self, fast_cluster, topic):
+        injector = FailureInjector(fast_cluster)
+        p = Producer(fast_cluster, ProducerConfig(enable_idempotence=False))
+        injector.drop_next_produce_ack()
+        p.send(topic, key="k", value="dup", partition=0)
+        p.flush()
+        assert log_values(fast_cluster, TopicPartition(topic, 0)) == ["dup", "dup"]
+
+    def test_retries_exhausted_raises(self, fast_cluster, topic):
+        injector = FailureInjector(fast_cluster)
+        p = Producer(fast_cluster, ProducerConfig(retries=2))
+        injector.drop_next_produce_ack(count=10)
+        p.send(topic, key="k", value="x", partition=0)
+        with pytest.raises(RequestTimeoutError):
+            p.flush()
+
+    def test_sequences_per_partition(self, fast_cluster, topic):
+        p = Producer(fast_cluster)
+        for i in range(3):
+            p.send(topic, key="k", value=i, partition=0)
+            p.send(topic, key="k", value=i, partition=1)
+        p.flush()
+        log0 = fast_cluster.partition_state(TopicPartition(topic, 0)).leader_log()
+        seqs = [r.sequence for r in log0.records()]
+        assert seqs == [0, 1, 2]
+
+
+class TestTransactions:
+    def make_txn_producer(self, cluster, tid="tid"):
+        p = Producer(cluster, ProducerConfig(transactional_id=tid))
+        p.init_transactions()
+        return p
+
+    def test_config_requires_idempotence(self):
+        with pytest.raises(InvalidConfigError):
+            ProducerConfig(transactional_id="t", enable_idempotence=False).validate()
+
+    def test_send_outside_transaction_rejected(self, fast_cluster, topic):
+        p = self.make_txn_producer(fast_cluster)
+        with pytest.raises(InvalidTxnStateError):
+            p.send(topic, key="k", value=1)
+
+    def test_begin_twice_rejected(self, fast_cluster, topic):
+        p = self.make_txn_producer(fast_cluster)
+        p.begin_transaction()
+        with pytest.raises(InvalidTxnStateError):
+            p.begin_transaction()
+
+    def test_commit_makes_records_visible(self, fast_cluster, topic):
+        p = self.make_txn_producer(fast_cluster)
+        consumer = Consumer(
+            fast_cluster, ConsumerConfig(isolation_level=READ_COMMITTED)
+        )
+        consumer.assign(fast_cluster.partitions_for(topic))
+        p.begin_transaction()
+        p.send(topic, key="k", value="v", partition=0)
+        p.flush()
+        assert consumer.poll() == []
+        p.commit_transaction()
+        assert [r.value for r in consumer.poll()] == ["v"]
+
+    def test_abort_hides_records(self, fast_cluster, topic):
+        p = self.make_txn_producer(fast_cluster)
+        consumer = Consumer(
+            fast_cluster, ConsumerConfig(isolation_level=READ_COMMITTED)
+        )
+        consumer.assign(fast_cluster.partitions_for(topic))
+        p.begin_transaction()
+        p.send(topic, key="k", value="gone", partition=0)
+        p.abort_transaction()
+        assert consumer.poll() == []
+
+    def test_transaction_spans_partitions_atomically(self, fast_cluster, topic):
+        p = self.make_txn_producer(fast_cluster)
+        p.begin_transaction()
+        p.send(topic, key="a", value=1, partition=0)
+        p.send(topic, key="b", value=2, partition=1)
+        p.commit_transaction()
+        consumer = Consumer(
+            fast_cluster, ConsumerConfig(isolation_level=READ_COMMITTED)
+        )
+        consumer.assign(fast_cluster.partitions_for(topic))
+        assert sorted(r.value for r in consumer.poll()) == [1, 2]
+
+    def test_zombie_producer_fenced(self, fast_cluster, topic):
+        """Two producer instances share a transactional id; the older one
+        is fenced once the newer registers (the zombie-instance problem)."""
+        old = self.make_txn_producer(fast_cluster, tid="shared")
+        old.begin_transaction()
+        old.send(topic, key="k", value="zombie", partition=0)
+        old.flush()
+        new = self.make_txn_producer(fast_cluster, tid="shared")
+        with pytest.raises(ProducerFencedError):
+            old.send(topic, key="k", value="zombie2", partition=0)
+            old.flush()
+            old.commit_transaction()
+        del new
+
+    def test_send_offsets_to_transaction(self, fast_cluster, topic):
+        group_coord = fast_cluster.group_coordinator
+        src = TopicPartition("src", 0)
+        fast_cluster.create_topic("src", 1)
+        p = self.make_txn_producer(fast_cluster)
+        p.begin_transaction()
+        p.send(topic, key="k", value=1, partition=0)
+        p.send_offsets_to_transaction({src: 17}, "my-group")
+        p.commit_transaction()
+        assert group_coord.fetch_committed("my-group", [src])[src] == 17
+
+    def test_offsets_rolled_back_on_abort(self, fast_cluster, topic):
+        group_coord = fast_cluster.group_coordinator
+        src = TopicPartition("src", 0)
+        fast_cluster.create_topic("src", 1)
+        p = self.make_txn_producer(fast_cluster)
+        p.begin_transaction()
+        p.send_offsets_to_transaction({src: 17}, "my-group")
+        p.abort_transaction()
+        assert group_coord.fetch_committed("my-group", [src])[src] is None
+
+    def test_close_aborts_open_transaction(self, fast_cluster, topic):
+        p = self.make_txn_producer(fast_cluster)
+        p.begin_transaction()
+        p.send(topic, key="k", value="x", partition=0)
+        p.close()
+        from repro.broker.txn_coordinator import COMPLETE_ABORT
+
+        assert (
+            fast_cluster.txn_coordinator.transaction_state("tid") == COMPLETE_ABORT
+        )
+
+    def test_consecutive_transactions(self, fast_cluster, topic):
+        p = self.make_txn_producer(fast_cluster)
+        for i in range(3):
+            p.begin_transaction()
+            p.send(topic, key="k", value=i, partition=0)
+            p.commit_transaction()
+        consumer = Consumer(
+            fast_cluster, ConsumerConfig(isolation_level=READ_COMMITTED)
+        )
+        consumer.assign([TopicPartition(topic, 0)])
+        assert [r.value for r in consumer.poll()] == [0, 1, 2]

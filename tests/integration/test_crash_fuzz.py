@@ -1,0 +1,89 @@
+"""Seeded crash-schedule fuzzing of the exactly-once contract.
+
+Each case runs the two-stage counting topology under a randomized schedule
+of instance crashes, replacements, broker failures, and graceful removals
+drawn from a seed, then asserts the committed output equals a failure-free
+run. The seeds are fixed so failures are reproducible.
+"""
+
+import random
+
+import pytest
+
+from repro.clients.producer import Producer
+from repro.config import EXACTLY_ONCE, StreamsConfig
+from repro.streams import KafkaStreams, StreamsBuilder
+
+from tests.streams.harness import drain_topic, latest_by_key, make_cluster
+
+CATEGORIES = ["a", "b", "c", "d", "e"]
+
+
+def make_app(cluster):
+    builder = StreamsBuilder()
+    (
+        builder.stream("in")
+        .map(lambda k, v: (v, 1))
+        .group_by_key()
+        .count()
+        .to_stream()
+        .to("out")
+    )
+    return KafkaStreams(
+        builder.build(),
+        cluster,
+        StreamsConfig(
+            application_id="fuzz",
+            processing_guarantee=EXACTLY_ONCE,
+            commit_interval_ms=15.0,
+            transaction_timeout_ms=250.0,
+        ),
+    )
+
+
+def produce_workload(cluster, rng, n=100):
+    producer = Producer(cluster)
+    expected = {}
+    for i in range(n):
+        category = rng.choice(CATEGORIES)
+        expected[category] = expected.get(category, 0) + 1
+        producer.send("in", key=f"k{i}", value=category, timestamp=float(i * 3))
+    producer.flush()
+    return expected
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 6])
+def test_random_failure_schedule_is_exactly_once(seed):
+    rng = random.Random(seed)
+    cluster = make_cluster(**{"in": 2, "out": 2})
+    app = make_app(cluster)
+    app.start(rng.randint(1, 3))
+    expected = produce_workload(cluster, rng)
+
+    crashed_brokers = set()
+    for _ in range(rng.randint(2, 5)):
+        for _ in range(rng.randint(1, 3)):
+            app.step()
+        action = rng.random()
+        if action < 0.45 and app.instances:
+            app.crash_instance(rng.choice(app.instances))
+            if not app.instances or rng.random() < 0.8:
+                app.add_instance()
+        elif action < 0.6 and len(app.instances) > 1:
+            app.remove_instance(rng.choice(app.instances))
+        elif action < 0.75 and len(crashed_brokers) < 1:
+            victim = rng.choice([0, 1, 2])
+            cluster.crash_broker(victim)
+            crashed_brokers.add(victim)
+        elif crashed_brokers and action < 0.9:
+            broker = crashed_brokers.pop()
+            cluster.restart_broker(broker)
+        cluster.clock.advance(300.0)
+
+    if not app.instances:
+        app.add_instance()
+    for _ in range(3):
+        cluster.clock.advance(300.0)
+        app.run_until_idle(max_steps=30_000)
+    final = latest_by_key(drain_topic(cluster, "out"))
+    assert final == expected, f"seed {seed} violated exactly-once"

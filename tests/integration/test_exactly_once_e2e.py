@@ -1,0 +1,198 @@
+"""End-to-end exactly-once under failure schedules.
+
+These tests run a two-stage counting topology (with a repartition hop, so
+inter-processor communication is exercised) through crashes of streams
+instances and brokers, and verify the paper's contract: committed output
+equals that of a failure-free run — nothing lost, nothing duplicated.
+"""
+
+import random
+
+import pytest
+
+from repro.clients.producer import Producer
+from repro.config import EXACTLY_ONCE, StreamsConfig
+from repro.streams import KafkaStreams, StreamsBuilder
+
+from tests.streams.harness import drain_topic, latest_by_key, make_cluster
+
+CATEGORIES = ["alpha", "beta", "gamma", "delta"]
+
+
+def build_topology():
+    builder = StreamsBuilder()
+    (
+        builder.stream("in")
+        .map(lambda k, v: (v, 1))            # re-key by category -> shuffle
+        .group_by_key()
+        .count()
+        .to_stream()
+        .to("out")
+    )
+    return builder.build()
+
+
+def make_app(cluster, app_id="e2e"):
+    return KafkaStreams(
+        build_topology(),
+        cluster,
+        StreamsConfig(
+            application_id=app_id,
+            processing_guarantee=EXACTLY_ONCE,
+            commit_interval_ms=20.0,
+            transaction_timeout_ms=300.0,
+        ),
+    )
+
+
+def produce_workload(cluster, n=120, seed=3):
+    rng = random.Random(seed)
+    producer = Producer(cluster)
+    expected = {c: 0 for c in CATEGORIES}
+    for i in range(n):
+        category = rng.choice(CATEGORIES)
+        expected[category] += 1
+        producer.send("in", key=f"u{i}", value=category, timestamp=float(i * 5))
+    producer.flush()
+    return {c: n for c, n in expected.items() if n}
+
+
+def finish(app, cluster):
+    cluster.clock.advance(400.0)          # let dangling txns time out
+    app.run_until_idle(max_steps=20_000)
+    cluster.clock.advance(400.0)
+    app.run_until_idle(max_steps=20_000)
+    return latest_by_key(drain_topic(cluster, "out"))
+
+
+def test_failure_free_baseline():
+    cluster = make_cluster(**{"in": 2, "out": 2})
+    app = make_app(cluster)
+    app.start(2)
+    expected = produce_workload(cluster)
+    assert finish(app, cluster) == expected
+
+
+def test_instance_crash_mid_processing():
+    cluster = make_cluster(**{"in": 2, "out": 2})
+    app = make_app(cluster)
+    victim = app.add_instance()
+    survivor = app.add_instance()
+    expected = produce_workload(cluster)
+    victim.step()
+    survivor.step()
+    app.crash_instance(victim)
+    assert finish(app, cluster) == expected
+
+
+def test_repeated_crashes_with_replacements():
+    cluster = make_cluster(**{"in": 2, "out": 2})
+    app = make_app(cluster)
+    app.start(2)
+    expected = produce_workload(cluster, n=150)
+    rng = random.Random(11)
+    for round_no in range(4):
+        for _ in range(rng.randint(1, 4)):
+            app.step()
+        victim = rng.choice(app.instances)
+        app.crash_instance(victim)
+        app.add_instance()
+        cluster.clock.advance(350.0)     # expire the dangling transaction
+    assert finish(app, cluster) == expected
+
+
+def test_crash_all_instances_then_recover():
+    cluster = make_cluster(**{"in": 2, "out": 2})
+    app = make_app(cluster)
+    app.start(2)
+    expected = produce_workload(cluster)
+    for _ in range(3):
+        app.step()
+    for instance in list(app.instances):
+        app.crash_instance(instance)
+    cluster.clock.advance(350.0)
+    app.start(2)
+    assert finish(app, cluster) == expected
+
+
+def test_broker_crash_during_processing():
+    """Kill a broker mid-run: partitions fail over to in-sync replicas and
+    the output is still exactly-once."""
+    cluster = make_cluster(**{"in": 2, "out": 2})
+    app = make_app(cluster)
+    app.start(2)
+    expected = produce_workload(cluster)
+    app.step()
+    cluster.crash_broker(1)
+    assert finish(app, cluster) == expected
+
+
+def test_broker_crash_and_restart():
+    cluster = make_cluster(**{"in": 2, "out": 2})
+    app = make_app(cluster)
+    app.start(1)
+    expected = produce_workload(cluster)
+    app.step()
+    cluster.crash_broker(0)
+    app.step()
+    cluster.restart_broker(0)
+    assert finish(app, cluster) == expected
+
+
+def test_state_migrates_via_changelog():
+    """Scale down: the surviving instance rebuilds the counting state by
+    replaying the changelog, and continues exactly where the victim left."""
+    cluster = make_cluster(**{"in": 2, "out": 2})
+    app = make_app(cluster)
+    app.add_instance()
+    app.add_instance()
+    expected = produce_workload(cluster)
+    app.run_until_idle()
+    # Crash whichever instance owns the stateful (sub-topology 0) tasks.
+    victim = next(
+        i for i in app.instances if any(t.sub_id == 0 for t in i.tasks)
+    )
+    app.crash_instance(victim)
+    cluster.clock.advance(350.0)
+    # More input after the migration.
+    producer = Producer(cluster)
+    for i in range(10):
+        producer.send("in", key=f"extra{i}", value="alpha", timestamp=float(10_000 + i))
+    producer.flush()
+    expected["alpha"] += 10
+    assert finish(app, cluster) == expected
+    restored = sum(
+        t.restored_records
+        for instance in app.instances
+        for t in instance.tasks.values()
+    )
+    assert restored > 0
+
+
+def test_graceful_scale_in_commits_cleanly():
+    cluster = make_cluster(**{"in": 2, "out": 2})
+    app = make_app(cluster)
+    app.start(3)
+    expected = produce_workload(cluster)
+    for _ in range(3):
+        app.step()
+    app.remove_instance(app.instances[-1])     # graceful: commits first
+    assert finish(app, cluster) == expected
+
+
+def test_repartition_topic_purged_after_consumption():
+    """Downstream tasks request deletion of processed repartition records
+    (Section 3.2) — the log start offset advances."""
+    cluster = make_cluster(**{"in": 2, "out": 2})
+    app = make_app(cluster)
+    app.start(1)
+    produce_workload(cluster)
+    app.run_until_idle()
+    repartition = next(
+        t for t in cluster.topics if "repartition" in t and t.startswith("e2e-")
+    )
+    purged = sum(
+        cluster.partition_state(tp).leader_log().log_start_offset
+        for tp in cluster.partitions_for(repartition)
+    )
+    assert purged > 0

@@ -1,0 +1,164 @@
+"""Figure 1: the paper's motivating consistency & completeness examples.
+
+The input stream holds three records with timestamps 11, 13, 12.
+
+* Consistency (Figure 1.b/c): the processor crashes after updating state
+  and emitting output but *before* acknowledging (committing) its input
+  position. Under at-least-once the recovered processor re-processes the
+  record and double-updates the state; under exactly-once the aborted
+  transaction erases the uncommitted effects and the final result is as if
+  the failure never happened.
+* Completeness (Figure 1.d): the out-of-order record at ts 12 arrives
+  after results for 11 and 13 were already emitted; revision processing
+  amends the previously emitted result instead of having blocked emission.
+"""
+
+import pytest
+
+from repro.clients.producer import Producer
+from repro.config import (
+    AT_LEAST_ONCE,
+    EXACTLY_ONCE,
+    StreamsConfig,
+)
+from repro.streams import KafkaStreams, StreamsBuilder, TimeWindows
+
+from tests.streams.harness import drain_topic, latest_by_key, make_cluster
+
+
+def counting_app(cluster, guarantee, app_id="fig1"):
+    builder = StreamsBuilder()
+    builder.stream("in").group_by_key().count().to_stream().to("out")
+    config = StreamsConfig(
+        application_id=app_id,
+        processing_guarantee=guarantee,
+        commit_interval_ms=50.0,
+        transaction_timeout_ms=500.0,
+    )
+    return KafkaStreams(builder.build(), cluster, config)
+
+
+def produce_figure1_records(cluster):
+    producer = Producer(cluster)
+    for ts in (11.0, 13.0, 12.0):
+        producer.send("in", key="sensor", value=1, timestamp=ts)
+    producer.flush()
+
+
+def crash_after_flush_before_ack(app, instance):
+    """Reproduce the Figure 1.b window: outputs and state updates are
+    persisted (flushed), but the input position was never committed."""
+    instance._thread_producer.flush()
+    app.crash_instance(instance)
+
+
+class TestConsistency:
+    def test_alos_crash_double_updates_state(self):
+        """Figure 1.c: at-least-once reprocesses the record and the count
+        is inflated — the inconsistency the paper illustrates."""
+        cluster = make_cluster(**{"in": 1, "out": 1})
+        app = counting_app(cluster, AT_LEAST_ONCE)
+        instance = app.add_instance()
+        produce_figure1_records(cluster)
+        # Process everything but crash before the offsets are committed.
+        while instance.step() == 0:
+            pass
+        crash_after_flush_before_ack(app, instance)
+        # Recovery: a new instance restores state from the changelog (which
+        # saw the first run's flushed updates) and re-reads from offset 0.
+        app.add_instance()
+        app.run_until_idle()
+        final = latest_by_key(drain_topic(cluster, "out", read_committed=False))
+        assert final["sensor"] == 6          # 3 records counted twice
+
+    def test_eos_crash_keeps_state_consistent(self):
+        """Same crash under exactly-once: the dangling transaction is
+        aborted, the changelog rolls back, the count is exact."""
+        cluster = make_cluster(**{"in": 1, "out": 1})
+        app = counting_app(cluster, EXACTLY_ONCE)
+        instance = app.add_instance()
+        produce_figure1_records(cluster)
+        while instance.step() == 0:
+            pass
+        crash_after_flush_before_ack(app, instance)
+        app.add_instance()
+        # The dangling transaction must time out before its writes stop
+        # blocking read-committed consumers.
+        cluster.clock.advance(600.0)
+        app.run_until_idle()
+        final = latest_by_key(drain_topic(cluster, "out"))
+        assert final["sensor"] == 3          # exactly once
+
+    def test_eos_matches_failure_free_run(self):
+        cluster_a = make_cluster(**{"in": 1, "out": 1})
+        app_a = counting_app(cluster_a, EXACTLY_ONCE)
+        app_a.start(1)
+        produce_figure1_records(cluster_a)
+        app_a.run_until_idle()
+        baseline = latest_by_key(drain_topic(cluster_a, "out"))
+
+        cluster_b = make_cluster(**{"in": 1, "out": 1})
+        app_b = counting_app(cluster_b, EXACTLY_ONCE)
+        instance = app_b.add_instance()
+        produce_figure1_records(cluster_b)
+        while instance.step() == 0:
+            pass
+        crash_after_flush_before_ack(app_b, instance)
+        app_b.add_instance()
+        cluster_b.clock.advance(600.0)
+        app_b.run_until_idle()
+        assert latest_by_key(drain_topic(cluster_b, "out")) == baseline
+
+
+class TestCompleteness:
+    def test_out_of_order_record_revises_window(self):
+        """Figure 1.d: results for ts 11 and 13 are already out when ts 12
+        arrives; the window containing 11 and 12 gets a revision."""
+        cluster = make_cluster(**{"in": 1, "out": 1})
+        builder = StreamsBuilder()
+        (
+            builder.stream("in")
+            .group_by_key()
+            .windowed_by(TimeWindows.of(5).grace(100))
+            .count()
+            .to_stream()
+            .to("out")
+        )
+        app = KafkaStreams(
+            builder.build(),
+            cluster,
+            StreamsConfig(application_id="fig1d", commit_interval_ms=50.0),
+        )
+        app.start(1)
+        produce_figure1_records(cluster)
+        app.run_until_idle()
+        records = drain_topic(cluster, "out", read_committed=False)
+        emissions = [(r.key.window.start, r.value) for r in records]
+        # ts 11 -> window [10,15) count 1; ts 13 -> same window count 2;
+        # ts 12 arrives out of order -> REVISION count 3. No blocking.
+        assert emissions == [(10.0, 1), (10.0, 2), (10.0, 3)]
+
+    def test_no_emission_delay_for_in_order_records(self):
+        """Emission is speculative: each update is visible immediately
+        after its commit, not held until a watermark."""
+        cluster = make_cluster(**{"in": 1, "out": 1})
+        builder = StreamsBuilder()
+        (
+            builder.stream("in")
+            .group_by_key()
+            .windowed_by(TimeWindows.of(5).grace(100))
+            .count()
+            .to_stream()
+            .to("out")
+        )
+        app = KafkaStreams(
+            builder.build(),
+            cluster,
+            StreamsConfig(application_id="fig1e", commit_interval_ms=50.0),
+        )
+        app.start(1)
+        producer = Producer(cluster)
+        producer.send("in", key="k", value=1, timestamp=11.0)
+        producer.flush()
+        app.run_until_idle()
+        assert len(drain_topic(cluster, "out", read_committed=False)) == 1

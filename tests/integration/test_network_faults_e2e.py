@@ -1,0 +1,111 @@
+"""End-to-end behaviour under the Section 2.1 RPC failure scenarios.
+
+The inter-processor channel in Kafka Streams is the broker log, so the
+"lost acknowledgement" fault hits the embedded producers of the streams
+runtime. With idempotence + transactions the final output is identical to
+a failure-free run.
+"""
+
+import pytest
+
+from repro.clients.producer import Producer
+from repro.config import AT_LEAST_ONCE, EXACTLY_ONCE, StreamsConfig
+from repro.sim.failures import FailureInjector
+from repro.sim.network import FaultRule
+from repro.streams import KafkaStreams, StreamsBuilder
+
+from tests.streams.harness import drain_topic, latest_by_key, make_cluster
+
+
+def counting_app(cluster, guarantee):
+    builder = StreamsBuilder()
+    (
+        builder.stream("in")
+        .map(lambda k, v: (v, 1))         # repartition hop
+        .group_by_key()
+        .count()
+        .to_stream()
+        .to("out")
+    )
+    return KafkaStreams(
+        builder.build(),
+        cluster,
+        StreamsConfig(
+            application_id="faults",
+            processing_guarantee=guarantee,
+            commit_interval_ms=25.0,
+        ),
+    )
+
+
+def run_with_ack_drops(guarantee, drops):
+    cluster = make_cluster(**{"in": 2, "out": 2})
+    app = counting_app(cluster, guarantee)
+    app.start(1)
+    injector = FailureInjector(cluster)
+    producer = Producer(cluster)
+    expected = {}
+    for i in range(60):
+        category = f"c{i % 4}"
+        expected[category] = expected.get(category, 0) + 1
+        producer.send("in", key=f"k{i}", value=category, timestamp=float(i))
+    producer.flush()
+    # Drop acks of several of the app's own produce requests mid-run.
+    injector.drop_next_produce_ack(count=drops)
+    app.run_until_idle(max_steps=20_000)
+    cluster.clock.advance(20.0)
+    final = latest_by_key(
+        drain_topic(cluster, "out", read_committed=(guarantee == EXACTLY_ONCE))
+    )
+    return final, expected
+
+
+def test_eos_exact_under_ack_drops():
+    final, expected = run_with_ack_drops(EXACTLY_ONCE, drops=4)
+    assert final == expected
+
+
+def test_alos_also_survives_thanks_to_idempotence():
+    """Even at-least-once streams use idempotent producers by default, so
+    pure ack-drop retries do not duplicate appends (only crash-replays do,
+    see the Figure 1 tests)."""
+    final, expected = run_with_ack_drops(AT_LEAST_ONCE, drops=4)
+    assert final == expected
+
+
+def test_delayed_coordinator_rpcs_do_not_break_commit():
+    cluster = make_cluster(**{"in": 1, "out": 1})
+    app = counting_app(cluster, EXACTLY_ONCE)
+    app.start(1)
+    cluster.network.add_fault(
+        FaultRule(kind="delay", match_api="end_txn", delay_ms=200.0, count=3)
+    )
+    producer = Producer(cluster)
+    for i in range(20):
+        producer.send("in", key=f"k{i}", value="c", timestamp=float(i))
+    producer.flush()
+    app.run_until_idle(max_steps=20_000)
+    cluster.clock.advance(20.0)
+    final = latest_by_key(drain_topic(cluster, "out"))
+    assert final == {"c": 20}
+
+
+def test_broker_crash_plus_ack_drops():
+    cluster = make_cluster(**{"in": 2, "out": 2})
+    app = counting_app(cluster, EXACTLY_ONCE)
+    app.start(2)
+    injector = FailureInjector(cluster)
+    producer = Producer(cluster)
+    expected = {}
+    for i in range(80):
+        category = f"c{i % 3}"
+        expected[category] = expected.get(category, 0) + 1
+        producer.send("in", key=f"k{i}", value=category, timestamp=float(i))
+    producer.flush()
+    injector.drop_next_produce_ack(count=5)
+    app.step()
+    cluster.crash_broker(2)
+    app.run_until_idle(max_steps=20_000)
+    cluster.clock.advance(20.0)
+    final = latest_by_key(drain_topic(cluster, "out"))
+    assert final == expected

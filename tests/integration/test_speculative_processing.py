@@ -1,0 +1,222 @@
+"""Speculative processing of uncommitted upstream data with cascading
+rollback — the paper's Section 8 future-work item, implemented.
+
+Setup: two applications chained through a topic. The upstream app commits
+on a long interval; the downstream app consumes speculatively (it
+processes the upstream transaction's records before the commit marker
+lands) and gates its own commit on the upstream outcome.
+"""
+
+import pytest
+
+from repro.broker.partition import TopicPartition
+from repro.clients.producer import Producer
+from repro.config import (
+    EXACTLY_ONCE,
+    StreamsConfig,
+)
+from repro.errors import InvalidConfigError
+from repro.streams import KafkaStreams, StreamsBuilder
+
+from tests.streams.harness import drain_topic, latest_by_key, make_cluster
+
+
+def upstream_app(cluster, commit_interval_ms=500.0, speculative=True):
+    """Speculation is a pipeline-wide mode: the upstream app must also run
+    with ``speculative=True`` so its in-flight transactional writes are
+    flushed eagerly (linger-style) instead of only at commit."""
+    builder = StreamsBuilder()
+    builder.stream("in").map_values(lambda v: v * 10).to("mid")
+    return KafkaStreams(
+        builder.build(),
+        cluster,
+        StreamsConfig(
+            application_id="up",
+            processing_guarantee=EXACTLY_ONCE,
+            commit_interval_ms=commit_interval_ms,
+            transaction_timeout_ms=2_000.0,
+            speculative=speculative,
+        ),
+    )
+
+
+def downstream_app(cluster, speculative):
+    builder = StreamsBuilder()
+    builder.stream("mid").group_by_key().count().to_stream().to("out")
+    return KafkaStreams(
+        builder.build(),
+        cluster,
+        StreamsConfig(
+            application_id="down",
+            processing_guarantee=EXACTLY_ONCE,
+            commit_interval_ms=50.0,
+            transaction_timeout_ms=2_000.0,
+            speculative=speculative,
+        ),
+    )
+
+
+def test_config_requires_eos():
+    from repro.config import AT_LEAST_ONCE
+
+    with pytest.raises(InvalidConfigError):
+        StreamsConfig(
+            processing_guarantee=AT_LEAST_ONCE, speculative=True
+        ).validate()
+
+
+def test_speculative_processing_starts_before_upstream_commit():
+    cluster = make_cluster(**{"in": 1, "mid": 1, "out": 1})
+    up = upstream_app(cluster, commit_interval_ms=10_000.0)   # very long
+    down = downstream_app(cluster, speculative=True)
+    up.start(1)
+    down.start(1)
+    producer = Producer(cluster)
+    for i in range(10):
+        producer.send("in", key="k", value=1, timestamp=float(i))
+    producer.flush()
+    up.step()          # processes + sends, but does NOT commit (10s interval)
+    processed = 0
+    for _ in range(10):
+        processed += down.step()
+        cluster.clock.advance(20.0)
+    # The downstream processed the records although the upstream txn is
+    # still open...
+    assert processed == 10
+    # ...but committed nothing: its own commit is gated.
+    (instance,) = down.instances
+    assert instance.commits_deferred > 0
+    assert drain_topic(cluster, "out") == []
+
+
+def test_speculative_commit_lands_after_upstream_commits():
+    cluster = make_cluster(**{"in": 1, "mid": 1, "out": 1})
+    up = upstream_app(cluster)
+    down = downstream_app(cluster, speculative=True)
+    up.start(1)
+    down.start(1)
+    producer = Producer(cluster)
+    for i in range(20):
+        producer.send("in", key="k", value=1, timestamp=float(i))
+    producer.flush()
+    for _ in range(10):
+        up.step()
+        down.step()
+        cluster.clock.advance(100.0)
+    up.commit_all()
+    down.step()
+    down.commit_all()
+    cluster.clock.advance(10.0)
+    final = latest_by_key(drain_topic(cluster, "out"))
+    assert final == {"k": 20}
+
+
+def test_cascading_rollback_on_upstream_abort():
+    """The upstream instance crashes mid-transaction; its txn aborts by
+    timeout. The downstream had already speculated on those records — it
+    must roll everything back and never commit derived results."""
+    cluster = make_cluster(**{"in": 1, "mid": 1, "out": 1})
+    up = upstream_app(cluster, commit_interval_ms=10_000.0)
+    down = downstream_app(cluster, speculative=True)
+    up.start(1)
+    down.start(1)
+    producer = Producer(cluster)
+    for i in range(10):
+        producer.send("in", key="k", value=1, timestamp=float(i))
+    producer.flush()
+    up.step()                     # upstream sends, txn open
+    down.step()                   # downstream speculates on open-txn data
+    (down_instance,) = down.instances
+    assert sum(t.records_processed for t in down_instance.tasks.values()) == 10
+
+    up.crash_instance(up.instances[0])     # upstream dies; txn dangles
+    cluster.clock.advance(2_500.0)         # ...and times out -> aborted
+    down.step()                            # rollback triggers at commit
+    down.commit_all()
+    assert down_instance.speculation_rollbacks >= 1
+    cluster.clock.advance(10.0)
+    # Nothing derived from the aborted transaction ever became visible.
+    assert drain_topic(cluster, "out") == []
+
+    # The upstream restarts, reprocesses, commits; downstream re-speculates
+    # on the *new* (committed) data and converges exactly-once.
+    up.add_instance()
+    for _ in range(10):
+        up.step()
+        down.step()
+        cluster.clock.advance(200.0)
+    up.commit_all()
+    down.step()
+    down.commit_all()
+    cluster.clock.advance(10.0)
+    final = latest_by_key(drain_topic(cluster, "out"))
+    assert final == {"k": 10}
+
+
+def test_speculative_and_plain_eos_agree():
+    def run(speculative):
+        cluster = make_cluster(**{"in": 1, "mid": 1, "out": 1})
+        up = upstream_app(cluster, commit_interval_ms=200.0,
+                          speculative=speculative)
+        down = downstream_app(cluster, speculative=speculative)
+        up.start(1)
+        down.start(1)
+        producer = Producer(cluster)
+        for i in range(40):
+            producer.send("in", key=f"k{i % 3}", value=1, timestamp=float(i))
+        producer.flush()
+        for _ in range(12):
+            up.step()
+            down.step()
+            cluster.clock.advance(60.0)
+        up.run_until_idle()
+        down.run_until_idle()
+        cluster.clock.advance(10.0)
+        return latest_by_key(drain_topic(cluster, "out"))
+
+    assert run(True) == run(False)
+
+
+def test_speculation_reduces_end_to_end_latency():
+    """The point of the future-work idea: with a slow upstream commit
+    interval, the downstream's results become visible (virtually)
+    immediately after the upstream commit instead of one downstream
+    commit interval later."""
+    from repro.metrics.latency import CREATED_AT_HEADER
+
+    def run(speculative):
+        cluster = make_cluster(**{"in": 1, "mid": 1, "out": 1})
+        up = upstream_app(cluster, commit_interval_ms=400.0,
+                          speculative=speculative)
+        down = downstream_app(cluster, speculative=speculative)
+        up.start(1)
+        down.start(1)
+        producer = Producer(cluster)
+        latencies = []
+        seen = 0
+        from repro.clients.consumer import Consumer
+        from repro.config import READ_COMMITTED, ConsumerConfig
+
+        verifier = Consumer(
+            cluster, ConsumerConfig(isolation_level=READ_COMMITTED)
+        )
+        verifier.assign(cluster.partitions_for("out"))
+        for i in range(60):
+            producer.send(
+                "in", key="k", value=1, timestamp=cluster.clock.now,
+                headers={CREATED_AT_HEADER: cluster.clock.now},
+            )
+            producer.flush()
+            up.step()
+            down.step()
+            for record in verifier.poll(max_records=1000):
+                if CREATED_AT_HEADER in record.headers:
+                    latencies.append(
+                        cluster.clock.now - record.headers[CREATED_AT_HEADER]
+                    )
+            cluster.clock.advance(25.0)
+        return sum(latencies) / len(latencies) if latencies else float("inf")
+
+    speculative_latency = run(True)
+    plain_latency = run(False)
+    assert speculative_latency < plain_latency

@@ -1,0 +1,102 @@
+"""The zombie-instance problem at the streams level (Section 2.1).
+
+A streams instance loses connectivity; the group coordinator deems it dead
+and rebalances its tasks to a replacement — but the disconnected instance
+keeps processing on its own. Its outputs must never reach committed
+results: with per-thread producers the fencing happens at offset-commit
+time via the consumer-group generation; with per-task producers (v1) the
+replacement's ``init_transactions`` fences the zombie's epoch directly.
+"""
+
+import pytest
+
+from repro.clients.producer import Producer
+from repro.config import EXACTLY_ONCE, EXACTLY_ONCE_V1, StreamsConfig
+from repro.streams import KafkaStreams, StreamsBuilder
+
+from tests.streams.harness import drain_topic, latest_by_key, make_cluster
+
+
+def make_app(cluster, guarantee):
+    builder = StreamsBuilder()
+    builder.stream("in").group_by_key().count().to_stream().to("out")
+    return KafkaStreams(
+        builder.build(),
+        cluster,
+        StreamsConfig(
+            application_id="zombie",
+            processing_guarantee=guarantee,
+            commit_interval_ms=20.0,
+            transaction_timeout_ms=400.0,
+        ),
+    )
+
+
+def produce(cluster, n):
+    producer = Producer(cluster)
+    for i in range(n):
+        producer.send("in", key="k", value=1, timestamp=float(i))
+    producer.flush()
+
+
+def partition_instance_from_group(app, instance):
+    """Simulate a network partition: the coordinator expires the member's
+    session (kicking it from the group) while the instance itself keeps
+    running, unaware."""
+    app.cluster.group_coordinator.leave_group(
+        app.config.application_id, instance.consumer.member_id
+    )
+
+
+@pytest.mark.parametrize("guarantee", [EXACTLY_ONCE, EXACTLY_ONCE_V1])
+def test_zombie_commits_are_fenced(guarantee):
+    cluster = make_cluster(**{"in": 1, "out": 1})
+    app = make_app(cluster, guarantee)
+    zombie = app.add_instance()
+    produce(cluster, 30)
+    # The zombie buffers and processes some records but has not committed.
+    zombie.step()
+
+    # The coordinator gives the zombie's partitions to a replacement while
+    # the zombie keeps running.
+    partition_instance_from_group(app, zombie)
+    replacement = app.add_instance()
+    # For v1, task producers fence by transactional id at registration
+    # time: the replacement creating the task bumps the epoch.
+    replacement.step()
+
+    # The zombie now tries to continue and commit: it must fail and abort,
+    # never committing its (duplicate) work.
+    commits_before = zombie.commits_performed
+    for _ in range(5):
+        zombie.step()
+        cluster.clock.advance(25.0)
+    assert zombie.commits_performed == commits_before
+    assert not zombie.tasks        # migration handler dropped its tasks
+
+    # The replacement finishes the stream; results are exactly-once.
+    cluster.clock.advance(500.0)   # expire any dangling zombie transaction
+    app.run_until_idle(max_steps=20_000)
+    cluster.clock.advance(500.0)
+    app.run_until_idle(max_steps=20_000)
+    final = latest_by_key(drain_topic(cluster, "out"))
+    assert final == {"k": 30}
+
+
+def test_zombie_uncommitted_output_invisible():
+    """Whatever the zombie managed to append stays behind an aborted or
+    never-committed transaction: read-committed consumers never see it."""
+    cluster = make_cluster(**{"in": 1, "out": 1})
+    app = make_app(cluster, EXACTLY_ONCE)
+    zombie = app.add_instance()
+    produce(cluster, 10)
+    zombie.step()                      # outputs sit in the open txn
+    partition_instance_from_group(app, zombie)
+    assert drain_topic(cluster, "out") == []      # nothing visible yet
+    app.add_instance()
+    cluster.clock.advance(500.0)       # zombie txn times out -> aborted
+    app.run_until_idle(max_steps=20_000)
+    cluster.clock.advance(500.0)
+    app.run_until_idle(max_steps=20_000)
+    final = latest_by_key(drain_topic(cluster, "out"))
+    assert final == {"k": 10}

@@ -1,0 +1,247 @@
+"""End-to-end ksql: continuous queries over the simulated cluster."""
+
+import pytest
+
+from repro.clients.producer import Producer
+from repro.ksql import KsqlEngine, KsqlParseError
+
+from tests.streams.harness import drain_topic, latest_by_key, make_cluster
+
+
+@pytest.fixture
+def engine():
+    cluster = make_cluster()
+    return KsqlEngine(cluster), cluster
+
+
+def produce(cluster, topic, rows, key_field=None):
+    producer = Producer(cluster)
+    for i, row in enumerate(rows):
+        key = row[key_field] if key_field else f"k{i}"
+        producer.send(topic, key=key, value=row, timestamp=float(i * 10))
+    producer.flush()
+
+
+class TestCatalog:
+    def test_create_source_creates_topic(self, engine):
+        ksql, cluster = engine
+        ksql.execute("CREATE STREAM s WITH (KAFKA_TOPIC='events', PARTITIONS=3);")
+        assert cluster.topic_metadata("events").num_partitions == 3
+
+    def test_duplicate_name_rejected(self, engine):
+        ksql, _ = engine
+        ksql.execute("CREATE STREAM s WITH (KAFKA_TOPIC='t1');")
+        with pytest.raises(KsqlParseError):
+            ksql.execute("CREATE STREAM s WITH (KAFKA_TOPIC='t2');")
+
+    def test_unknown_source_rejected(self, engine):
+        ksql, _ = engine
+        with pytest.raises(KsqlParseError):
+            ksql.execute("CREATE STREAM o AS SELECT a FROM ghost;")
+
+
+class TestCsas:
+    def test_filter_and_project(self, engine):
+        ksql, cluster = engine
+        ksql.execute(
+            "CREATE STREAM trades WITH (KAFKA_TOPIC='trades', PARTITIONS=2);"
+            "CREATE STREAM big AS SELECT sym, price * qty AS notional "
+            "FROM trades WHERE qty >= 10;"
+        )
+        produce(cluster, "trades", [
+            {"sym": "A", "price": 5, "qty": 20},
+            {"sym": "B", "price": 7, "qty": 1},
+            {"sym": "C", "price": 2, "qty": 50},
+        ])
+        ksql.run_until_idle()
+        rows = [r.value for r in drain_topic(cluster, "big")]
+        assert sorted(rows, key=lambda r: r["sym"]) == [
+            {"sym": "A", "notional": 100},
+            {"sym": "C", "notional": 100},
+        ]
+
+    def test_partition_by_rekeys(self, engine):
+        ksql, cluster = engine
+        ksql.execute(
+            "CREATE STREAM s WITH (KAFKA_TOPIC='in', PARTITIONS=2);"
+            "CREATE STREAM o AS SELECT category FROM s PARTITION BY category;"
+        )
+        produce(cluster, "in", [{"category": "x"}, {"category": "y"}])
+        ksql.run_until_idle()
+        keys = {r.key for r in drain_topic(cluster, "o")}
+        assert keys == {"x", "y"}
+
+    def test_stream_table_join(self, engine):
+        ksql, cluster = engine
+        ksql.execute(
+            "CREATE STREAM orders WITH (KAFKA_TOPIC='orders', PARTITIONS=2);"
+            "CREATE TABLE customers WITH (KAFKA_TOPIC='customers', PARTITIONS=2);"
+            "CREATE STREAM enriched AS SELECT cust, amount, tier FROM orders "
+            "JOIN customers ON cust = customers.ROWKEY;"
+        )
+        producer = Producer(cluster)
+        producer.send("customers", key="c1", value={"tier": "gold"}, timestamp=0.0)
+        producer.flush()
+        ksql.run_until_idle()
+        produce(cluster, "orders", [
+            {"cust": "c1", "amount": 10},
+            {"cust": "unknown", "amount": 5},
+        ])
+        ksql.run_until_idle()
+        rows = [r.value for r in drain_topic(cluster, "enriched")]
+        assert rows == [{"cust": "c1", "amount": 10, "tier": "gold"}]
+
+    def test_aggregate_in_csas_rejected(self, engine):
+        ksql, _ = engine
+        ksql.execute("CREATE STREAM s WITH (KAFKA_TOPIC='t');")
+        with pytest.raises(KsqlParseError):
+            ksql.execute("CREATE STREAM o AS SELECT COUNT(*) FROM s;")
+
+
+class TestCtas:
+    def test_group_by_count_and_sum(self, engine):
+        ksql, cluster = engine
+        ksql.execute(
+            "CREATE STREAM sales WITH (KAFKA_TOPIC='sales', PARTITIONS=2);"
+            "CREATE TABLE totals AS SELECT region, COUNT(*) AS n, "
+            "SUM(amount) AS total, AVG(amount) AS mean, MAX(amount) AS top "
+            "FROM sales GROUP BY region;"
+        )
+        produce(cluster, "sales", [
+            {"region": "na", "amount": 10},
+            {"region": "na", "amount": 30},
+            {"region": "eu", "amount": 5},
+        ])
+        ksql.run_until_idle()
+        table = ksql.query("totals").table_contents()
+        assert table["na"] == {"n": 2, "total": 40, "mean": 20.0, "top": 30}
+        assert table["eu"] == {"n": 1, "total": 5, "mean": 5.0, "top": 5}
+
+    def test_windowed_count(self, engine):
+        ksql, cluster = engine
+        ksql.execute(
+            "CREATE STREAM clicks WITH (KAFKA_TOPIC='clicks', PARTITIONS=1);"
+            "CREATE TABLE counts AS SELECT user, COUNT(*) AS n FROM clicks "
+            "WINDOW TUMBLING (SIZE 50 MILLISECONDS, GRACE 1 SECONDS) "
+            "GROUP BY user EMIT CHANGES;"
+        )
+        produce(cluster, "clicks", [
+            {"user": "u1"}, {"user": "u1"}, {"user": "u1"},
+            {"user": "u1"}, {"user": "u1"}, {"user": "u1"},
+        ])   # timestamps 0,10,...,50 -> windows [0,50) and [50,100)
+        ksql.run_until_idle()
+        table = ksql.query("counts").table_contents()
+        assert table[("u1", 0.0)] == {"n": 5}
+        assert table[("u1", 50.0)] == {"n": 1}
+
+    def test_session_windowed_count(self, engine):
+        ksql, cluster = engine
+        ksql.execute(
+            "CREATE STREAM clicks WITH (KAFKA_TOPIC='clicks', PARTITIONS=1);"
+            "CREATE TABLE sessions AS SELECT user, COUNT(*) AS n FROM clicks "
+            "WINDOW SESSION (25 MILLISECONDS, GRACE 1 SECONDS) "
+            "GROUP BY user;"
+        )
+        produce(cluster, "clicks", [
+            {"user": "u"}, {"user": "u"}, {"user": "u"},   # ts 0,10,20
+        ])
+        # A fourth event far away starts a new session.
+        from repro.clients.producer import Producer
+
+        late = Producer(cluster)
+        late.send("clicks", key="k", value={"user": "u"}, timestamp=500.0)
+        late.flush()
+        ksql.run_until_idle()
+        table = ksql.query("sessions").table_contents()
+        by_count = sorted(v["n"] for v in table.values())
+        assert by_count == [1, 3]
+
+    def test_hopping_windowed_sum(self, engine):
+        ksql, cluster = engine
+        ksql.execute(
+            "CREATE STREAM m WITH (KAFKA_TOPIC='m', PARTITIONS=1);"
+            "CREATE TABLE s AS SELECT k, SUM(x) AS total FROM m "
+            "WINDOW HOPPING (SIZE 20 MILLISECONDS, ADVANCE BY 10 MILLISECONDS, "
+            "GRACE 1 SECONDS) GROUP BY k;"
+        )
+        produce(cluster, "m", [{"k": "a", "x": 5}])   # ts 0
+        ksql.run_until_idle()
+        table = ksql.query("s").table_contents()
+        # ts 0 falls into hopping window starting at 0 only (no negative).
+        assert table[("a", 0.0)] == {"total": 5}
+
+    def test_count_column_skips_nulls(self, engine):
+        ksql, cluster = engine
+        ksql.execute(
+            "CREATE STREAM s WITH (KAFKA_TOPIC='t', PARTITIONS=1);"
+            "CREATE TABLE c AS SELECT k, COUNT(v) AS n FROM s GROUP BY k;"
+        )
+        produce(cluster, "t", [
+            {"k": "a", "v": 1}, {"k": "a"}, {"k": "a", "v": None},
+        ])
+        ksql.run_until_idle()
+        assert ksql.query("c").table_contents()["a"] == {"n": 1}
+
+    def test_ctas_requires_group_by(self, engine):
+        ksql, _ = engine
+        ksql.execute("CREATE STREAM s WITH (KAFKA_TOPIC='t');")
+        with pytest.raises(KsqlParseError):
+            ksql.execute("CREATE TABLE o AS SELECT COUNT(*) FROM s;")
+
+    def test_non_group_column_projection_rejected(self, engine):
+        ksql, _ = engine
+        ksql.execute("CREATE STREAM s WITH (KAFKA_TOPIC='t');")
+        with pytest.raises(KsqlParseError):
+            ksql.execute(
+                "CREATE TABLE o AS SELECT other, COUNT(*) FROM s GROUP BY k;"
+            )
+
+    def test_results_written_to_sink_topic(self, engine):
+        ksql, cluster = engine
+        ksql.execute(
+            "CREATE STREAM s WITH (KAFKA_TOPIC='t', PARTITIONS=1);"
+            "CREATE TABLE agg AS SELECT k, COUNT(*) AS n FROM s GROUP BY k;"
+        )
+        produce(cluster, "t", [{"k": "a"}, {"k": "a"}])
+        ksql.run_until_idle()
+        final = latest_by_key(drain_topic(cluster, "agg"))
+        assert final == {"a": {"n": 2}}
+
+
+class TestQueryChaining:
+    def test_query_reads_another_querys_output(self, engine):
+        """A CTAS over a CSAS: queries compose through topics."""
+        ksql, cluster = engine
+        ksql.execute(
+            "CREATE STREAM raw WITH (KAFKA_TOPIC='raw', PARTITIONS=2);"
+            "CREATE STREAM valid AS SELECT kind, amount FROM raw "
+            "WHERE amount > 0;"
+            "CREATE TABLE by_kind AS SELECT kind, SUM(amount) AS total "
+            "FROM valid GROUP BY kind;"
+        )
+        produce(cluster, "raw", [
+            {"kind": "x", "amount": 10},
+            {"kind": "x", "amount": -99},
+            {"kind": "y", "amount": 4},
+        ])
+        ksql.run_until_idle()
+        table = ksql.query("by_kind").table_contents()
+        assert table == {"x": {"total": 10}, "y": {"total": 4}}
+
+
+class TestLifecycle:
+    def test_drop_query(self, engine):
+        ksql, cluster = engine
+        ksql.execute(
+            "CREATE STREAM s WITH (KAFKA_TOPIC='t');"
+            "CREATE TABLE c AS SELECT k, COUNT(*) AS n FROM s GROUP BY k;"
+        )
+        ksql.execute("DROP QUERY c;")
+        assert "c" not in ksql.queries
+        with pytest.raises(KsqlParseError):
+            ksql.query("c")
+
+    def test_drop_unknown_rejected(self, engine):
+        ksql, _ = engine
+        with pytest.raises(KsqlParseError):
+            ksql.execute("DROP QUERY ghost;")

@@ -1,0 +1,76 @@
+"""Row-expression evaluation semantics."""
+
+import pytest
+
+from repro.ksql.ast import BinaryOp, ColumnRef, FunctionCall, Literal
+from repro.ksql.evaluator import evaluate
+from repro.ksql.parser import KsqlParseError
+
+ROW = {"price": 10, "qty": 3, "name": "widget", "Mixed": 7}
+
+
+def test_literal():
+    assert evaluate(Literal(42), "k", ROW) == 42
+
+
+def test_column_lookup():
+    assert evaluate(ColumnRef("price"), "k", ROW) == 10
+
+
+def test_column_lookup_case_insensitive():
+    assert evaluate(ColumnRef("mixed"), "k", ROW) == 7
+
+
+def test_missing_column_is_null():
+    assert evaluate(ColumnRef("ghost"), "k", ROW) is None
+
+
+def test_rowkey():
+    assert evaluate(ColumnRef("ROWKEY"), "the-key", ROW) == "the-key"
+    assert evaluate(ColumnRef("rowkey"), "the-key", ROW) == "the-key"
+
+
+def test_scalar_value_column():
+    assert evaluate(ColumnRef("VALUE"), "k", 99) == 99
+
+
+def test_arithmetic():
+    expr = BinaryOp("*", ColumnRef("price"), ColumnRef("qty"))
+    assert evaluate(expr, "k", ROW) == 30
+    assert evaluate(BinaryOp("+", Literal(1), Literal(2)), "k", ROW) == 3
+    assert evaluate(BinaryOp("-", Literal(5), Literal(2)), "k", ROW) == 3
+
+
+def test_division_by_zero_is_null():
+    assert evaluate(BinaryOp("/", Literal(1), Literal(0)), "k", ROW) is None
+
+
+def test_arithmetic_with_null_is_null():
+    expr = BinaryOp("+", ColumnRef("ghost"), Literal(1))
+    assert evaluate(expr, "k", ROW) is None
+
+
+def test_comparisons():
+    assert evaluate(BinaryOp(">", ColumnRef("price"), Literal(5)), "k", ROW)
+    assert not evaluate(BinaryOp("<", ColumnRef("price"), Literal(5)), "k", ROW)
+    assert evaluate(BinaryOp("=", ColumnRef("name"), Literal("widget")), "k", ROW)
+    assert evaluate(BinaryOp("!=", ColumnRef("name"), Literal("x")), "k", ROW)
+    assert evaluate(BinaryOp(">=", Literal(3), Literal(3)), "k", ROW)
+    assert evaluate(BinaryOp("<=", Literal(3), Literal(3)), "k", ROW)
+
+
+def test_comparison_with_null_is_false():
+    assert not evaluate(BinaryOp("=", ColumnRef("ghost"), Literal(1)), "k", ROW)
+
+
+def test_logical_operators():
+    true_cmp = BinaryOp(">", ColumnRef("price"), Literal(5))
+    false_cmp = BinaryOp("<", ColumnRef("price"), Literal(5))
+    assert evaluate(BinaryOp("AND", true_cmp, true_cmp), "k", ROW)
+    assert not evaluate(BinaryOp("AND", true_cmp, false_cmp), "k", ROW)
+    assert evaluate(BinaryOp("OR", false_cmp, true_cmp), "k", ROW)
+
+
+def test_aggregate_outside_group_by_rejected():
+    with pytest.raises(KsqlParseError):
+        evaluate(FunctionCall("COUNT", None), "k", ROW)

@@ -1,0 +1,172 @@
+"""ksql parser tests."""
+
+import pytest
+
+from repro.ksql.ast import (
+    BinaryOp,
+    ColumnRef,
+    CreateAsSelect,
+    CreateSource,
+    DropStatement,
+    FunctionCall,
+    Literal,
+)
+from repro.ksql.parser import KsqlParseError, parse, tokenize
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        assert tokenize("SELECT a, b FROM s;") == [
+            "SELECT", "a", ",", "b", "FROM", "s", ";"
+        ]
+
+    def test_strings_and_numbers(self):
+        assert tokenize("x = 'hi ''there''' + 4.5") == [
+            "x", "=", "'hi ''there'''", "+", "4.5"
+        ]
+
+    def test_comments_skipped(self):
+        assert tokenize("SELECT a -- comment\nFROM s") == [
+            "SELECT", "a", "FROM", "s"
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(KsqlParseError):
+            tokenize("SELECT @")
+
+
+class TestCreateSource:
+    def test_create_stream(self):
+        (stmt,) = parse(
+            "CREATE STREAM pv WITH (KAFKA_TOPIC='pageviews', PARTITIONS=4);"
+        )
+        assert isinstance(stmt, CreateSource)
+        assert stmt.kind == "STREAM"
+        assert stmt.topic == "pageviews"
+        assert stmt.partitions == 4
+
+    def test_create_table_defaults_one_partition(self):
+        (stmt,) = parse("CREATE TABLE users WITH (KAFKA_TOPIC='users');")
+        assert stmt.kind == "TABLE"
+        assert stmt.partitions == 1
+
+    def test_missing_with_rejected(self):
+        with pytest.raises(KsqlParseError):
+            parse("CREATE STREAM pv;")
+
+    def test_unknown_property_rejected(self):
+        with pytest.raises(KsqlParseError):
+            parse("CREATE STREAM pv WITH (FORMAT='json');")
+
+
+class TestSelect:
+    def test_projection_and_where(self):
+        (stmt,) = parse(
+            "CREATE STREAM out AS SELECT a, b AS bee FROM src "
+            "WHERE a > 10 AND b = 'x';"
+        )
+        assert isinstance(stmt, CreateAsSelect)
+        query = stmt.query
+        assert [p.output_name() for p in query.projections] == ["a", "bee"]
+        assert query.where.op == "AND"
+        assert query.source == "src"
+
+    def test_arithmetic_expressions(self):
+        (stmt,) = parse(
+            "CREATE STREAM o AS SELECT bid + ask AS total, mid * 2 FROM s;"
+        )
+        total = stmt.query.projections[0]
+        assert isinstance(total.expression, BinaryOp)
+        assert total.expression.op == "+"
+
+    def test_aggregates_parsed(self):
+        (stmt,) = parse(
+            "CREATE TABLE t AS SELECT k, COUNT(*) AS n, SUM(x) AS total, "
+            "AVG(x) FROM s GROUP BY k;"
+        )
+        functions = [
+            p.expression for p in stmt.query.projections
+            if isinstance(p.expression, FunctionCall)
+        ]
+        assert [f.name for f in functions] == ["COUNT", "SUM", "AVG"]
+        assert functions[0].argument is None
+        assert stmt.query.group_by == ColumnRef("k")
+
+    def test_tumbling_window(self):
+        (stmt,) = parse(
+            "CREATE TABLE t AS SELECT k, COUNT(*) FROM s "
+            "WINDOW TUMBLING (SIZE 5 SECONDS, GRACE 10 SECONDS) "
+            "GROUP BY k EMIT CHANGES;"
+        )
+        window = stmt.query.window
+        assert window.kind == "TUMBLING"
+        assert window.size_ms == 5000.0
+        assert window.grace_ms == 10_000.0
+
+    def test_hopping_window(self):
+        (stmt,) = parse(
+            "CREATE TABLE t AS SELECT k, COUNT(*) FROM s "
+            "WINDOW HOPPING (SIZE 10 SECONDS, ADVANCE BY 5 SECONDS) "
+            "GROUP BY k;"
+        )
+        assert stmt.query.window.advance_ms == 5000.0
+
+    def test_session_window(self):
+        (stmt,) = parse(
+            "CREATE TABLE t AS SELECT k, COUNT(*) FROM s "
+            "WINDOW SESSION (30 SECONDS) GROUP BY k;"
+        )
+        assert stmt.query.window.kind == "SESSION"
+        assert stmt.query.window.size_ms == 30_000.0
+
+    def test_join_clause(self):
+        (stmt,) = parse(
+            "CREATE STREAM e AS SELECT a FROM s "
+            "LEFT JOIN users ON user_id = users.ROWKEY;"
+        )
+        join = stmt.query.join
+        assert join.table == "users"
+        assert join.stream_column == ColumnRef("user_id")
+        assert join.left
+
+    def test_join_requires_rowkey_equation(self):
+        with pytest.raises(KsqlParseError):
+            parse("CREATE STREAM e AS SELECT a FROM s JOIN u ON x = y;")
+
+    def test_partition_by(self):
+        (stmt,) = parse(
+            "CREATE STREAM o AS SELECT a FROM s PARTITION BY a;"
+        )
+        assert stmt.query.partition_by == ColumnRef("a")
+
+    def test_literals(self):
+        (stmt,) = parse(
+            "CREATE STREAM o AS SELECT a FROM s "
+            "WHERE x = TRUE OR y = NULL OR z = 'str';"
+        )
+        assert stmt.query.where.op == "OR"
+
+
+class TestMisc:
+    def test_multiple_statements(self):
+        statements = parse(
+            "CREATE STREAM a WITH (KAFKA_TOPIC='a');"
+            "CREATE STREAM b WITH (KAFKA_TOPIC='b');"
+        )
+        assert len(statements) == 2
+
+    def test_drop_query(self):
+        (stmt,) = parse("DROP QUERY counts;")
+        assert stmt == DropStatement("counts")
+
+    def test_empty_rejected(self):
+        with pytest.raises(KsqlParseError):
+            parse("   ")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(KsqlParseError):
+            parse("INSERT INTO t VALUES (1);")
+
+    def test_case_insensitive_keywords(self):
+        (stmt,) = parse("create stream s with (kafka_topic='t');")
+        assert stmt.topic == "t"

@@ -1,0 +1,183 @@
+"""Property-based tests on the log layer's core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.log.compaction import compact
+from repro.log.partition_log import PartitionLog
+from repro.log.record import (
+    ABORT_MARKER,
+    COMMIT_MARKER,
+    Record,
+    RecordBatch,
+    control_marker,
+)
+
+keys = st.sampled_from(["a", "b", "c", "d", "e"])
+values = st.integers(min_value=0, max_value=1000)
+
+
+@st.composite
+def batch_plans(draw):
+    """A plan of batches, each with a retry count (0-2 retries)."""
+    n = draw(st.integers(min_value=1, max_value=20))
+    plans = []
+    for i in range(n):
+        size = draw(st.integers(min_value=1, max_value=4))
+        retries = draw(st.integers(min_value=0, max_value=2))
+        plans.append((size, retries))
+    return plans
+
+
+@given(batch_plans())
+@settings(max_examples=60, deadline=None)
+def test_idempotent_appends_are_exactly_once(plans):
+    """However often batches are retried, every logical record appears in
+    the log exactly once and in send order."""
+    log = PartitionLog()
+    expected = []
+    sequence = 0
+    value = 0
+    for size, retries in plans:
+        records = []
+        for _ in range(size):
+            records.append(Record(key="k", value=value))
+            expected.append(value)
+            value += 1
+        batch = RecordBatch(
+            records, producer_id=1, producer_epoch=0, base_sequence=sequence
+        )
+        sequence += size
+        result = log.append_batch(batch)
+        assert not result.duplicate
+        for _ in range(retries):
+            retry = log.append_batch(batch)
+            assert retry.duplicate
+            assert retry.base_offset == result.base_offset
+    log.high_watermark = log.log_end_offset
+    assert [r.value for r in log.read(0)] == expected
+
+
+@st.composite
+def txn_scripts(draw):
+    """Interleaved transactional appends from 2 producers with random
+    commit/abort outcomes."""
+    steps = []
+    open_txns = {}
+    seqs = {1: 0, 2: 0}
+    n = draw(st.integers(min_value=1, max_value=25))
+    for _ in range(n):
+        pid = draw(st.sampled_from([1, 2]))
+        if pid in open_txns and draw(st.booleans()):
+            commit = draw(st.booleans())
+            steps.append(("end", pid, commit))
+            del open_txns[pid]
+        else:
+            value = draw(values)
+            steps.append(("send", pid, value))
+            open_txns[pid] = True
+    for pid in list(open_txns):
+        steps.append(("end", pid, draw(st.booleans())))
+    return steps
+
+
+@given(txn_scripts())
+@settings(max_examples=60, deadline=None)
+def test_read_committed_sees_exactly_committed_data(steps):
+    """The visible (read-committed) log equals the committed sends, in
+    order, for any interleaving of transactions and outcomes."""
+    from repro.broker.fetch import fetch
+    from repro.config import READ_COMMITTED
+
+    log = PartitionLog()
+    seqs = {1: 0, 2: 0}
+    pending = {1: [], 2: []}
+    committed = []
+    for step in steps:
+        if step[0] == "send":
+            _, pid, value = step
+            log.append_batch(
+                RecordBatch(
+                    [Record(key="k", value=(pid, value))],
+                    producer_id=pid,
+                    producer_epoch=0,
+                    base_sequence=seqs[pid],
+                    is_transactional=True,
+                )
+            )
+            seqs[pid] += 1
+            pending[pid].append((pid, value))
+        else:
+            _, pid, commit = step
+            marker = COMMIT_MARKER if commit else ABORT_MARKER
+            log.append_marker(control_marker(marker, pid, 0))
+            if commit:
+                committed.extend(pending[pid])
+            pending[pid] = []
+    log.high_watermark = log.log_end_offset
+    result = fetch(log, 0, max_records=10**6, isolation_level=READ_COMMITTED)
+    visible = [r.value for r in result.records]
+    assert sorted(visible) == sorted(committed)
+    # Per-producer order is preserved.
+    for pid in (1, 2):
+        mine = [v for p, v in visible if p == pid]
+        expected = [v for p, v in committed if p == pid]
+        assert mine == expected
+
+
+@given(txn_scripts())
+@settings(max_examples=60, deadline=None)
+def test_lso_never_exceeds_high_watermark(steps):
+    log = PartitionLog()
+    seqs = {1: 0, 2: 0}
+    for step in steps:
+        if step[0] == "send":
+            _, pid, value = step
+            log.append_batch(
+                RecordBatch(
+                    [Record(key="k", value=value)],
+                    producer_id=pid,
+                    producer_epoch=0,
+                    base_sequence=seqs[pid],
+                    is_transactional=True,
+                )
+            )
+            seqs[pid] += 1
+        else:
+            _, pid, commit = step
+            marker = COMMIT_MARKER if commit else ABORT_MARKER
+            log.append_marker(control_marker(marker, pid, 0))
+        log.high_watermark = log.log_end_offset
+        assert log.last_stable_offset <= log.high_watermark
+        assert log.last_stable_offset >= 0
+
+
+@given(
+    st.lists(
+        st.tuples(keys, st.one_of(st.none(), values)),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_compaction_preserves_latest_value_per_key(puts):
+    """The compacted log materializes to the same table as the full log."""
+    records = [
+        Record(key=k, value=v, offset=i) for i, (k, v) in enumerate(puts)
+    ]
+
+    def materialize(recs):
+        table = {}
+        for r in recs:
+            if r.value is None:
+                table.pop(r.key, None)
+            else:
+                table[r.key] = r.value
+        return table
+
+    compacted = compact(records, dirty_from=len(records) + 1)
+    assert materialize(compacted) == materialize(records)
+    offsets = [r.offset for r in compacted]
+    assert offsets == sorted(offsets)
+    # At most one record per key survives.
+    surviving_keys = [r.key for r in compacted]
+    assert len(surviving_keys) == len(set(surviving_keys))

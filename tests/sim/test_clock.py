@@ -1,0 +1,105 @@
+"""Unit tests for the virtual clock and its timers."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+
+
+def test_starts_at_zero():
+    assert SimClock().now == 0.0
+
+
+def test_starts_at_custom_time():
+    assert SimClock(start_ms=42.5).now == 42.5
+
+
+def test_advance_moves_time():
+    clock = SimClock()
+    clock.advance(10.0)
+    clock.advance(2.5)
+    assert clock.now == 12.5
+
+
+def test_advance_to_moves_time():
+    clock = SimClock()
+    clock.advance_to(100.0)
+    assert clock.now == 100.0
+
+
+def test_advance_rejects_negative():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+
+
+def test_advance_to_rejects_past():
+    clock = SimClock(start_ms=50)
+    with pytest.raises(ValueError):
+        clock.advance_to(49.0)
+
+
+def test_timer_fires_when_deadline_passed():
+    clock = SimClock()
+    fired = []
+    clock.schedule(10.0, lambda: fired.append(clock.now))
+    clock.advance(9.9)
+    assert fired == []
+    clock.advance(0.2)
+    assert fired == [10.0]
+
+
+def test_timer_fires_at_its_deadline_not_after():
+    """Callbacks observe now == their own deadline even on a big jump."""
+    clock = SimClock()
+    seen = []
+    clock.schedule(5.0, lambda: seen.append(clock.now))
+    clock.advance(100.0)
+    assert seen == [5.0]
+    assert clock.now == 100.0
+
+
+def test_timers_fire_in_deadline_order():
+    clock = SimClock()
+    order = []
+    clock.schedule(30.0, lambda: order.append("c"))
+    clock.schedule(10.0, lambda: order.append("a"))
+    clock.schedule(20.0, lambda: order.append("b"))
+    clock.advance(50.0)
+    assert order == ["a", "b", "c"]
+
+
+def test_equal_deadline_timers_fire_in_schedule_order():
+    clock = SimClock()
+    order = []
+    clock.schedule(10.0, lambda: order.append(1))
+    clock.schedule(10.0, lambda: order.append(2))
+    clock.advance(10.0)
+    assert order == [1, 2]
+
+
+def test_cancelled_timer_does_not_fire():
+    clock = SimClock()
+    fired = []
+    timer = clock.schedule(5.0, lambda: fired.append(True))
+    timer.cancel()
+    clock.advance(10.0)
+    assert fired == []
+    assert timer.cancelled
+    assert not timer.fired
+
+
+def test_timer_scheduled_inside_callback_fires():
+    clock = SimClock()
+    fired = []
+
+    def first():
+        clock.schedule(5.0, lambda: fired.append("second"))
+
+    clock.schedule(5.0, first)
+    clock.advance(20.0)
+    assert fired == ["second"]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        SimClock().schedule(-1.0, lambda: None)

@@ -1,0 +1,115 @@
+"""Unit tests for the network cost model and fault injection."""
+
+import pytest
+
+from repro.errors import BrokerUnavailableError, RequestTimeoutError
+from repro.sim.clock import SimClock
+from repro.sim.network import FaultRule, Network, NetworkCosts
+
+
+@pytest.fixture
+def net():
+    return Network(SimClock(), NetworkCosts(jitter_frac=0.0), seed=1)
+
+
+def test_call_invokes_function_and_returns_result(net):
+    assert net.call("produce", 0, lambda: 41 + 1) == 42
+
+
+def test_call_charges_latency(net):
+    net.call("produce", 0, lambda: None, base_cost_ms=3.0)
+    assert net.clock.now == pytest.approx(3.0)
+
+
+def test_jitter_is_bounded_and_deterministic():
+    costs = NetworkCosts(jitter_frac=0.1)
+    net_a = Network(SimClock(), costs, seed=5)
+    net_b = Network(SimClock(), costs, seed=5)
+    for _ in range(20):
+        net_a.call("x", 0, lambda: None, base_cost_ms=10.0)
+        net_b.call("x", 0, lambda: None, base_cost_ms=10.0)
+    assert net_a.clock.now == net_b.clock.now
+    assert 20 * 9.0 <= net_a.clock.now <= 20 * 11.0
+
+
+def test_charge_latency_can_be_disabled(net):
+    net.charge_latency = False
+    net.call("produce", 0, lambda: None, base_cost_ms=100.0)
+    assert net.clock.now == 0.0
+
+
+def test_rpc_counts_accumulate(net):
+    net.call("produce", 0, lambda: None)
+    net.call("produce", 1, lambda: None)
+    net.call("fetch", 0, lambda: None)
+    assert net.rpc_counts == {"produce": 2, "fetch": 1}
+
+
+def test_down_broker_raises(net):
+    net.set_broker_down(2)
+    with pytest.raises(BrokerUnavailableError):
+        net.call("produce", 2, lambda: None)
+    net.set_broker_down(2, down=False)
+    assert net.call("produce", 2, lambda: 1) == 1
+
+
+def test_drop_ack_applies_operation_then_times_out(net):
+    """The paper's lost-acknowledgement: the effect happens, the ack doesn't."""
+    applied = []
+    net.add_fault(FaultRule(kind="drop_ack", match_api="produce"))
+    with pytest.raises(RequestTimeoutError):
+        net.call("produce", 0, lambda: applied.append(1))
+    assert applied == [1]
+    # Rule is exhausted: next call succeeds.
+    net.call("produce", 0, lambda: applied.append(2))
+    assert applied == [1, 2]
+
+
+def test_drop_request_does_not_apply_operation(net):
+    applied = []
+    net.add_fault(FaultRule(kind="drop_request", match_api="produce"))
+    with pytest.raises(RequestTimeoutError):
+        net.call("produce", 0, lambda: applied.append(1))
+    assert applied == []
+
+
+def test_fault_matches_api_and_destination(net):
+    net.add_fault(FaultRule(kind="drop_request", match_api="produce", match_dst=1))
+    net.call("fetch", 1, lambda: None)          # different api: unaffected
+    net.call("produce", 0, lambda: None)        # different dst: unaffected
+    with pytest.raises(RequestTimeoutError):
+        net.call("produce", 1, lambda: None)
+
+
+def test_fault_count_limits_triggers(net):
+    rule = net.add_fault(FaultRule(kind="drop_request", match_api="produce", count=2))
+    for _ in range(2):
+        with pytest.raises(RequestTimeoutError):
+            net.call("produce", 0, lambda: None)
+    net.call("produce", 0, lambda: None)
+    assert rule.triggered == 2
+
+
+def test_delay_fault_adds_latency(net):
+    net.add_fault(FaultRule(kind="delay", match_api="produce", delay_ms=50.0))
+    net.call("produce", 0, lambda: None, base_cost_ms=1.0)
+    assert net.clock.now == pytest.approx(51.0)
+
+
+def test_clear_faults(net):
+    net.add_fault(FaultRule(kind="drop_request", match_api="produce"))
+    net.clear_faults()
+    net.call("produce", 0, lambda: None)  # should not raise
+
+
+def test_marker_cost_grows_linearly():
+    costs = NetworkCosts(jitter_frac=0.0)
+    net = Network(SimClock(), costs)
+    assert net.marker_cost(100) - net.marker_cost(1) == pytest.approx(
+        99 * costs.marker_write_ms
+    )
+
+
+def test_produce_cost_scales_with_records():
+    net = Network(SimClock(), NetworkCosts(jitter_frac=0.0))
+    assert net.produce_cost(1000) > net.produce_cost(1)

@@ -1,0 +1,134 @@
+"""Aggregation processors: counts, reduces, caching, revision Changes."""
+
+import pytest
+
+from repro.streams.aggregates import (
+    StreamAggregateProcessor,
+    WindowedAggregateProcessor,
+    count_aggregator,
+    count_initializer,
+    reduce_adapter,
+    reduce_initializer,
+)
+from repro.streams.records import Change, StreamRecord
+from repro.streams.state.kv_store import InMemoryKeyValueStore
+from repro.streams.state.window_store import InMemoryWindowStore
+from repro.streams.windows import TimeWindows
+
+from tests.streams.harness import forwarded_records, init_processor
+
+
+def feed(processor, task, key, value, ts):
+    task.stream_time = max(task.stream_time, float(ts))
+    processor.process(StreamRecord(key=key, value=value, timestamp=float(ts)))
+
+
+class TestStreamAggregate:
+    def make(self, cache_entries=0):
+        store = InMemoryKeyValueStore("agg")
+        processor = StreamAggregateProcessor(
+            "agg", count_initializer, count_aggregator, cache_entries
+        )
+        processor, task = init_processor(processor, stores={"agg": store})
+        return processor, task, store
+
+    def test_counts_accumulate_per_key(self):
+        processor, task, store = self.make()
+        feed(processor, task, "a", 1, 0)
+        feed(processor, task, "a", 1, 1)
+        feed(processor, task, "b", 1, 2)
+        assert store.get("a") == 2
+        assert store.get("b") == 1
+
+    def test_every_update_emits_change_with_old(self):
+        processor, task, _ = self.make()
+        feed(processor, task, "a", 1, 0)
+        feed(processor, task, "a", 1, 1)
+        changes = [r.value for r in forwarded_records(task)]
+        assert changes == [Change(1, None), Change(2, 1)]
+
+    def test_none_keys_skipped(self):
+        processor, task, store = self.make()
+        feed(processor, task, None, 1, 0)
+        assert forwarded_records(task) == []
+        assert store.approximate_num_entries() == 0
+
+    def test_cache_consolidates_until_commit(self):
+        processor, task, store = self.make(cache_entries=100)
+        for i in range(5):
+            feed(processor, task, "a", 1, i)
+        assert forwarded_records(task) == []     # nothing emitted yet
+        assert store.get("a") is None            # store write deferred too
+        processor.on_commit()
+        changes = [r.value for r in forwarded_records(task)]
+        assert changes == [Change(5, None)]      # one consolidated Change
+        assert store.get("a") == 5
+
+    def test_cache_reads_its_own_pending_writes(self):
+        processor, task, store = self.make(cache_entries=100)
+        feed(processor, task, "a", 1, 0)
+        processor.on_commit()
+        feed(processor, task, "a", 1, 1)
+        processor.on_commit()
+        assert store.get("a") == 2
+
+    def test_reduce_adapter_first_value_initializes(self):
+        store = InMemoryKeyValueStore("agg")
+        processor = StreamAggregateProcessor(
+            "agg", reduce_initializer, reduce_adapter(lambda acc, v: acc + v)
+        )
+        processor, task = init_processor(processor, stores={"agg": store})
+        feed(processor, task, "a", 10, 0)
+        feed(processor, task, "a", 5, 1)
+        assert store.get("a") == 15
+        changes = [r.value for r in forwarded_records(task)]
+        assert changes[0].new == 10
+
+
+class TestWindowedAggregateEdges:
+    def make(self, windows=None, cache_entries=0):
+        windows = windows or TimeWindows.of(10).grace(5)
+        store = InMemoryWindowStore("agg", retention_ms=windows.retention_ms)
+        processor = WindowedAggregateProcessor(
+            "agg", windows, count_initializer, count_aggregator, cache_entries
+        )
+        processor, task = init_processor(processor, stores={"agg": store})
+        return processor, task, store
+
+    def test_hopping_windows_update_all_overlaps(self):
+        windows = TimeWindows.of(10).advance_by(5).grace(100)
+        processor, task, store = self.make(windows)
+        feed(processor, task, "k", 1, 7)
+        assert store.fetch("k", 0) == 1
+        assert store.fetch("k", 5) == 1
+
+    def test_exactly_at_grace_boundary_still_accepted(self):
+        processor, task, store = self.make()
+        feed(processor, task, "k", 1, 20)    # stream time 20, bound = 15
+        feed(processor, task, "k", 1, 15)    # window start 10 < 15? yes-drop
+        assert processor.dropped_records == 1
+        feed(processor, task, "k", 1, 16)    # window start 10 < 15 drop too
+        assert processor.dropped_records == 2
+
+    def test_window_at_boundary_retained(self):
+        processor, task, store = self.make()
+        feed(processor, task, "k", 1, 20)
+        feed(processor, task, "k", 1, 25)    # bound = 20; window 20 kept
+        assert store.fetch("k", 20) == 2
+
+    def test_windowed_cache_consolidates(self):
+        processor, task, store = self.make(cache_entries=100)
+        for i in range(3):
+            feed(processor, task, "k", 1, i)
+        assert forwarded_records(task) == []
+        processor.on_commit()
+        (record,) = forwarded_records(task)
+        assert record.value == Change(3, None)
+        assert store.fetch("k", 0) == 3
+
+    def test_distinct_keys_distinct_windows(self):
+        processor, task, store = self.make()
+        feed(processor, task, "a", 1, 0)
+        feed(processor, task, "b", 1, 0)
+        assert store.fetch("a", 0) == 1
+        assert store.fetch("b", 0) == 1

@@ -1,0 +1,113 @@
+"""Cross-application consistent query serving (the paper's future work)."""
+
+import pytest
+
+from repro.clients.producer import Producer
+from repro.config import EXACTLY_ONCE, StreamsConfig
+from repro.streams import KafkaStreams, StreamsBuilder
+from repro.streams.queries import ConsistentQueryGroup, StateCatalog
+
+from tests.streams.harness import make_cluster
+
+
+@pytest.fixture
+def pipeline():
+    """Two chained applications: raw counts, then a derived parity table."""
+    cluster = make_cluster(**{"in": 1, "counts": 1, "parity": 1})
+
+    counts_builder = StreamsBuilder()
+    counts_builder.stream("in").group_by_key().count("counts-store") \
+        .to_stream().to("counts")
+    counts_app = KafkaStreams(
+        counts_builder.build(), cluster,
+        StreamsConfig(application_id="app-counts",
+                      processing_guarantee=EXACTLY_ONCE),
+    )
+    counts_app.start(1)
+
+    parity_builder = StreamsBuilder()
+    (
+        parity_builder.stream("counts")
+        .group_by_key()
+        .aggregate(lambda: None, lambda k, v, agg: "even" if v % 2 == 0 else "odd",
+                   "parity-store")
+        .to_stream()
+        .to("parity")
+    )
+    parity_app = KafkaStreams(
+        parity_builder.build(), cluster,
+        StreamsConfig(application_id="app-parity",
+                      processing_guarantee=EXACTLY_ONCE),
+    )
+    parity_app.start(1)
+
+    def run_all():
+        for _ in range(3):
+            counts_app.run_until_idle()
+            parity_app.run_until_idle()
+        cluster.clock.advance(10.0)
+
+    return cluster, run_all
+
+
+def produce(cluster, n):
+    producer = Producer(cluster)
+    for i in range(n):
+        producer.send("in", key="k", value=1, timestamp=float(i))
+    producer.flush()
+
+
+def test_group_refreshes_all_members(pipeline):
+    cluster, run_all = pipeline
+    group = ConsistentQueryGroup()
+    group.add("counts", StateCatalog(cluster, "app-counts", "counts-store"))
+    group.add("parity", StateCatalog(cluster, "app-parity", "parity-store"))
+    produce(cluster, 4)
+    run_all()
+    applied = group.refresh()
+    assert applied["counts"] > 0
+    assert applied["parity"] > 0
+    assert group.query("counts", "k") == 4
+    assert group.query("parity", "k") == "even"
+
+
+def test_combined_view_is_mutually_consistent(pipeline):
+    """After a group refresh, the derived app's view agrees with the
+    upstream app's view — no torn cross-app read."""
+    cluster, run_all = pipeline
+    group = ConsistentQueryGroup()
+    group.add("counts", StateCatalog(cluster, "app-counts", "counts-store"))
+    group.add("parity", StateCatalog(cluster, "app-parity", "parity-store"))
+    for rounds in (3, 2, 4):
+        produce(cluster, rounds)
+        run_all()
+        group.refresh()
+        view = group.combined_view()
+        count = view["counts"]["k"]
+        parity = view["parity"]["k"]
+        assert parity == ("even" if count % 2 == 0 else "odd")
+
+
+def test_aligned_checkpoints(pipeline):
+    cluster, run_all = pipeline
+    group = ConsistentQueryGroup()
+    group.add("counts", StateCatalog(cluster, "app-counts", "counts-store"))
+    group.add("parity", StateCatalog(cluster, "app-parity", "parity-store"))
+    produce(cluster, 2)
+    run_all()
+    morning = group.checkpoint("morning")
+    produce(cluster, 1)
+    run_all()
+    group.refresh()
+    assert morning["counts"].data == {"k": 2}
+    assert morning["parity"].data == {"k": "even"}
+    assert group.snapshot("morning") is morning
+    assert group.query("counts", "k") == 3
+
+
+def test_duplicate_member_rejected(pipeline):
+    cluster, _ = pipeline
+    group = ConsistentQueryGroup()
+    group.add("a", StateCatalog(cluster, "app-counts", "counts-store"))
+    with pytest.raises(ValueError):
+        group.add("a", StateCatalog(cluster, "app-counts", "counts-store"))

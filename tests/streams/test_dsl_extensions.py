@@ -1,0 +1,197 @@
+"""DSL extensions: branch, to_table, session windows and punctuation run
+end-to-end through the application runtime."""
+
+import pytest
+
+from repro.clients.producer import Producer
+from repro.config import EXACTLY_ONCE, StreamsConfig
+from repro.streams import KafkaStreams, StreamsBuilder
+from repro.streams.processor import (
+    PUNCTUATION_STREAM_TIME,
+    PUNCTUATION_WALL_CLOCK,
+    Processor,
+    Punctuation,
+)
+from repro.streams.windows import SessionWindows
+
+from tests.streams.harness import drain_topic, latest_by_key, make_cluster
+
+
+class TestBranch:
+    def test_records_routed_to_first_matching_branch(self):
+        cluster = make_cluster(**{"in": 1, "big": 1, "small": 1})
+        builder = StreamsBuilder()
+        big, small = builder.stream("in").branch(
+            lambda k, v: v >= 10,
+            lambda k, v: True,
+        )
+        big.to("big")
+        small.to("small")
+        app = KafkaStreams(builder.build(), cluster,
+                           StreamsConfig(application_id="branch"))
+        app.start(1)
+        producer = Producer(cluster)
+        for i, value in enumerate([3, 20, 7, 15]):
+            producer.send("in", key=f"k{i}", value=value, timestamp=float(i))
+        producer.flush()
+        app.run_until_idle()
+        assert sorted(r.value for r in drain_topic(cluster, "big", False)) == [15, 20]
+        assert sorted(r.value for r in drain_topic(cluster, "small", False)) == [3, 7]
+
+    def test_unmatched_records_dropped(self):
+        cluster = make_cluster(**{"in": 1, "out": 1})
+        builder = StreamsBuilder()
+        (only,) = builder.stream("in").branch(lambda k, v: v > 100)
+        only.to("out")
+        app = KafkaStreams(builder.build(), cluster,
+                           StreamsConfig(application_id="branch2"))
+        app.start(1)
+        producer = Producer(cluster)
+        producer.send("in", key="k", value=5, timestamp=0.0)
+        producer.flush()
+        app.run_until_idle()
+        assert drain_topic(cluster, "out", False) == []
+
+    def test_branch_requires_predicates(self):
+        builder = StreamsBuilder()
+        from repro.errors import TopologyError
+
+        with pytest.raises(TopologyError):
+            builder.stream("in").branch()
+
+
+class TestToTable:
+    def test_stream_materializes_as_upserts(self):
+        cluster = make_cluster(**{"in": 1, "out": 1})
+        builder = StreamsBuilder()
+        builder.stream("in").to_table("latest").to_stream().to("out")
+        app = KafkaStreams(builder.build(), cluster,
+                           StreamsConfig(application_id="tbl"))
+        app.start(1)
+        producer = Producer(cluster)
+        producer.send("in", key="k", value="v1", timestamp=0.0)
+        producer.send("in", key="k", value="v2", timestamp=1.0)
+        producer.flush()
+        app.run_until_idle()
+        assert app.store_contents("latest") == {"k": "v2"}
+        final = latest_by_key(drain_topic(cluster, "out", False))
+        assert final == {"k": "v2"}
+
+
+class TestSessionWindowsEndToEnd:
+    def test_session_counts_through_app(self):
+        cluster = make_cluster(**{"clicks": 1, "sessions": 1})
+        builder = StreamsBuilder()
+        (
+            builder.stream("clicks")
+            .group_by_key()
+            .windowed_by(SessionWindows.with_gap(100.0).grace(10_000.0))
+            .count()
+            .to_stream()
+            .to("sessions")
+        )
+        app = KafkaStreams(
+            builder.build(), cluster,
+            StreamsConfig(application_id="sess",
+                          processing_guarantee=EXACTLY_ONCE),
+        )
+        app.start(1)
+        producer = Producer(cluster)
+        # Two bursts separated by more than the gap.
+        for ts in (0.0, 50.0, 90.0, 500.0, 520.0):
+            producer.send("clicks", key="user", value=1, timestamp=ts)
+        producer.flush()
+        app.run_until_idle()
+        cluster.clock.advance(20.0)
+        final = latest_by_key(drain_topic(cluster, "sessions"))
+        live = {k: v for k, v in final.items() if v is not None}
+        spans = {(k.window.start, v) for k, v in live.items()}
+        assert spans == {(0.0, 3), (500.0, 2)}
+
+
+class _PunctuatingProcessor(Processor):
+    """Emits a heartbeat record on a stream-time schedule."""
+
+    def init(self, context):
+        super().init(context)
+        self.stream_fires = []
+        self.wall_fires = []
+        context.schedule(
+            10.0, PUNCTUATION_STREAM_TIME,
+            lambda ts: self.stream_fires.append(ts),
+        )
+        context.schedule(
+            50.0, PUNCTUATION_WALL_CLOCK,
+            lambda ts: self.wall_fires.append(ts),
+        )
+
+    def process(self, record):
+        self.context.forward(record)
+
+
+class TestPunctuation:
+    def test_punctuation_validation(self):
+        with pytest.raises(ValueError):
+            Punctuation(0, PUNCTUATION_STREAM_TIME, lambda ts: None)
+        with pytest.raises(ValueError):
+            Punctuation(10, "lunar_time", lambda ts: None)
+
+    def test_cancelled_punctuation_never_fires(self):
+        fired = []
+        p = Punctuation(10, PUNCTUATION_STREAM_TIME, lambda ts: fired.append(ts))
+        p.maybe_fire(0.0)     # arms at 10
+        p.cancel()
+        p.maybe_fire(100.0)
+        assert fired == []
+
+    def test_catch_up_fires_every_interval(self):
+        fired = []
+        p = Punctuation(10, PUNCTUATION_STREAM_TIME, lambda ts: fired.append(ts))
+        p.maybe_fire(0.0)
+        p.maybe_fire(35.0)
+        assert fired == [10.0, 20.0, 30.0]
+
+    def test_stream_time_punctuation_through_app(self):
+        cluster = make_cluster(**{"in": 1, "out": 1})
+        builder = StreamsBuilder()
+        holder = {}
+
+        def supplier():
+            processor = _PunctuatingProcessor()
+            holder["p"] = processor
+            return processor
+
+        builder.stream("in").process(supplier).to("out")
+        app = KafkaStreams(builder.build(), cluster,
+                           StreamsConfig(application_id="punct"))
+        app.start(1)
+        producer = Producer(cluster)
+        for ts in (0.0, 5.0, 25.0, 60.0):
+            producer.send("in", key="k", value=1, timestamp=ts)
+        producer.flush()
+        app.run_until_idle()
+        processor = holder["p"]
+        # Stream time reached 60: fires at 10,20,...,60 (armed at ts 0).
+        assert processor.stream_fires == [10.0, 20.0, 30.0, 40.0, 50.0, 60.0]
+
+    def test_wall_clock_punctuation_through_app(self):
+        cluster = make_cluster(**{"in": 1, "out": 1})
+        builder = StreamsBuilder()
+        holder = {}
+
+        def supplier():
+            processor = _PunctuatingProcessor()
+            holder["p"] = processor
+            return processor
+
+        builder.stream("in").process(supplier).to("out")
+        app = KafkaStreams(builder.build(), cluster,
+                           StreamsConfig(application_id="punctw"))
+        app.start(1)
+        producer = Producer(cluster)
+        producer.send("in", key="k", value=1, timestamp=0.0)
+        producer.flush()
+        app.step()
+        cluster.clock.advance(500.0)
+        app.step()
+        assert len(holder["p"].wall_fires) >= 1

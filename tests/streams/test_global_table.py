@@ -1,0 +1,121 @@
+"""GlobalKTable: broadcast tables joined without co-partitioning."""
+
+import pytest
+
+from repro.clients.producer import Producer
+from repro.config import EXACTLY_ONCE, StreamsConfig
+from repro.errors import TopologyError, UnknownTopicOrPartitionError
+from repro.streams import KafkaStreams, StreamsBuilder
+
+from tests.streams.harness import drain_topic, make_cluster
+
+
+def build_app(cluster, left_join=False, app_id="gt"):
+    builder = StreamsBuilder()
+    reference = builder.global_table("reference", "ref-store")
+    stream = builder.stream("orders")
+    join = stream.left_join if left_join else stream.join
+    join(
+        reference,
+        joiner=lambda order, ref: {**order, "region": ref and ref["region"]},
+        key_selector=lambda key, order: order["customer"],
+    ).to("enriched")
+    return KafkaStreams(
+        builder.build(), cluster,
+        StreamsConfig(application_id=app_id, processing_guarantee=EXACTLY_ONCE),
+    )
+
+
+def seed_reference(cluster, rows):
+    producer = Producer(cluster)
+    for key, value in rows.items():
+        producer.send("reference", key=key, value=value, timestamp=0.0)
+    producer.flush()
+
+
+class TestGlobalJoin:
+    def test_join_on_arbitrary_key_without_repartition(self):
+        """The stream is keyed by order id; the join key is the customer
+        field — no repartition topic is created."""
+        cluster = make_cluster(**{"orders": 2, "reference": 3, "enriched": 2})
+        app = build_app(cluster)
+        assert not any(
+            "repartition" in t for t in cluster.topics if t.startswith("gt-")
+        )
+        seed_reference(cluster, {"c1": {"region": "emea"}})
+        producer = Producer(cluster)
+        producer.send(
+            "orders", key="o1", value={"customer": "c1", "qty": 2}, timestamp=1.0
+        )
+        producer.flush()
+        app.start(1)
+        app.run_until_idle()
+        cluster.clock.advance(10.0)
+        (record,) = drain_topic(cluster, "enriched")
+        assert record.value == {"customer": "c1", "qty": 2, "region": "emea"}
+
+    def test_inner_join_drops_missing_reference(self):
+        cluster = make_cluster(**{"orders": 1, "reference": 1, "enriched": 1})
+        app = build_app(cluster)
+        producer = Producer(cluster)
+        producer.send("orders", key="o1", value={"customer": "ghost"}, timestamp=1.0)
+        producer.flush()
+        app.start(1)
+        app.run_until_idle()
+        assert drain_topic(cluster, "enriched") == []
+
+    def test_left_join_emits_null_side(self):
+        cluster = make_cluster(**{"orders": 1, "reference": 1, "enriched": 1})
+        app = build_app(cluster, left_join=True)
+        producer = Producer(cluster)
+        producer.send("orders", key="o1", value={"customer": "ghost"}, timestamp=1.0)
+        producer.flush()
+        app.start(1)
+        app.run_until_idle()
+        cluster.clock.advance(10.0)
+        (record,) = drain_topic(cluster, "enriched")
+        assert record.value["region"] is None
+
+    def test_every_instance_replicates_whole_table(self):
+        cluster = make_cluster(**{"orders": 2, "reference": 4, "enriched": 2})
+        app = build_app(cluster)
+        seed_reference(cluster, {f"c{i}": {"region": "r"} for i in range(8)})
+        app.start(2)
+        app.step()
+        for instance in app.instances:
+            store = instance.global_state["ref-store"].store
+            assert store.approximate_num_entries() == 8
+
+    def test_reference_updates_visible_to_later_records(self):
+        cluster = make_cluster(**{"orders": 1, "reference": 1, "enriched": 1})
+        app = build_app(cluster)
+        seed_reference(cluster, {"c1": {"region": "old"}})
+        app.start(1)
+        producer = Producer(cluster)
+        producer.send("orders", key="o1", value={"customer": "c1"}, timestamp=1.0)
+        producer.flush()
+        app.run_until_idle()
+        seed_reference(cluster, {"c1": {"region": "new"}})
+        producer.send("orders", key="o2", value={"customer": "c1"}, timestamp=2.0)
+        producer.flush()
+        app.run_until_idle()
+        cluster.clock.advance(10.0)
+        regions = [r.value["region"] for r in drain_topic(cluster, "enriched")]
+        assert regions == ["old", "new"]
+
+    def test_key_selector_required(self):
+        builder = StreamsBuilder()
+        table = builder.global_table("t")
+        with pytest.raises(TopologyError):
+            builder.stream("s").join(table, lambda a, b: a)
+
+    def test_missing_backing_topic_rejected(self):
+        cluster = make_cluster(**{"orders": 1, "enriched": 1})
+        with pytest.raises(UnknownTopicOrPartitionError):
+            build_app(cluster)
+
+    def test_duplicate_store_name_rejected(self):
+        builder = StreamsBuilder()
+        builder.global_table("a", "dup")
+        with pytest.raises(TopologyError):
+            builder.global_table("b", "dup")

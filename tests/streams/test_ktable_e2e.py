@@ -1,0 +1,193 @@
+"""KTable pipelines end-to-end through the application runtime."""
+
+import pytest
+
+from repro.clients.producer import Producer
+from repro.config import EXACTLY_ONCE, StreamsConfig
+from repro.streams import KafkaStreams, StreamsBuilder
+
+from tests.streams.harness import drain_topic, latest_by_key, make_cluster
+
+
+def start(cluster, build, app_id, guarantee=EXACTLY_ONCE):
+    builder = StreamsBuilder()
+    build(builder)
+    app = KafkaStreams(
+        builder.build(), cluster,
+        StreamsConfig(application_id=app_id, processing_guarantee=guarantee),
+    )
+    app.start(1)
+    return app
+
+
+def upsert(cluster, topic, rows):
+    producer = Producer(cluster)
+    for i, (key, value) in enumerate(rows):
+        producer.send(topic, key=key, value=value, timestamp=float(i))
+    producer.flush()
+
+
+class TestTableSource:
+    def test_table_materializes_latest(self):
+        cluster = make_cluster(**{"users": 2, "out": 2})
+        app = start(
+            cluster,
+            lambda b: b.table("users", "users-store").to_stream().to("out"),
+            "tsrc",
+        )
+        upsert(cluster, "users", [("u1", "a"), ("u1", "b"), ("u2", "c")])
+        app.run_until_idle()
+        assert app.store_contents("users-store") == {"u1": "b", "u2": "c"}
+
+    def test_tombstone_deletes_row(self):
+        cluster = make_cluster(**{"users": 1, "out": 1})
+        app = start(
+            cluster,
+            lambda b: b.table("users", "users-store").to_stream().to("out"),
+            "tomb",
+        )
+        upsert(cluster, "users", [("u1", "a"), ("u1", None)])
+        app.run_until_idle()
+        assert app.store_contents("users-store") == {}
+
+    def test_table_filter_retracts(self):
+        cluster = make_cluster(**{"scores": 1, "high": 1})
+        app = start(
+            cluster,
+            lambda b: (
+                b.table("scores")
+                .filter(lambda k, v: v >= 10)
+                .to_stream()
+                .to("high")
+            ),
+            "tfil",
+        )
+        upsert(cluster, "scores", [("p1", 15), ("p1", 5)])
+        app.run_until_idle()
+        cluster.clock.advance(10.0)
+        values = [r.value for r in drain_topic(cluster, "high")]
+        # 15 entered the filtered table, then dropping below 10 retracted
+        # it (a None/tombstone downstream).
+        assert values == [15, None]
+
+
+class TestTableTableJoinE2E:
+    def test_join_updates_from_both_sides(self):
+        cluster = make_cluster(**{"profiles": 2, "settings": 2, "joined": 2})
+        app = start(
+            cluster,
+            lambda b: (
+                b.table("profiles")
+                .join(b.table("settings"), lambda p, s: {"profile": p, "settings": s})
+                .to_stream()
+                .to("joined")
+            ),
+            "ttj",
+        )
+        upsert(cluster, "profiles", [("u1", "alice")])
+        app.run_until_idle()
+        upsert(cluster, "settings", [("u1", "dark")])
+        app.run_until_idle()
+        upsert(cluster, "profiles", [("u1", "alicia")])
+        app.run_until_idle()
+        cluster.clock.advance(10.0)
+        final = latest_by_key(drain_topic(cluster, "joined"))
+        assert final == {"u1": {"profile": "alicia", "settings": "dark"}}
+
+    def test_inner_join_needs_both_sides(self):
+        cluster = make_cluster(**{"a": 1, "b": 1, "joined": 1})
+        app = start(
+            cluster,
+            lambda b: (
+                b.table("a").join(b.table("b"), lambda x, y: (x, y))
+                .to_stream().to("joined")
+            ),
+            "ttj2",
+        )
+        upsert(cluster, "a", [("k", 1)])
+        app.run_until_idle()
+        cluster.clock.advance(10.0)
+        assert drain_topic(cluster, "joined") == []
+
+
+class TestGroupByReaggregation:
+    def test_table_group_by_moves_contributions(self):
+        """Re-keyed table aggregation: when a row's group changes, its
+        contribution moves — retract from the old group, add to the new."""
+        cluster = make_cluster(**{"accounts": 2, "by-region": 2})
+
+        def build(builder):
+            (
+                builder.table("accounts")
+                .group_by(lambda k, v: (v["region"], v["balance"]))
+                .aggregate(
+                    lambda: 0,
+                    adder=lambda k, v, agg: agg + v,
+                    subtractor=lambda k, v, agg: agg - v,
+                    store_name="region-totals",
+                )
+                .to_stream()
+                .to("by-region")
+            )
+
+        app = start(cluster, build, "grp")
+        upsert(cluster, "accounts", [
+            ("acc1", {"region": "na", "balance": 100}),
+            ("acc2", {"region": "na", "balance": 50}),
+            ("acc3", {"region": "eu", "balance": 70}),
+        ])
+        app.run_until_idle()
+        assert app.store_contents("region-totals") == {"na": 150, "eu": 70}
+        # acc1 moves to eu: na loses 100, eu gains 100.
+        upsert(cluster, "accounts", [("acc1", {"region": "eu", "balance": 100})])
+        app.run_until_idle()
+        assert app.store_contents("region-totals") == {"na": 50, "eu": 170}
+
+    def test_grouped_table_count(self):
+        cluster = make_cluster(**{"accounts": 1, "counts": 1})
+
+        def build(builder):
+            (
+                builder.table("accounts")
+                .group_by(lambda k, v: (v["region"], 1))
+                .count(store_name="region-counts")
+                .to_stream()
+                .to("counts")
+            )
+
+        app = start(cluster, build, "grpc")
+        upsert(cluster, "accounts", [
+            ("a", {"region": "x"}), ("b", {"region": "x"}), ("c", {"region": "y"}),
+        ])
+        app.run_until_idle()
+        assert app.store_contents("region-counts") == {"x": 2, "y": 1}
+
+
+class TestSuppressedTableE2E:
+    def test_windowed_final_results_only(self):
+        from repro.streams import Suppressed, TimeWindows
+
+        cluster = make_cluster(**{"events": 1, "finals": 1})
+
+        def build(builder):
+            (
+                builder.stream("events")
+                .group_by_key()
+                .windowed_by(TimeWindows.of(10.0).grace(5.0))
+                .count()
+                .suppress(Suppressed.until_window_closes())
+                .to_stream()
+                .to("finals")
+            )
+
+        app = start(cluster, build, "supw")
+        producer = Producer(cluster)
+        for ts in (1.0, 2.0, 3.0, 30.0):   # 3 in window [0,10), 1 in [30,40)
+            producer.send("events", key="k", value=1, timestamp=ts)
+        producer.flush()
+        app.run_until_idle()
+        cluster.clock.advance(10.0)
+        records = drain_topic(cluster, "finals")
+        # Only window [0,10) has closed (stream time 30 >= 10+5); exactly
+        # one record, the final count.
+        assert [(r.key.window.start, r.value) for r in records] == [(0.0, 3)]

@@ -1,0 +1,66 @@
+"""Deterministic record choice across a task's source partitions."""
+
+from repro.broker.partition import TopicPartition
+from repro.streams.records import StreamRecord
+from repro.streams.runtime.record_queue import PartitionGroup, RecordQueue
+
+
+def rec(ts, value="v"):
+    return StreamRecord(key="k", value=value, timestamp=float(ts))
+
+
+def test_queue_is_fifo():
+    q = RecordQueue(TopicPartition("t", 0))
+    q.push(rec(5, "a"))
+    q.push(rec(1, "b"))     # lower ts but later arrival: stays behind
+    assert q.pop().value == "a"
+    assert q.pop().value == "b"
+
+
+def test_head_timestamp_empty():
+    assert RecordQueue(TopicPartition("t", 0)).head_timestamp() is None
+
+
+def test_group_picks_smallest_head_timestamp():
+    tps = [TopicPartition("a", 0), TopicPartition("b", 0)]
+    group = PartitionGroup(tps)
+    group.add_records(tps[0], [rec(10, "late")])
+    group.add_records(tps[1], [rec(5, "early")])
+    tp, record = group.next_record()
+    assert record.value == "early"
+    tp, record = group.next_record()
+    assert record.value == "late"
+    assert group.next_record() is None
+
+
+def test_group_interleaves_by_timestamp():
+    tps = [TopicPartition("a", 0), TopicPartition("b", 0)]
+    group = PartitionGroup(tps)
+    group.add_records(tps[0], [rec(1), rec(4), rec(7)])
+    group.add_records(tps[1], [rec(2), rec(3), rec(9)])
+    order = []
+    while True:
+        item = group.next_record()
+        if item is None:
+            break
+        order.append(item[1].timestamp)
+    assert order == [1, 2, 3, 4, 7, 9]
+
+
+def test_tie_broken_by_partition_for_determinism():
+    tps = [TopicPartition("b", 0), TopicPartition("a", 0)]
+    group = PartitionGroup(tps)
+    group.add_records(tps[0], [rec(5, "from-b")])
+    group.add_records(tps[1], [rec(5, "from-a")])
+    tp, record = group.next_record()
+    assert record.value == "from-a"      # sorted partition order wins ties
+
+
+def test_buffered_counts():
+    tps = [TopicPartition("a", 0)]
+    group = PartitionGroup(tps)
+    assert group.buffered() == 0
+    group.add_records(tps[0], [rec(1), rec(2)])
+    assert group.buffered() == 2
+    group.next_record()
+    assert group.buffered() == 1

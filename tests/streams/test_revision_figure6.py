@@ -1,0 +1,119 @@
+"""Figure 6, step by step: revision processing in a windowed aggregation.
+
+Input timestamps 12, 16, 14, 23 (scaled units), 5-unit windows, grace 10:
+  (a) ts 12 -> window [10,15) count 1, emitted
+  (b) ts 16 -> window [15,20) count 1, emitted
+  (c) ts 14 (out-of-order, within grace) -> window [10,15) revised to 2,
+      revision emitted with old value 1 for downstream retraction
+  (d) ts 23 -> window [20,25) count 1; window [10,15) garbage collected
+  (e) a later ts 12 is discarded (window expired), counted as dropped
+"""
+
+import pytest
+
+from repro.streams.aggregates import (
+    WindowedAggregateProcessor,
+    count_aggregator,
+    count_initializer,
+)
+from repro.streams.records import Change, StreamRecord
+from repro.streams.state.window_store import InMemoryWindowStore
+from repro.streams.windows import TimeWindows, Window, Windowed
+
+from tests.streams.harness import forwarded_records, init_processor
+
+
+@pytest.fixture
+def setup():
+    windows = TimeWindows.of(5).grace(10)
+    store = InMemoryWindowStore("agg", retention_ms=windows.retention_ms)
+    processor = WindowedAggregateProcessor(
+        "agg", windows, count_initializer, count_aggregator
+    )
+    processor, task = init_processor(processor, stores={"agg": store})
+    return processor, task, store
+
+
+def feed(processor, task, ts):
+    task.stream_time = max(task.stream_time, float(ts))
+    processor.process(StreamRecord(key="k", value="v", timestamp=float(ts)))
+
+
+def emitted(task):
+    return [
+        (r.key.window.start, r.value.new, r.value.old)
+        for r in forwarded_records(task)
+    ]
+
+
+def test_step_a_first_record_emits_count_1(setup):
+    processor, task, store = setup
+    feed(processor, task, 12)
+    assert emitted(task) == [(10, 1, None)]
+    assert store.fetch("k", 10) == 1
+
+
+def test_step_b_in_order_record_new_window(setup):
+    processor, task, store = setup
+    feed(processor, task, 12)
+    feed(processor, task, 16)
+    assert emitted(task) == [(10, 1, None), (15, 1, None)]
+
+
+def test_step_c_out_of_order_within_grace_emits_revision(setup):
+    processor, task, store = setup
+    feed(processor, task, 12)
+    feed(processor, task, 16)
+    feed(processor, task, 14)   # out-of-order, within grace
+    assert emitted(task)[-1] == (10, 2, 1)   # revision: new=2, old=1
+    assert store.fetch("k", 10) == 2
+    assert processor.revisions_emitted == 1
+    assert processor.dropped_records == 0
+
+
+def test_step_d_gc_of_expired_window(setup):
+    processor, task, store = setup
+    for ts in (12, 16, 14):
+        feed(processor, task, ts)
+    feed(processor, task, 23)
+    assert emitted(task)[-1] == (20, 1, None)
+    # Window [10,15) is out of the grace period now (10 < 23-10) -> GC'd.
+    assert store.fetch("k", 10) is None
+    assert store.fetch("k", 15) == 1   # [15,20) still retained
+
+
+def test_step_e_late_record_for_expired_window_dropped(setup):
+    processor, task, store = setup
+    for ts in (12, 16, 14, 23):
+        feed(processor, task, ts)
+    before = len(emitted(task))
+    feed(processor, task, 12)   # too late: window [10,15) is gone
+    assert len(emitted(task)) == before   # nothing emitted
+    assert processor.dropped_records == 1
+    assert store.fetch("k", 10) is None
+
+
+def test_grace_controls_state_retention_not_emission_delay(setup):
+    """The paper: grace controls how much old state is kept, it does NOT
+    delay output — every update is emitted immediately."""
+    processor, task, _ = setup
+    feed(processor, task, 12)
+    assert len(emitted(task)) == 1   # emitted right away, no watermark wait
+
+
+def test_emitted_keys_are_windowed(setup):
+    processor, task, _ = setup
+    feed(processor, task, 12)
+    record = forwarded_records(task)[0]
+    assert record.key == Windowed("k", Window(10, 15))
+    assert isinstance(record.value, Change)
+
+
+def test_final_counts_match_batch_semantics(setup):
+    """After all records, per-window counts equal an offline batch count
+    over the non-dropped records."""
+    processor, task, store = setup
+    for ts in (12, 16, 14, 23):
+        feed(processor, task, ts)
+    assert store.fetch("k", 15) == 1
+    assert store.fetch("k", 20) == 1

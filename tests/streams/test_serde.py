@@ -1,0 +1,64 @@
+"""Serde tests: JSON, string, int, and windowed-key encodings."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.streams.serde import (
+    IDENTITY_SERDE,
+    INT_SERDE,
+    JSON_SERDE,
+    STRING_SERDE,
+    WINDOWED_KEY_SERDE,
+)
+from repro.streams.windows import Window, Windowed
+
+
+class TestIdentity:
+    def test_roundtrip(self):
+        obj = {"a": [1, 2]}
+        assert IDENTITY_SERDE.deserialize(IDENTITY_SERDE.serialize(obj)) is obj
+
+
+class TestJson:
+    def test_roundtrip(self):
+        value = {"b": 2, "a": [1, None, "x"]}
+        encoded = JSON_SERDE.serialize(value)
+        assert isinstance(encoded, str)
+        assert JSON_SERDE.deserialize(encoded) == value
+
+    def test_deterministic_key_order(self):
+        assert JSON_SERDE.serialize({"b": 1, "a": 2}) == '{"a": 2, "b": 1}'
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(SerializationError):
+            JSON_SERDE.serialize(object())
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(SerializationError):
+            JSON_SERDE.deserialize("{not json")
+
+    def test_none_passthrough(self):
+        assert JSON_SERDE.deserialize(None) is None
+
+
+class TestScalars:
+    def test_string(self):
+        assert STRING_SERDE.serialize(42) == "42"
+        assert STRING_SERDE.serialize(None) is None
+
+    def test_int(self):
+        assert INT_SERDE.serialize("7") == 7
+        assert INT_SERDE.deserialize(7) == 7
+        assert INT_SERDE.serialize(None) is None
+
+
+class TestWindowedKey:
+    def test_roundtrip(self):
+        key = Windowed("user-1", Window(10.0, 15.0))
+        encoded = WINDOWED_KEY_SERDE.serialize(key)
+        assert encoded == ("user-1", 10.0, 15.0)
+        assert WINDOWED_KEY_SERDE.deserialize(encoded) == key
+
+    def test_encoded_form_is_hashable(self):
+        encoded = WINDOWED_KEY_SERDE.serialize(Windowed("k", Window(0, 1)))
+        assert {encoded: 1}[encoded] == 1

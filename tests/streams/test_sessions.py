@@ -1,0 +1,132 @@
+"""Session windows: gap semantics, merging with retractions, GC."""
+
+import pytest
+
+from repro.streams.records import Change, StreamRecord
+from repro.streams.sessions import SessionAggregateProcessor, session_count_merger
+from repro.streams.state.window_store import InMemoryWindowStore
+from repro.streams.windows import SessionWindows, Windowed, session_window
+
+from tests.streams.harness import forwarded_records, init_processor
+
+
+def make(gap=10.0, grace=1000.0):
+    windows = SessionWindows.with_gap(gap).grace(grace)
+    store = InMemoryWindowStore("s", retention_ms=windows.retention_ms)
+    processor = SessionAggregateProcessor(
+        "s",
+        windows,
+        initializer=lambda: 0,
+        aggregator=lambda k, v, agg: agg + 1,
+        merger=session_count_merger,
+    )
+    processor, task = init_processor(processor, stores={"s": store})
+    return processor, task, store
+
+
+def feed(processor, task, key, ts):
+    task.stream_time = max(task.stream_time, float(ts))
+    processor.process(StreamRecord(key=key, value=1, timestamp=float(ts)))
+
+
+def emissions(task):
+    return [
+        (r.key.window.start, r.key.window.end, r.value.new, r.value.old)
+        for r in forwarded_records(task)
+    ]
+
+
+class TestSessionWindowsConfig:
+    def test_gap_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SessionWindows.with_gap(0)
+
+    def test_grace_setting(self):
+        w = SessionWindows.with_gap(10).grace(5)
+        assert w.grace_ms == 5
+        assert w.retention_ms == 15
+
+    def test_session_window_single_event(self):
+        w = session_window(5.0, 5.0)
+        assert w.start == 5.0 and w.end == 6.0
+
+
+class TestSessionAggregation:
+    def test_single_record_starts_session(self):
+        processor, task, store = make()
+        feed(processor, task, "k", 100)
+        assert emissions(task) == [(100, 101, 1, None)]
+        assert store.fetch("k", 100) == (100, 1)
+
+    def test_record_within_gap_extends_session(self):
+        processor, task, store = make(gap=10)
+        feed(processor, task, "k", 100)
+        feed(processor, task, "k", 105)
+        # The old session result is retracted, the extended one emitted.
+        assert emissions(task)[-2:] == [
+            (100, 101, None, 1),
+            (100, 106, 2, None),
+        ]
+        assert store.fetch("k", 100) == (105, 2)
+
+    def test_record_beyond_gap_starts_new_session(self):
+        processor, task, store = make(gap=10)
+        feed(processor, task, "k", 100)
+        feed(processor, task, "k", 150)
+        assert store.fetch("k", 100) == (100, 1)
+        assert store.fetch("k", 150) == (150, 1)
+
+    def test_bridging_record_merges_sessions(self):
+        """The record in the middle pulls two sessions into one; both old
+        results are retracted."""
+        processor, task, store = make(gap=10)
+        feed(processor, task, "k", 100)
+        feed(processor, task, "k", 120)       # separate session (gap 10)
+        feed(processor, task, "k", 110)       # bridges both
+        out = emissions(task)
+        assert (100, 101, None, 1) in out     # retraction of session A
+        assert (120, 121, None, 1) in out     # retraction of session B
+        assert out[-1] == (100, 121, 3, None)  # merged session, count 3
+        assert processor.sessions_merged == 1
+        assert store.fetch("k", 100) == (120, 3)
+        assert store.fetch("k", 110) is None
+
+    def test_sessions_per_key_are_independent(self):
+        processor, task, store = make(gap=10)
+        feed(processor, task, "a", 100)
+        feed(processor, task, "b", 105)
+        assert store.fetch("a", 100) == (100, 1)
+        assert store.fetch("b", 105) == (105, 1)
+
+    def test_too_late_record_dropped(self):
+        processor, task, store = make(gap=10, grace=50)
+        feed(processor, task, "k", 1000)
+        feed(processor, task, "k", 900)    # 100 late > grace 50
+        assert processor.dropped_records == 1
+        assert store.fetch("k", 900) is None
+
+    def test_expired_sessions_collected(self):
+        processor, task, store = make(gap=10, grace=50)
+        feed(processor, task, "k", 100)
+        feed(processor, task, "k", 1000)   # stream time jumps far ahead
+        assert store.fetch("k", 100) is None     # GC'd
+        assert store.fetch("k", 1000) == (1000, 1)
+
+    def test_retract_accumulate_arithmetic_converges(self):
+        """Applying the emitted Change stream to a downstream accumulator
+        reproduces the final session counts."""
+        processor, task, store = make(gap=10)
+        for ts in (100, 120, 110, 125, 300):
+            feed(processor, task, "k", ts)
+        downstream = {}
+        for record in forwarded_records(task):
+            change = record.value
+            if change.old is not None:
+                downstream.pop(record.key, None)
+            if change.new is not None:
+                downstream[record.key] = change.new
+        store_state = {
+            Windowed(k, session_window(start, value[0])): value[1]
+            for (k, start), value in store.all()
+        }
+        assert downstream == store_state

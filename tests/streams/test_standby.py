@@ -1,0 +1,128 @@
+"""Standby tasks: warm state replicas and incremental takeover."""
+
+import pytest
+
+from repro.clients.producer import Producer
+from repro.config import EXACTLY_ONCE, StreamsConfig
+from repro.streams import KafkaStreams, StreamsBuilder
+from repro.streams.runtime.standby import StandbyTask
+from repro.streams.runtime.task import TaskId
+
+from tests.streams.harness import drain_topic, latest_by_key, make_cluster
+
+
+def counting_app(cluster, standbys=0):
+    builder = StreamsBuilder()
+    builder.stream("in").group_by_key().count("counts").to_stream().to("out")
+    return KafkaStreams(
+        builder.build(),
+        cluster,
+        StreamsConfig(
+            application_id="stby",
+            processing_guarantee=EXACTLY_ONCE,
+            commit_interval_ms=20.0,
+            transaction_timeout_ms=300.0,
+            num_standby_replicas=standbys,
+        ),
+    )
+
+
+def produce(cluster, n, key="a"):
+    producer = Producer(cluster)
+    for i in range(n):
+        producer.send("in", key=key, value=1, timestamp=float(i))
+    producer.flush()
+
+
+class TestStandbyTask:
+    def test_standby_shadows_committed_state(self):
+        cluster = make_cluster(**{"in": 1, "out": 1})
+        app = counting_app(cluster)
+        app.start(1)
+        produce(cluster, 10)
+        app.run_until_idle()
+        standby = StandbyTask(
+            TaskId(0, 0), app.sub_topology(0), "stby", cluster
+        )
+        assert dict(standby.stores["counts"].all()) == {"a": 10}
+
+    def test_standby_update_is_incremental(self):
+        cluster = make_cluster(**{"in": 1, "out": 1})
+        app = counting_app(cluster)
+        app.start(1)
+        produce(cluster, 5)
+        app.run_until_idle()
+        standby = StandbyTask(TaskId(0, 0), app.sub_topology(0), "stby", cluster)
+        first = standby.records_applied
+        assert standby.update() == 0          # nothing new
+        produce(cluster, 3)
+        app.run_until_idle()
+        assert standby.update() > 0
+        assert dict(standby.stores["counts"].all()) == {"a": 8}
+        assert standby.records_applied > first
+
+    def test_handoff_releases_stores(self):
+        cluster = make_cluster(**{"in": 1, "out": 1})
+        app = counting_app(cluster)
+        app.start(1)
+        produce(cluster, 4)
+        app.run_until_idle()
+        standby = StandbyTask(TaskId(0, 0), app.sub_topology(0), "stby", cluster)
+        handed = standby.handoff()
+        store, position = handed["counts"]
+        assert dict(store.all()) == {"a": 4}
+        assert position > 0
+        assert standby.stores == {}
+
+
+class TestStandbyIntegration:
+    def test_instances_maintain_standbys(self):
+        cluster = make_cluster(**{"in": 1, "out": 1})
+        app = counting_app(cluster, standbys=1)
+        app.start(2)
+        produce(cluster, 10)
+        app.run_until_idle()
+        owners = [i for i in app.instances if TaskId(0, 0) in i.tasks]
+        shadows = [i for i in app.instances if TaskId(0, 0) in i.standby_tasks]
+        assert len(owners) == 1
+        assert len(shadows) == 1
+        assert owners[0] is not shadows[0]
+        shadow_store = shadows[0].standby_tasks[TaskId(0, 0)].stores["counts"]
+        assert dict(shadow_store.all()) == {"a": 10}
+
+    def test_takeover_restores_incrementally(self):
+        """With a standby, the survivor replays only the tail of the
+        changelog at takeover."""
+        def run(standbys):
+            cluster = make_cluster(**{"in": 1, "out": 1})
+            app = counting_app(cluster, standbys=standbys)
+            app.start(2)
+            produce(cluster, 200)
+            app.run_until_idle()
+            victim = next(i for i in app.instances if TaskId(0, 0) in i.tasks)
+            app.crash_instance(victim)
+            cluster.clock.advance(350.0)
+            app.run_until_idle()
+            survivor = next(i for i in app.instances if TaskId(0, 0) in i.tasks)
+            task = survivor.tasks[TaskId(0, 0)]
+            final = latest_by_key(drain_topic(cluster, "out"))
+            return task.restored_records, final
+
+        cold_restored, cold_final = run(standbys=0)
+        warm_restored, warm_final = run(standbys=1)
+        assert cold_final == warm_final == {"a": 200}   # correctness equal
+        assert warm_restored < cold_restored            # but far less replay
+        assert warm_restored <= cold_restored // 2
+
+    def test_no_standbys_by_default(self):
+        cluster = make_cluster(**{"in": 1, "out": 1})
+        app = counting_app(cluster, standbys=0)
+        app.start(2)
+        app.step()
+        assert all(not i.standby_tasks for i in app.instances)
+
+    def test_config_rejects_negative(self):
+        from repro.errors import InvalidConfigError
+
+        with pytest.raises(InvalidConfigError):
+            StreamsConfig(num_standby_replicas=-1).validate()

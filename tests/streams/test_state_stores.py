@@ -1,0 +1,141 @@
+"""State stores: KV, window (with GC), and the write cache."""
+
+import pytest
+
+from repro.streams.state.cache import StoreCache
+from repro.streams.state.kv_store import InMemoryKeyValueStore
+from repro.streams.state.window_store import InMemoryWindowStore
+
+
+class TestKeyValueStore:
+    def test_put_get_delete(self):
+        store = InMemoryKeyValueStore("s")
+        store.put("a", 1)
+        assert store.get("a") == 1
+        store.delete("a")
+        assert store.get("a") is None
+
+    def test_missing_key_is_none(self):
+        assert InMemoryKeyValueStore("s").get("nope") is None
+
+    def test_update_hook_fires_on_put_and_delete(self):
+        events = []
+        store = InMemoryKeyValueStore("s", on_update=lambda k, v: events.append((k, v)))
+        store.put("a", 1)
+        store.delete("a")
+        assert events == [("a", 1), ("a", None)]   # delete is a tombstone
+
+    def test_restore_put_bypasses_hook(self):
+        events = []
+        store = InMemoryKeyValueStore("s", on_update=lambda k, v: events.append(1))
+        store.restore_put("a", 1)
+        store.restore_put("a", None)
+        assert events == []
+        assert store.get("a") is None
+
+    def test_all_is_deterministic(self):
+        store = InMemoryKeyValueStore("s")
+        for key in ("b", "a", "c"):
+            store.put(key, key)
+        assert [k for k, _ in store.all()] == ["a", "b", "c"]
+
+    def test_approximate_num_entries(self):
+        store = InMemoryKeyValueStore("s")
+        store.put("a", 1)
+        store.put("b", 2)
+        assert store.approximate_num_entries() == 2
+
+
+class TestWindowStore:
+    def test_put_fetch(self):
+        store = InMemoryWindowStore("w", retention_ms=100)
+        store.put("k", 0.0, 5)
+        assert store.fetch("k", 0.0) == 5
+        assert store.fetch("k", 10.0) is None
+
+    def test_fetch_key_windows_sorted(self):
+        store = InMemoryWindowStore("w", retention_ms=100)
+        store.put("k", 10.0, "b")
+        store.put("k", 0.0, "a")
+        assert store.fetch_key_windows("k") == [(0.0, "a"), (10.0, "b")]
+
+    def test_fetch_range_inclusive(self):
+        store = InMemoryWindowStore("w", retention_ms=100)
+        for start in (0.0, 5.0, 10.0, 15.0):
+            store.put("k", start, start)
+        assert store.fetch_range("k", 5.0, 10.0) == [(5.0, 5.0), (10.0, 10.0)]
+
+    def test_expire_before_collects_old_windows(self):
+        store = InMemoryWindowStore("w", retention_ms=100)
+        store.put("k", 0.0, "old")
+        store.put("k", 50.0, "new")
+        collected = store.expire_before(25.0)
+        assert collected == 1
+        assert store.fetch("k", 0.0) is None
+        assert store.fetch("k", 50.0) == "new"
+        assert store.expired_entries == 1
+
+    def test_update_hook_uses_composite_key(self):
+        events = []
+        store = InMemoryWindowStore(
+            "w", retention_ms=100, on_update=lambda k, v: events.append((k, v))
+        )
+        store.put("k", 5.0, 42)
+        assert events == [(("k", 5.0), 42)]
+
+    def test_restore_put(self):
+        store = InMemoryWindowStore("w", retention_ms=100)
+        store.restore_put(("k", 5.0), 42)
+        assert store.fetch("k", 5.0) == 42
+        store.restore_put(("k", 5.0), None)
+        assert store.fetch("k", 5.0) is None
+
+    def test_negative_retention_rejected(self):
+        with pytest.raises(ValueError):
+            InMemoryWindowStore("w", retention_ms=-1)
+
+
+class TestStoreCache:
+    def make(self, max_entries=10):
+        emitted = []
+        cache = StoreCache(
+            max_entries,
+            lambda k, new, old, ts, headers=None: emitted.append((k, new, old, ts)),
+        )
+        return cache, emitted
+
+    def test_consolidates_updates_per_key(self):
+        cache, emitted = self.make()
+        cache.put("k", 1, None, 0.0)
+        cache.put("k", 2, 1, 1.0)
+        cache.put("k", 3, 2, 2.0)
+        assert emitted == []
+        cache.flush()
+        # One emission spanning the whole run: old is the pre-run value.
+        assert emitted == [("k", 3, None, 2.0)]
+
+    def test_eviction_emits_oldest(self):
+        cache, emitted = self.make(max_entries=2)
+        cache.put("a", 1, None, 0.0)
+        cache.put("b", 2, None, 0.0)
+        cache.put("c", 3, None, 0.0)
+        assert emitted == [("a", 1, None, 0.0)]
+
+    def test_get_returns_pending_value(self):
+        cache, _ = self.make()
+        assert cache.get("k") is None
+        cache.put("k", 9, None, 0.0)
+        assert cache.get("k") == 9
+        assert cache.contains("k")
+
+    def test_flush_empties_cache(self):
+        cache, emitted = self.make()
+        cache.put("a", 1, None, 0.0)
+        cache.put("b", 2, None, 0.0)
+        assert cache.flush() == 2
+        assert len(cache) == 0
+        assert len(emitted) == 2
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            StoreCache(0, lambda *a: None)

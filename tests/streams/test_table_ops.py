@@ -1,0 +1,161 @@
+"""Table-typed processors: materialization, filters, retraction flows."""
+
+import pytest
+
+from repro.streams.records import Change, StreamRecord
+from repro.streams.state.kv_store import InMemoryKeyValueStore
+from repro.streams.table_ops import (
+    TableAggregateProcessor,
+    TableFilterProcessor,
+    TableGroupByMapProcessor,
+    TableMapValuesProcessor,
+    TableMaterializeProcessor,
+    TableSourceProcessor,
+    TableToStreamProcessor,
+)
+
+from tests.streams.harness import forwarded_records, init_processor
+
+
+def rec(key, value, ts=0.0):
+    return StreamRecord(key=key, value=value, timestamp=ts)
+
+
+def change(key, new, old, ts=0.0):
+    return StreamRecord(key=key, value=Change(new, old), timestamp=ts)
+
+
+class TestTableSource:
+    def make(self):
+        store = InMemoryKeyValueStore("t")
+        processor, task = init_processor(
+            TableSourceProcessor("t"), stores={"t": store}
+        )
+        return processor, task, store
+
+    def test_materializes_and_wraps_in_change(self):
+        processor, task, store = self.make()
+        processor.process(rec("k", "v1"))
+        processor.process(rec("k", "v2"))
+        assert store.get("k") == "v2"
+        values = [r.value for r in forwarded_records(task)]
+        assert values == [Change("v1", None), Change("v2", "v1")]
+
+    def test_tombstone_deletes(self):
+        processor, task, store = self.make()
+        processor.process(rec("k", "v"))
+        processor.process(rec("k", None))
+        assert store.get("k") is None
+        assert forwarded_records(task)[-1].value == Change(None, "v")
+
+
+class TestTableFilter:
+    def make(self):
+        return init_processor(TableFilterProcessor(lambda k, v: v > 10))
+
+    def test_pass_through_matching(self):
+        processor, task = self.make()
+        processor.process(change("k", 20, None))
+        assert forwarded_records(task)[0].value == Change(20, None)
+
+    def test_stops_matching_becomes_retraction(self):
+        processor, task = self.make()
+        processor.process(change("k", 5, 20))
+        assert forwarded_records(task)[0].value == Change(None, 20)
+
+    def test_never_matched_suppressed_entirely(self):
+        processor, task = self.make()
+        processor.process(change("k", 5, 3))
+        assert forwarded_records(task) == []
+
+
+class TestTableMapValues:
+    def test_maps_both_sides(self):
+        processor, task = init_processor(
+            TableMapValuesProcessor(lambda k, v: v * 2)
+        )
+        processor.process(change("k", 3, 1))
+        assert forwarded_records(task)[0].value == Change(6, 2)
+
+    def test_none_sides_preserved(self):
+        processor, task = init_processor(
+            TableMapValuesProcessor(lambda k, v: v * 2)
+        )
+        processor.process(change("k", None, 4))
+        assert forwarded_records(task)[0].value == Change(None, 8)
+
+
+class TestTableToStream:
+    def test_unwraps_new_value(self):
+        processor, task = init_processor(TableToStreamProcessor())
+        processor.process(change("k", 7, 3))
+        assert forwarded_records(task)[0].value == 7
+
+
+class TestTableMaterialize:
+    def test_applies_changes_to_store(self):
+        store = InMemoryKeyValueStore("m")
+        processor, task = init_processor(
+            TableMaterializeProcessor("m"), stores={"m": store}
+        )
+        processor.process(change("k", "v", None))
+        assert store.get("k") == "v"
+        processor.process(change("k", None, "v"))
+        assert store.get("k") is None
+        assert len(forwarded_records(task)) == 2   # forwards through
+
+
+class TestGroupByMap:
+    def test_same_new_key_consolidates(self):
+        processor, task = init_processor(
+            TableGroupByMapProcessor(lambda k, v: (v["group"], v["amount"]))
+        )
+        processor.process(
+            change("k", {"group": "g", "amount": 5}, {"group": "g", "amount": 3})
+        )
+        (out,) = forwarded_records(task)
+        assert out.key == "g"
+        assert out.value == Change(5, 3)
+
+    def test_key_move_emits_retraction_and_accumulation(self):
+        processor, task = init_processor(
+            TableGroupByMapProcessor(lambda k, v: (v["group"], v["amount"]))
+        )
+        processor.process(
+            change("k", {"group": "g2", "amount": 5}, {"group": "g1", "amount": 3})
+        )
+        out = forwarded_records(task)
+        assert (out[0].key, out[0].value) == ("g1", Change(None, 3))
+        assert (out[1].key, out[1].value) == ("g2", Change(5, None))
+
+
+class TestTableAggregate:
+    def make(self):
+        store = InMemoryKeyValueStore("agg")
+        processor = TableAggregateProcessor(
+            "agg",
+            initializer=lambda: 0,
+            adder=lambda k, v, agg: agg + v,
+            subtractor=lambda k, v, agg: agg - v,
+        )
+        processor, task = init_processor(processor, stores={"agg": store})
+        return processor, task, store
+
+    def test_add_and_subtract(self):
+        processor, task, store = self.make()
+        processor.process(change("g", 5, None))      # +5
+        processor.process(change("g", 7, 5))         # -5 +7
+        assert store.get("g") == 7
+
+    def test_retraction_only(self):
+        processor, task, store = self.make()
+        processor.process(change("g", 4, None))
+        processor.process(change("g", None, 4))
+        assert store.get("g") == 0
+
+    def test_emits_change_with_old_aggregate(self):
+        processor, task, _ = self.make()
+        processor.process(change("g", 5, None))
+        processor.process(change("g", 7, 5))
+        values = [r.value for r in forwarded_records(task)]
+        assert values == [Change(5, None), Change(7, 5)]

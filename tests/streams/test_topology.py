@@ -1,0 +1,158 @@
+"""Topology construction and sub-topology partitioning (Figures 2-3)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.streams.builder import APP_ID_TOKEN, StreamsBuilder, resolve_topic
+from repro.streams.processor import Processor
+from repro.streams.topology import (
+    ProcessorNode,
+    SinkNode,
+    SourceNode,
+    StateStoreSpec,
+    Topology,
+)
+from repro.streams.windows import TimeWindows
+
+
+class _Noop(Processor):
+    def process(self, record):
+        pass
+
+
+class TestTopologyGraph:
+    def test_duplicate_node_rejected(self):
+        t = Topology()
+        t.add_source("s", ["a"])
+        with pytest.raises(TopologyError):
+            t.add_source("s", ["b"])
+
+    def test_unknown_parent_rejected(self):
+        t = Topology()
+        with pytest.raises(TopologyError):
+            t.add_processor("p", _Noop, parents=["ghost"])
+
+    def test_sink_cannot_have_children(self):
+        t = Topology()
+        t.add_source("s", ["a"])
+        t.add_sink("k", "out", parents=["s"])
+        with pytest.raises(TopologyError):
+            t.add_processor("p", _Noop, parents=["k"])
+
+    def test_unknown_store_rejected(self):
+        t = Topology()
+        t.add_source("s", ["a"])
+        with pytest.raises(TopologyError):
+            t.add_processor("p", _Noop, parents=["s"], stores=["missing"])
+
+    def test_duplicate_store_rejected(self):
+        t = Topology()
+        t.add_state_store(StateStoreSpec("st"))
+        with pytest.raises(TopologyError):
+            t.add_state_store(StateStoreSpec("st"))
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology().sub_topologies()
+
+    def test_single_chain_is_one_sub_topology(self):
+        t = Topology()
+        t.add_source("s", ["a"])
+        t.add_processor("p", _Noop, parents=["s"])
+        t.add_sink("k", "out", parents=["p"])
+        subs = t.sub_topologies()
+        assert len(subs) == 1
+        assert subs[0].source_topics == {"a"}
+        assert subs[0].sink_topics == {"out"}
+
+
+class TestFigure2Topology:
+    """The paper's running example: filter+map in one sub-topology, the
+    windowed count in another, connected by a repartition topic."""
+
+    @pytest.fixture
+    def topology(self):
+        builder = StreamsBuilder()
+        (
+            builder.stream("pageview-events")
+            .filter(lambda k, v: v["period"] >= 30_000)
+            .map(lambda k, v: (v["category"], v))
+            .group_by_key()
+            .windowed_by(TimeWindows.of(5000))
+            .count()
+            .to_stream()
+            .to("pageview-windowed-counts")
+        )
+        return builder.build()
+
+    def test_two_sub_topologies(self, topology):
+        subs = topology.sub_topologies()
+        assert len(subs) == 2
+
+    def test_filter_and_map_fused_together(self, topology):
+        subs = topology.sub_topologies()
+        upstream = next(s for s in subs if "pageview-events" in s.source_topics)
+        names = " ".join(upstream.nodes)
+        assert "FILTER" in names and "MAP" in names
+        assert "COUNT" not in names
+
+    def test_count_in_downstream_sub_topology(self, topology):
+        subs = topology.sub_topologies()
+        downstream = next(
+            s for s in subs if "pageview-events" not in s.source_topics
+        )
+        assert any("COUNT" in n for n in downstream.nodes)
+        # Its source is the internal repartition topic.
+        (topic,) = downstream.source_topics
+        assert "repartition" in topic
+
+    def test_repartition_topic_registered(self, topology):
+        specs = topology.repartition_topics()
+        assert len(specs) == 1
+        (name,) = specs
+        assert APP_ID_TOKEN in name
+
+    def test_windowed_count_store_declared(self, topology):
+        subs = topology.sub_topologies()
+        downstream = next(
+            s for s in subs if "pageview-events" not in s.source_topics
+        )
+        assert len(downstream.stores) == 1
+        assert downstream.stores[0].kind == "window"
+
+    def test_describe_mentions_both_subtopologies(self, topology):
+        text = topology.describe()
+        assert "Sub-topology: 0" in text
+        assert "Sub-topology: 1" in text
+
+
+class TestRepartitionHeuristics:
+    def test_map_marks_repartition_required(self):
+        builder = StreamsBuilder()
+        s = builder.stream("t").map(lambda k, v: (v, k))
+        assert s.repartition_required
+
+    def test_map_values_does_not(self):
+        builder = StreamsBuilder()
+        s = builder.stream("t").map_values(lambda v: v)
+        assert not s.repartition_required
+
+    def test_filter_preserves_flag(self):
+        builder = StreamsBuilder()
+        s = builder.stream("t").map(lambda k, v: (v, k)).filter(lambda k, v: True)
+        assert s.repartition_required
+
+    def test_group_by_key_without_key_change_needs_no_repartition(self):
+        builder = StreamsBuilder()
+        builder.stream("t").group_by_key().count()
+        assert builder.topology.repartition_topics() == {}
+
+    def test_group_by_always_repartitions(self):
+        builder = StreamsBuilder()
+        builder.stream("t").group_by(lambda k, v: v).count()
+        assert len(builder.topology.repartition_topics()) == 1
+
+
+def test_resolve_topic_substitutes_app_id():
+    assert resolve_topic(f"{APP_ID_TOKEN}-x-repartition", "app") == "app-x-repartition"
+    assert resolve_topic("plain", "app") == "plain"

@@ -1,0 +1,82 @@
+"""Windows, windowed keys, and window assignment."""
+
+import pytest
+
+from repro.streams.windows import TimeWindows, Window, Windowed
+
+
+class TestWindow:
+    def test_half_open_interval(self):
+        w = Window(10, 15)
+        assert w.contains(10)
+        assert w.contains(14.999)
+        assert not w.contains(15)
+        assert not w.contains(9.999)
+
+    def test_degenerate_window_rejected(self):
+        with pytest.raises(ValueError):
+            Window(5, 5)
+
+    def test_windowed_key_is_hashable_and_eq(self):
+        a = Windowed("k", Window(0, 5))
+        b = Windowed("k", Window(0, 5))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Windowed("k", Window(5, 10))
+
+
+class TestTumblingWindows:
+    def test_of_creates_tumbling(self):
+        w = TimeWindows.of(5000)
+        assert w.size_ms == w.advance_ms == 5000
+
+    def test_assignment_single_window(self):
+        w = TimeWindows.of(5000)
+        assert w.windows_for(12) == [Window(0, 5000)]
+        assert w.windows_for(5000) == [Window(5000, 10000)]
+        assert w.windows_for(4999.9) == [Window(0, 5000)]
+
+    def test_figure6_window_assignment(self):
+        """Records at ts 12, 16, 14, 23 with 5-unit windows land as the
+        paper's Figure 6 shows (scaled units)."""
+        w = TimeWindows.of(5)
+        assert w.windows_for(12) == [Window(10, 15)]
+        assert w.windows_for(16) == [Window(15, 20)]
+        assert w.windows_for(14) == [Window(10, 15)]
+        assert w.windows_for(23) == [Window(20, 25)]
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            TimeWindows.of(0)
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            TimeWindows.of(10).windows_for(-1)
+
+
+class TestHoppingWindows:
+    def test_overlapping_assignment(self):
+        w = TimeWindows.of(10).advance_by(5)
+        assert w.windows_for(12) == [Window(5, 15), Window(10, 20)]
+
+    def test_early_timestamps_do_not_produce_negative_windows(self):
+        w = TimeWindows.of(10).advance_by(5)
+        assert w.windows_for(2) == [Window(0, 10)]
+
+    def test_advance_larger_than_size_rejected(self):
+        with pytest.raises(ValueError):
+            TimeWindows.of(10).advance_by(20)
+
+
+class TestGrace:
+    def test_grace_setting(self):
+        w = TimeWindows.of(5000).grace(10_000)
+        assert w.grace_ms == 10_000
+        assert w.retention_ms == 15_000
+
+    def test_negative_grace_rejected(self):
+        with pytest.raises(ValueError):
+            TimeWindows.of(5000).grace(-1)
+
+    def test_default_grace_is_one_day(self):
+        assert TimeWindows.of(5000).grace_ms == 24 * 3600 * 1000.0

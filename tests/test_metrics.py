@@ -1,0 +1,101 @@
+"""Metrics primitives and the latency tracker."""
+
+import pytest
+
+from repro.log.record import Record
+from repro.metrics.latency import CREATED_AT_HEADER, LatencyTracker
+from repro.metrics.registry import Counter, Histogram, MetricsRegistry
+from repro.metrics.reporter import format_series, format_table
+
+
+class TestCounter:
+    def test_increment(self):
+        counter = Counter("c")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").increment(-1)
+
+
+class TestHistogram:
+    def test_empty_histogram(self):
+        hist = Histogram("h")
+        assert hist.count == 0
+        assert hist.mean() == 0.0
+        assert hist.percentile(99) == 0.0
+
+    def test_mean_and_percentiles(self):
+        hist = Histogram("h")
+        for v in range(1, 101):
+            hist.observe(float(v))
+        assert hist.mean() == pytest.approx(50.5)
+        assert hist.percentile(50) == pytest.approx(50.5)
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(100) == 100.0
+        assert hist.min() == 1.0 and hist.max() == 100.0
+
+    def test_percentile_bounds_validated(self):
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(101)
+
+    def test_single_value(self):
+        hist = Histogram("h")
+        hist.observe(7.0)
+        assert hist.percentile(50) == 7.0
+
+
+class TestRegistry:
+    def test_same_name_same_instance(self):
+        registry = MetricsRegistry()
+        registry.counter("a").increment()
+        registry.counter("a").increment()
+        assert registry.counters() == {"a": 2}
+
+    def test_histograms_registered(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat").observe(1.0)
+        assert registry.histogram("lat").count == 1
+
+
+class TestLatencyTracker:
+    def test_records_latency_from_header(self):
+        tracker = LatencyTracker()
+        record = Record(key="k", value=1, headers={CREATED_AT_HEADER: 100.0})
+        assert tracker.record_output(record, received_at_ms=150.0) == 50.0
+        assert tracker.count == 1
+        assert tracker.mean_ms() == 50.0
+
+    def test_ignores_records_without_header(self):
+        tracker = LatencyTracker()
+        assert tracker.record_output(Record(key="k", value=1), 10.0) is None
+        assert tracker.count == 0
+
+    def test_percentiles(self):
+        tracker = LatencyTracker()
+        for latency in (10.0, 20.0, 30.0):
+            record = Record(key="k", value=1, headers={CREATED_AT_HEADER: 0.0})
+            tracker.record_output(record, latency)
+        assert tracker.p50_ms() == 20.0
+        assert tracker.p99_ms() <= 30.0
+
+
+class TestReporter:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_format_numbers(self):
+        text = format_table(["x"], [[1234.5], [0.1234], [42.0]])
+        assert "1,235" in text or "1,234" in text
+        assert "0.123" in text
+
+    def test_format_series(self):
+        text = format_series("t", [1, 2], {"a": [10, 20], "b": [30, 40]})
+        assert "t" in text and "a" in text and "b" in text
+        assert "40" in text

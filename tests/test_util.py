@@ -1,0 +1,32 @@
+"""Utility function tests."""
+
+import pytest
+
+from repro.util import partition_for, stable_hash
+
+
+def test_stable_hash_deterministic_for_strings():
+    assert stable_hash("group-1") == stable_hash("group-1")
+
+
+def test_stable_hash_accepts_common_types():
+    for value in ("s", b"b", 42, ("a", 1), None):
+        assert stable_hash(value) >= 0
+
+
+def test_partition_for_in_range():
+    for key in ("a", "b", "c", 1, 2, 3):
+        assert 0 <= partition_for(key, 7) < 7
+
+
+def test_partition_for_none_key():
+    assert partition_for(None, 5) == 0
+
+
+def test_partition_for_same_key_same_partition():
+    assert partition_for("user-9", 12) == partition_for("user-9", 12)
+
+
+def test_partition_for_rejects_zero_partitions():
+    with pytest.raises(ValueError):
+        partition_for("k", 0)
