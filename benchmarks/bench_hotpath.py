@@ -1,0 +1,198 @@
+"""Hot-path microbenchmark: wall-clock records/sec through produce → fetch → process.
+
+Unlike the Figure 5 benchmarks (which verify *virtual-time* shapes against
+the paper), this bench measures the real Python cost of the three hot loops
+the batch-aware read-path work targets:
+
+* ``fetch`` — paging a read-committed consumer through a large log full of
+  interleaved committed/aborted transactions and control markers. This
+  exercises `PartitionLog.read` slicing and the aborted-transaction
+  filtering.
+* ``produce`` — a tight `Producer.send` loop (metadata + leader routing per
+  record, batch assembly, sequence accounting).
+* ``streams`` — the full Figure 5 scenario (generator → stateful reduce →
+  read-committed verifier) timed in wall-clock seconds.
+
+Numbers are recorded in EXPERIMENTS.md ("Hot-path microbenchmark"); CI runs
+a scaled-down smoke pass (HOTPATH_SCALE) so regressions fail loudly.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from harness import make_bench_cluster, run_streams_reduce
+from harness_report import record_table
+
+from repro.broker.fetch import fetch
+from repro.clients.producer import Producer
+from repro.config import EXACTLY_ONCE, READ_COMMITTED, ProducerConfig
+from repro.log.partition_log import PartitionLog
+from repro.log.record import (
+    ABORT_MARKER,
+    COMMIT_MARKER,
+    Record,
+    RecordBatch,
+    control_marker,
+)
+from repro.metrics.reporter import format_table
+
+# Scale factor for workload sizes; CI smoke runs use e.g. HOTPATH_SCALE=0.05.
+SCALE = float(os.environ.get("HOTPATH_SCALE", "1.0"))
+
+
+def _scaled(n: int) -> int:
+    return max(1, int(n * SCALE))
+
+
+# -- scenario builders -------------------------------------------------------
+
+
+def build_txn_log(
+    total_records: int,
+    txn_size: int = 50,
+    producers: int = 4,
+    abort_every: int = 7,
+) -> PartitionLog:
+    """A log of interleaved transactions; every ``abort_every``-th aborts."""
+    log = PartitionLog("bench-hotpath")
+    seqs = {pid: 0 for pid in range(1, producers + 1)}
+    appended = 0
+    txn_no = 0
+    while appended < total_records:
+        pid = (txn_no % producers) + 1
+        batch = [
+            Record(key=(appended + i) % 1024, value=appended + i)
+            for i in range(txn_size)
+        ]
+        log.append_batch(
+            RecordBatch(
+                batch,
+                producer_id=pid,
+                producer_epoch=0,
+                base_sequence=seqs[pid],
+                is_transactional=True,
+            )
+        )
+        seqs[pid] += txn_size
+        appended += txn_size
+        marker = ABORT_MARKER if txn_no % abort_every == 0 else COMMIT_MARKER
+        log.append_marker(control_marker(marker, pid, 0))
+        txn_no += 1
+    log.high_watermark = log.log_end_offset
+    return log
+
+
+def run_fetch_scenario(total_records: int, page_size: int = 500):
+    """Page a read-committed consumer through the whole log."""
+    log = build_txn_log(total_records)
+    start = time.perf_counter()
+    position = 0
+    returned = 0
+    while True:
+        result = fetch(
+            log, position, max_records=page_size, isolation_level=READ_COMMITTED
+        )
+        returned += len(result.records)
+        if result.next_offset == position:
+            break
+        position = result.next_offset
+    elapsed = time.perf_counter() - start
+    return {
+        "scanned": position,
+        "returned": returned,
+        "elapsed_s": elapsed,
+        "records_per_sec": position / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def run_produce_scenario(total_records: int, partitions: int = 8):
+    """A tight Producer.send loop against a live cluster."""
+    cluster = make_bench_cluster()
+    cluster.create_topic("bench-produce", partitions)
+    producer = Producer(cluster, ProducerConfig(client_id="bench-hotpath"))
+    start = time.perf_counter()
+    for i in range(total_records):
+        producer.send("bench-produce", key=i & 1023, value=i)
+    producer.flush()
+    elapsed = time.perf_counter() - start
+    return {
+        "sent": producer.records_sent,
+        "elapsed_s": elapsed,
+        "records_per_sec": producer.records_sent / elapsed if elapsed else 0.0,
+    }
+
+
+def run_streams_scenario(duration_ms: float, rate_per_sec: float = 10_000.0):
+    """The Figure 5 reduce scenario, timed in wall-clock seconds."""
+    start = time.perf_counter()
+    result = run_streams_reduce(
+        output_partitions=10,
+        guarantee=EXACTLY_ONCE,
+        commit_interval_ms=100.0,
+        duration_ms=duration_ms,
+        rate_per_sec=rate_per_sec,
+    )
+    elapsed = time.perf_counter() - start
+    return {
+        "records": result.records,
+        "outputs": result.extra["outputs_observed"],
+        "elapsed_s": elapsed,
+        "records_per_sec": result.records / elapsed if elapsed else 0.0,
+    }
+
+
+def run_all():
+    rows = []
+    fetch_stats = run_fetch_scenario(_scaled(150_000))
+    rows.append(
+        [
+            "fetch (read_committed)",
+            fetch_stats["scanned"],
+            f"{fetch_stats['elapsed_s']:.2f}",
+            round(fetch_stats["records_per_sec"]),
+        ]
+    )
+    produce_stats = run_produce_scenario(_scaled(30_000))
+    rows.append(
+        [
+            "produce (idempotent)",
+            produce_stats["sent"],
+            f"{produce_stats['elapsed_s']:.2f}",
+            round(produce_stats["records_per_sec"]),
+        ]
+    )
+    streams_stats = run_streams_scenario(duration_ms=max(100.0, 2000.0 * SCALE))
+    rows.append(
+        [
+            "streams reduce (EOS)",
+            streams_stats["records"],
+            f"{streams_stats['elapsed_s']:.2f}",
+            round(streams_stats["records_per_sec"]),
+        ]
+    )
+    table = format_table(
+        ["scenario", "records", "wall (s)", "records/sec (wall)"], rows
+    )
+    record_table("Hot-path microbenchmark — wall-clock records/sec", table)
+    return {
+        "fetch": fetch_stats,
+        "produce": produce_stats,
+        "streams": streams_stats,
+        "table": table,
+    }
+
+
+def test_hotpath_throughput(benchmark):
+    stats = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    # Sanity, not calibration: every scenario moved real records.
+    assert stats["fetch"]["returned"] > 0
+    assert stats["produce"]["sent"] > 0
+    assert stats["streams"]["records"] > 0
+    # The read-committed pager must skip the aborted spans and markers.
+    assert stats["fetch"]["returned"] < stats["fetch"]["scanned"]
+
+
+if __name__ == "__main__":
+    run_all()

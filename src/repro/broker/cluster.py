@@ -30,6 +30,7 @@ from repro.broker.txn_coordinator import TransactionCoordinator
 from repro.log.compaction import compact_log
 from repro.log.partition_log import AppendResult
 from repro.log.record import RecordBatch
+from repro.metrics.registry import MetricsRegistry
 from repro.sim.clock import SimClock
 from repro.sim.network import Network, NetworkCosts
 
@@ -75,6 +76,10 @@ class Cluster:
         self._partitions: Dict[TopicPartition, PartitionState] = {}
         self._placement_cursor = 0
         self._next_producer_id = 1
+        # Bumped whenever routing facts change (leadership, partition
+        # counts); clients key their metadata/leader caches on it.
+        self._metadata_epoch = 0
+        self.metrics = MetricsRegistry()
 
         self.group_coordinator = GroupCoordinator(self)
         self.txn_coordinator = TransactionCoordinator(self)
@@ -133,6 +138,35 @@ class Cluster:
                 min_insync_replicas=min(self.config.min_insync_replicas, rf),
                 compacted=compacted,
             )
+        self._metadata_epoch += 1
+        return meta
+
+    def create_partitions(self, name: str, new_partition_count: int) -> TopicMetadata:
+        """Grow a topic to ``new_partition_count`` partitions.
+
+        As in Kafka, partitions can only be added, never removed. Bumps the
+        metadata epoch so client routing caches stop mapping keys onto the
+        old partition count.
+        """
+        meta = self.topic_metadata(name)
+        if new_partition_count <= meta.num_partitions:
+            raise ValueError(
+                f"{name}: new partition count {new_partition_count} must exceed "
+                f"current {meta.num_partitions}"
+            )
+        for p in range(meta.num_partitions, new_partition_count):
+            tp = TopicPartition(name, p)
+            broker_ids = self._place_replicas(meta.replication_factor)
+            self._partitions[tp] = PartitionState(
+                tp,
+                broker_ids,
+                min_insync_replicas=min(
+                    self.config.min_insync_replicas, meta.replication_factor
+                ),
+                compacted=meta.compacted,
+            )
+        meta.num_partitions = new_partition_count
+        self._metadata_epoch += 1
         return meta
 
     def _place_replicas(self, rf: int) -> List[int]:
@@ -169,12 +203,23 @@ class Cluster:
             raise BrokerUnavailableError(f"{tp}: no live leader")
         return leader
 
+    @property
+    def metadata_epoch(self) -> int:
+        """Monotonic version of the cluster's routing facts (leaders and
+        partition counts). Client caches are valid only within one epoch."""
+        return self._metadata_epoch
+
     # -- RPC handlers (called through the Network by clients) -----------------------
 
     def handle_produce(
         self, tp: TopicPartition, batch: RecordBatch, acks: str = "all"
     ) -> AppendResult:
-        return self.partition_state(tp).append(batch, acks=acks)
+        result = self.partition_state(tp).append(batch, acks=acks)
+        if not result.duplicate:
+            self.metrics.counter("broker.produced_records").increment(
+                batch.record_count
+            )
+        return result
 
     def handle_fetch(
         self,
@@ -184,7 +229,12 @@ class Cluster:
         isolation_level: str,
     ) -> FetchResult:
         log = self.partition_state(tp).leader_log()
-        return fetch(log, from_offset, max_records, isolation_level)
+        result = fetch(log, from_offset, max_records, isolation_level)
+        if result.records:
+            self.metrics.counter("broker.fetched_records").increment(
+                len(result.records)
+            )
+        return result
 
     def end_offset(self, tp: TopicPartition, isolation_level: str) -> int:
         """The offset a new consumer with ``latest`` reset would start from."""
@@ -225,6 +275,7 @@ class Cluster:
             return
         broker.alive = False
         self.network.set_broker_down(broker_id)
+        self._metadata_epoch += 1
         coordinator_moved = False
         for tp, state in self._partitions.items():
             was_leader = state.leader == broker_id
@@ -243,6 +294,7 @@ class Cluster:
             return
         broker.alive = True
         self.network.set_broker_down(broker_id, down=False)
+        self._metadata_epoch += 1
         for state in self._partitions.values():
             state.on_broker_restart(broker_id)
 

@@ -62,26 +62,29 @@ def fetch(
     if from_offset >= limit:
         return result
 
-    raw = log.read(from_offset, up_to_offset=limit)
+    # Read in budget-bounded chunks: a 500-record poll against a
+    # million-record tail slices out ~500 records, not the whole tail.
+    # Skipped entries (markers, aborted spans) don't count against the
+    # budget, so the loop keeps reading until it either fills the budget
+    # or exhausts the visible range — exactly the records a full-tail
+    # scan would have returned.
     filter_aborted = isolation_level in (READ_COMMITTED, READ_SPECULATIVE)
-    aborted = log.aborted_transactions() if filter_aborted else []
-    for record in raw:
-        if len(result.records) >= max_records:
+    out = result.records
+    position = from_offset
+    while len(out) < max_records and position < limit:
+        chunk = log.read(
+            position, max_records=max_records - len(out), up_to_offset=limit
+        )
+        if not chunk:
             break
-        result.next_offset = record.offset + 1
-        if record.is_control:
-            continue
-        if filter_aborted and _is_aborted(record, aborted):
-            continue
-        result.records.append(record)
+        for record in chunk:
+            result.next_offset = record.offset + 1
+            if record.is_control:
+                continue
+            if filter_aborted and log.is_offset_aborted(
+                record.producer_id, record.offset
+            ):
+                continue
+            out.append(record)
+        position = chunk[-1].offset + 1
     return result
-
-
-def _is_aborted(record: Record, aborted) -> bool:
-    for txn in aborted:
-        if (
-            txn.producer_id == record.producer_id
-            and txn.first_offset <= record.offset <= txn.last_offset
-        ):
-            return True
-    return False

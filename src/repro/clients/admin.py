@@ -36,6 +36,10 @@ class AdminClient:
             return self.cluster.topic_metadata(name)
         return self.create_topic(name, num_partitions, replication_factor, compacted)
 
+    def create_partitions(self, name: str, new_partition_count: int) -> TopicMetadata:
+        """Grow an existing topic's partition count (never shrinks)."""
+        return self.cluster.create_partitions(name, new_partition_count)
+
     def describe_topic(self, name: str) -> TopicMetadata:
         return self.cluster.topic_metadata(name)
 

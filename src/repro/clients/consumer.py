@@ -41,6 +41,10 @@ class Consumer:
         self._partitions_lost = False
         self._closed = False
         self._fetch_cursor = 0
+        # Leader routing cache, valid for one cluster metadata epoch (the
+        # fetch hot path otherwise re-resolves leadership on every poll).
+        self._routing_epoch = -1
+        self._leader_cache: Dict[TopicPartition, int] = {}
 
         self.records_consumed = 0
 
@@ -156,12 +160,23 @@ class Consumer:
         self.records_consumed += len(out)
         return out
 
+    def _leader_of(self, tp: TopicPartition) -> int:
+        epoch = self.cluster.metadata_epoch
+        if epoch != self._routing_epoch:
+            self._leader_cache.clear()
+            self._routing_epoch = epoch
+        leader = self._leader_cache.get(tp)
+        if leader is None:
+            leader = self.cluster.leader_of(tp)
+            self._leader_cache[tp] = leader
+        return leader
+
     def _fetch_one(self, tp: TopicPartition, budget: int) -> List[Record]:
         position = self._positions.get(tp)
         if position is None:
             position = self._reset_offset(tp)
             self._positions[tp] = position
-        leader = self.cluster.leader_of(tp)
+        leader = self._leader_of(tp)
         result = self._network.call(
             "fetch",
             leader,
@@ -173,13 +188,25 @@ class Consumer:
         self._positions[tp] = result.next_offset
         # Return copies: the log's record objects are shared, and the
         # origin headers must reflect *this* fetch, not any upstream hop.
-        out = []
-        for record in result.records:
-            headers = dict(record.headers)
-            headers["__topic"] = tp.topic
-            headers["__partition"] = tp.partition
-            out.append(replace(record, headers=headers))
-        return out
+        # (Direct construction — dataclasses.replace costs ~3x as much on
+        # this per-record path.)
+        topic, partition = tp
+        return [
+            Record(
+                key=r.key,
+                value=r.value,
+                timestamp=r.timestamp,
+                headers={**r.headers, "__topic": topic, "__partition": partition},
+                offset=r.offset,
+                producer_id=r.producer_id,
+                producer_epoch=r.producer_epoch,
+                sequence=r.sequence,
+                is_transactional=r.is_transactional,
+                is_control=r.is_control,
+                control_type=r.control_type,
+            )
+            for r in result.records
+        ]
 
     # -- positions & commits ---------------------------------------------------------------
 

@@ -18,13 +18,14 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
-from repro.broker.cluster import Cluster
+from repro.broker.cluster import Cluster, TopicMetadata
 from repro.broker.partition import TopicPartition
 from repro.config import ProducerConfig
 from repro.errors import (
     ConcurrentTransactionsError,
     InvalidTxnStateError,
     KafkaError,
+    MaxBlockTimeoutError,
     ProducerFencedError,
     RetriableError,
 )
@@ -50,6 +51,12 @@ class Producer:
 
         self._sequences: Dict[TopicPartition, int] = {}
         self._pending: Dict[TopicPartition, List[Record]] = {}
+        # Routing caches, valid for one cluster metadata epoch: topic
+        # metadata and partition leadership are looked up once per epoch
+        # instead of twice per record on the send hot path.
+        self._routing_epoch = -1
+        self._metadata_cache: Dict[str, TopicMetadata] = {}
+        self._leader_cache: Dict[TopicPartition, int] = {}
         self._in_transaction = False
         self._txn_registered_partitions: set = set()
         # Partitions written this transaction but not yet registered with
@@ -178,6 +185,31 @@ class Producer:
         if not self._initialized_transactions:
             raise InvalidTxnStateError("init_transactions() has not been called")
 
+    # -- metadata / leader routing ---------------------------------------------------
+
+    def _check_routing_epoch(self) -> None:
+        epoch = self.cluster.metadata_epoch
+        if epoch != self._routing_epoch:
+            self._metadata_cache.clear()
+            self._leader_cache.clear()
+            self._routing_epoch = epoch
+
+    def _topic_metadata(self, topic: str) -> TopicMetadata:
+        self._check_routing_epoch()
+        meta = self._metadata_cache.get(topic)
+        if meta is None:
+            meta = self.cluster.topic_metadata(topic)
+            self._metadata_cache[topic] = meta
+        return meta
+
+    def _leader_of(self, tp: TopicPartition) -> int:
+        self._check_routing_epoch()
+        leader = self._leader_cache.get(tp)
+        if leader is None:
+            leader = self.cluster.leader_of(tp)
+            self._leader_cache[tp] = leader
+        return leader
+
     # -- sending -------------------------------------------------------------------
 
     def send(
@@ -199,7 +231,7 @@ class Producer:
             raise InvalidTxnStateError(
                 "transactional producers must send within a transaction"
             )
-        meta = self.cluster.topic_metadata(topic)
+        meta = self._topic_metadata(topic)
         if partition is None:
             partition = partition_for(key, meta.num_partitions)
         tp = TopicPartition(topic, partition)
@@ -246,7 +278,8 @@ class Producer:
         # One batched RPC; its cost grows only marginally with the number
         # of partitions registered.
         cost = self._network.coordinator_cost() + 0.002 * len(partitions)
-        attempts = 0
+        deadline = self._clock.now + self.config.max_block_ms
+        backoff = self.config.retry_backoff_ms
         while True:
             try:
                 self._network.call(
@@ -258,14 +291,19 @@ class Producer:
                     base_cost_ms=cost,
                 )
                 break
-            except ConcurrentTransactionsError:
+            except ConcurrentTransactionsError as exc:
                 # The previous transaction's markers are still landing;
-                # wait a moment and retry (Kafka's CONCURRENT_TRANSACTIONS
-                # backoff).
-                attempts += 1
-                if attempts > 100_000:
-                    raise
-                self._clock.advance(0.5)
+                # back off exponentially and retry (Kafka's
+                # CONCURRENT_TRANSACTIONS handling), giving up once the
+                # wait would exceed max_block_ms.
+                remaining = deadline - self._clock.now
+                if remaining <= 0:
+                    raise MaxBlockTimeoutError(
+                        f"add_partitions_to_txn for {tid!r} blocked longer "
+                        f"than max_block_ms={self.config.max_block_ms}"
+                    ) from exc
+                self._clock.advance(min(backoff, remaining))
+                backoff = min(backoff * 2, self.config.retry_backoff_max_ms)
         self._txn_registered_partitions.update(partitions)
 
     def _send_batch(self, tp: TopicPartition, records: List[Record]) -> None:
@@ -282,7 +320,7 @@ class Producer:
         attempts = 0
         while True:
             try:
-                leader = self.cluster.leader_of(tp)
+                leader = self._leader_of(tp)
                 self._network.call(
                     "produce",
                     leader,
@@ -297,7 +335,9 @@ class Producer:
                 self.retries_performed += 1
                 if attempts > self.config.retries:
                     raise
-                # Metadata refresh + backoff before the retry.
+                # Metadata refresh + backoff before the retry: the cached
+                # route is suspect even if the cluster epoch is unchanged.
+                self._leader_cache.pop(tp, None)
                 self._clock.advance(1.0)
         if base_sequence != NO_SEQUENCE:
             self._sequences[tp] = base_sequence + len(records)

@@ -68,6 +68,12 @@ class ProducerConfig:
     batch_max_records: int = 500
     linger_ms: float = 0.0
     transaction_timeout_ms: float = 60_000.0
+    # How long a blocking call (e.g. CONCURRENT_TRANSACTIONS backoff in
+    # add_partitions_to_txn) may wait before MaxBlockTimeoutError, and the
+    # exponential backoff bounds used while waiting (virtual milliseconds).
+    max_block_ms: float = 60_000.0
+    retry_backoff_ms: float = 0.5
+    retry_backoff_max_ms: float = 50.0
 
     def validate(self) -> None:
         if self.transactional_id is not None and not self.enable_idempotence:
@@ -80,6 +86,12 @@ class ProducerConfig:
             raise InvalidConfigError("retries must be >= 0")
         if self.batch_max_records < 1:
             raise InvalidConfigError("batch_max_records must be >= 1")
+        if self.max_block_ms <= 0:
+            raise InvalidConfigError("max_block_ms must be > 0")
+        if not 0 < self.retry_backoff_ms <= self.retry_backoff_max_ms:
+            raise InvalidConfigError(
+                "retry_backoff_ms must be in (0, retry_backoff_max_ms]"
+            )
 
 
 @dataclass

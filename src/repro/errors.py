@@ -98,6 +98,12 @@ class ConcurrentTransactionsError(RetriableError):
     """The previous transaction with this id has not finished completing."""
 
 
+class MaxBlockTimeoutError(KafkaError):
+    """A blocking producer call exceeded ``max_block_ms`` (e.g. waiting out
+    CONCURRENT_TRANSACTIONS backoff while the previous transaction's
+    markers land)."""
+
+
 # --- consumer groups --------------------------------------------------------
 
 

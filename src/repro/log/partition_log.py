@@ -43,7 +43,7 @@ from repro.log.record import (
 _PRODUCER_BATCH_CACHE = 5
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AbortedTxn:
     """Index entry: records of ``producer_id`` in [first_offset, last_offset]
     belong to an aborted transaction and must be filtered for read_committed."""
@@ -107,6 +107,11 @@ class PartitionLog:
         # producer_id -> first offset of its currently open transaction
         self._open_txns: Dict[int, int] = {}
         self._aborted: List[AbortedTxn] = []
+        # Interval index over `_aborted`: producer_id -> parallel, sorted
+        # (first_offsets, last_offsets, spans). One producer's transactions
+        # are serial, so its spans are disjoint and both offset lists are
+        # ascending — membership and overlap queries are a bisect away.
+        self._aborted_index: Dict[int, Tuple[List[int], List[int], List[AbortedTxn]]] = {}
 
     # -- basic accessors -------------------------------------------------------
 
@@ -124,18 +129,74 @@ class PartitionLog:
         return self.high_watermark
 
     def records(self) -> List[Record]:
-        """All retained records, oldest first (includes control markers)."""
-        return list(self._records)
+        """All retained records, oldest first (includes control markers).
+
+        Read-only view of the live backing list — do not mutate. Returning
+        the list itself keeps per-poll accessor cost O(1) instead of O(log).
+        """
+        return self._records
 
     def __len__(self) -> int:
         return len(self._records)
 
     def open_transactions(self) -> Dict[int, int]:
-        """producer_id -> first offset of its open transaction (copy)."""
-        return dict(self._open_txns)
+        """producer_id -> first offset of its open transaction.
+
+        Read-only view of the live mapping — do not mutate.
+        """
+        return self._open_txns
 
     def aborted_transactions(self) -> List[AbortedTxn]:
-        return list(self._aborted)
+        """All aborted-transaction spans. Read-only view — do not mutate."""
+        return self._aborted
+
+    # -- aborted-transaction interval queries ----------------------------------
+
+    def _index_aborted(self, span: AbortedTxn) -> None:
+        self._aborted.append(span)
+        entry = self._aborted_index.get(span.producer_id)
+        if entry is None:
+            entry = ([], [], [])
+            self._aborted_index[span.producer_id] = entry
+        firsts, lasts, spans = entry
+        firsts.append(span.first_offset)
+        lasts.append(span.last_offset)
+        spans.append(span)
+
+    def is_offset_aborted(self, producer_id: int, offset: int) -> bool:
+        """True iff ``offset`` lies in an aborted span of ``producer_id``.
+
+        O(log aborted-spans-of-producer) via bisect on the interval index.
+        """
+        entry = self._aborted_index.get(producer_id)
+        if entry is None:
+            return False
+        firsts, lasts, _ = entry
+        i = bisect.bisect_right(firsts, offset) - 1
+        return i >= 0 and lasts[i] >= offset
+
+    def aborted_overlapping(
+        self, from_offset: int, up_to_offset: int
+    ) -> List[AbortedTxn]:
+        """Aborted spans intersecting ``[from_offset, up_to_offset)``."""
+        out: List[AbortedTxn] = []
+        for firsts, lasts, spans in self._aborted_index.values():
+            lo = bisect.bisect_left(lasts, from_offset)
+            hi = bisect.bisect_left(firsts, up_to_offset, lo)
+            out.extend(spans[lo:hi])
+        return out
+
+    def producer_aborted_in_range(
+        self, producer_id: int, first_offset: int, last_offset: int
+    ) -> bool:
+        """Any aborted span of ``producer_id`` intersecting the *inclusive*
+        range ``[first_offset, last_offset]``?"""
+        entry = self._aborted_index.get(producer_id)
+        if entry is None:
+            return False
+        firsts, lasts, _ = entry
+        i = bisect.bisect_left(lasts, first_offset)
+        return i < len(firsts) and firsts[i] <= last_offset
 
     # -- appends ---------------------------------------------------------------
 
@@ -200,12 +261,43 @@ class PartitionLog:
         return result
 
     def _do_append(self, batch: RecordBatch) -> AppendResult:
+        # Offset assignment and producer-metadata stamping fused into one
+        # record construction (instead of stamped_records() + with_offset(),
+        # two dataclass copies per record on the produce hot path).
         base_offset = self._next_offset
-        for record in batch.stamped_records():
-            self._append_record(record)
-        if batch.is_transactional and batch.producer_id not in self._open_txns:
-            self._open_txns[batch.producer_id] = base_offset
-        return AppendResult(base_offset, self._next_offset - 1)
+        offset = base_offset
+        base_sequence = batch.base_sequence
+        pid = batch.producer_id
+        epoch = batch.producer_epoch
+        transactional = batch.is_transactional
+        append_record = self._records.append
+        append_offset = self._offsets.append
+        for i, record in enumerate(batch.records):
+            append_record(
+                Record(
+                    key=record.key,
+                    value=record.value,
+                    timestamp=record.timestamp,
+                    headers=record.headers,
+                    offset=offset,
+                    producer_id=pid,
+                    producer_epoch=epoch,
+                    sequence=(
+                        NO_SEQUENCE
+                        if base_sequence == NO_SEQUENCE
+                        else base_sequence + i
+                    ),
+                    is_transactional=transactional,
+                    is_control=record.is_control,
+                    control_type=record.control_type,
+                )
+            )
+            append_offset(offset)
+            offset += 1
+        self._next_offset = offset
+        if transactional and pid not in self._open_txns:
+            self._open_txns[pid] = base_offset
+        return AppendResult(base_offset, offset - 1)
 
     def _append_record(self, record: Record) -> None:
         stamped = record.with_offset(self._next_offset)
@@ -229,7 +321,7 @@ class PartitionLog:
         offset = self._next_offset
         self._append_record(marker)
         if marker.control_type == ABORT_MARKER and first_offset is not None:
-            self._aborted.append(
+            self._index_aborted(
                 AbortedTxn(marker.producer_id, first_offset, offset - 1)
             )
         return offset
@@ -237,20 +329,25 @@ class PartitionLog:
     def replicate_from(self, records: List[Record]) -> None:
         """Follower path: copy already-offset-stamped records verbatim,
         reconstructing producer/transaction state from their metadata."""
+        append_record = self._records.append
+        append_offset = self._offsets.append
+        next_offset = self._next_offset
         for record in records:
-            if record.offset != self._next_offset:
+            if record.offset != next_offset:
+                self._next_offset = next_offset
                 raise ValueError(
                     f"{self.name}: replication gap, expected offset "
-                    f"{self._next_offset}, got {record.offset}"
+                    f"{next_offset}, got {record.offset}"
                 )
-            self._records.append(record)
-            self._offsets.append(record.offset)
-            self._next_offset = record.offset + 1
+            append_record(record)
+            append_offset(record.offset)
+            next_offset = record.offset + 1
+            self._next_offset = next_offset
             pid = record.producer_id
             if record.is_control:
                 first = self._open_txns.pop(pid, None)
                 if record.control_type == ABORT_MARKER and first is not None:
-                    self._aborted.append(AbortedTxn(pid, first, record.offset - 1))
+                    self._index_aborted(AbortedTxn(pid, first, record.offset - 1))
                 continue
             if pid != NO_PRODUCER_ID:
                 state = self._producers.get(pid)
@@ -278,7 +375,12 @@ class PartitionLog:
         up_to_offset: Optional[int] = None,
     ) -> List[Record]:
         """Records with ``from_offset <= offset < up_to_offset`` (default:
-        the high watermark), oldest first, including control markers.
+        the high watermark), oldest first, including control markers. At
+        most ``max_records`` are returned.
+
+        Both bounds are located by bisect, so the work done (and the list
+        returned) is proportional to the records returned, never to the
+        size of the tail.
 
         Raises OffsetOutOfRangeError if ``from_offset`` precedes the log
         start (records were deleted) or exceeds the log end.
@@ -290,12 +392,10 @@ class PartitionLog:
             )
         limit = self.high_watermark if up_to_offset is None else up_to_offset
         start = bisect.bisect_left(self._offsets, from_offset)
-        out: List[Record] = []
-        for record in self._records[start:]:
-            if record.offset >= limit or len(out) >= max_records:
-                break
-            out.append(record)
-        return out
+        end = bisect.bisect_left(self._offsets, limit, start)
+        if max_records < end - start:
+            end = start + max_records
+        return self._records[start:end]
 
     def earliest_offset(self) -> int:
         return self.log_start_offset
@@ -319,6 +419,7 @@ class PartitionLog:
         self._producers.clear()
         self._open_txns.clear()
         self._aborted.clear()
+        self._aborted_index.clear()
 
     def delete_records_before(self, offset: int) -> int:
         """Advance the log start offset (repartition-topic purge).

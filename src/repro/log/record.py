@@ -18,7 +18,7 @@ COMMIT_MARKER = "commit"
 ABORT_MARKER = "abort"
 
 
-@dataclass
+@dataclass(slots=True)
 class Record:
     """One log entry.
 
@@ -51,7 +51,7 @@ class Record:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class RecordBatch:
     """A producer batch appended atomically to one partition log.
 

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class StreamRecord:
     """One record as seen by processors inside a task."""
 

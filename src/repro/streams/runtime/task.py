@@ -97,6 +97,16 @@ class StreamTask:
                 self._source_children.setdefault(resolve(topic), []).extend(
                     node.children
                 )
+        # Memoized per-partition child lists: the processing loop looks
+        # children up once per record, so it gets a direct tp -> children
+        # mapping instead of a topic-name hop.
+        self._children_by_tp: Dict[TopicPartition, List[str]] = {
+            tp: self._source_children.get(tp.topic, []) for tp in self.partitions
+        }
+        # Sink routing cache (resolved topic, partition count) per sink
+        # topic, valid for one cluster metadata epoch.
+        self._sink_routes: Dict[str, tuple] = {}
+        self._sink_routes_epoch = -1
 
         self._stores: Dict[str, Any] = {}
         self._build_stores()
@@ -177,7 +187,9 @@ class StreamTask:
                 key=r.key,
                 value=r.value,
                 timestamp=r.timestamp,
-                headers=dict(r.headers),
+                # Copy only when there is something to copy — an empty
+                # headers dict is never shared with the log's record.
+                headers=dict(r.headers) if r.headers else {},
                 offset=r.offset,
                 topic=tp.topic,
                 partition=tp.partition,
@@ -200,7 +212,11 @@ class StreamTask:
                 break
             tp, record = item
             self.stream_time = max(self.stream_time, record.timestamp)
-            for child in self._source_children[tp.topic]:
+            children = self._children_by_tp.get(tp)
+            if children is None:
+                children = self._source_children[tp.topic]
+                self._children_by_tp[tp] = children
+            for child in children:
                 self.process_at(child, record)
             self._consumed[tp] = record.offset + 1
             self.records_processed += 1
@@ -229,13 +245,26 @@ class StreamTask:
             return
         self._processors[node_name].process(record)
 
+    def _sink_route(self, node: SinkNode) -> tuple:
+        """(resolved topic, partition count) for a sink, cached per cluster
+        metadata epoch — not re-resolved for every record."""
+        epoch = self.cluster.metadata_epoch
+        if epoch != self._sink_routes_epoch:
+            self._sink_routes.clear()
+            self._sink_routes_epoch = epoch
+        route = self._sink_routes.get(node.topic)
+        if route is None:
+            topic = self.resolve(node.topic)
+            route = (topic, self.cluster.topic_metadata(topic).num_partitions)
+            self._sink_routes[node.topic] = route
+        return route
+
     def _send_to_sink(self, node: SinkNode, record: StreamRecord) -> None:
-        topic = self.resolve(node.topic)
-        meta = self.cluster.topic_metadata(topic)
+        topic, num_partitions = self._sink_route(node)
         if node.partitioner is not None:
-            partition = node.partitioner(record.key, record.value, meta.num_partitions)
+            partition = node.partitioner(record.key, record.value, num_partitions)
         else:
-            partition = partition_for(record.key, meta.num_partitions)
+            partition = partition_for(record.key, num_partitions)
         self.producer.send(
             topic,
             key=record.key,
@@ -279,13 +308,8 @@ class StreamTask:
             if pid in ignore_pids:
                 continue
             log = self.cluster.partition_state(tp).leader_log()
-            for span in log.aborted_transactions():
-                if (
-                    span.producer_id == pid
-                    and span.first_offset <= hi
-                    and span.last_offset >= lo
-                ):
-                    return "aborted"
+            if log.producer_aborted_in_range(pid, lo, hi):
+                return "aborted"
             open_txns = log.open_transactions()
             if pid in open_txns and open_txns[pid] <= hi:
                 pending = True

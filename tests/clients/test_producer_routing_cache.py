@@ -1,0 +1,146 @@
+"""Client routing caches: hit within an epoch, invalidate across one.
+
+The producer and consumer cache topic metadata and partition leadership,
+keyed on the cluster's metadata epoch. These tests pin down both halves of
+the contract: routing facts are *not* re-resolved while the epoch is
+unchanged, and a leader failover or a repartitioned topic (both of which
+bump the epoch) must never be served from the stale cache.
+"""
+
+import pytest
+
+from repro.broker.partition import TopicPartition
+from repro.clients.admin import AdminClient
+from repro.clients.consumer import Consumer
+from repro.clients.producer import Producer
+from repro.config import ConsumerConfig, ProducerConfig
+from repro.sim.failures import FailureInjector
+from repro.util import partition_for
+
+
+@pytest.fixture
+def topic(fast_cluster):
+    fast_cluster.create_topic("t", 2)
+    return "t"
+
+
+def log_values(cluster, tp):
+    log = cluster.partition_state(tp).leader_log()
+    return [r.value for r in log.records() if not r.is_control]
+
+
+class TestCacheHits:
+    def test_leader_resolved_once_per_epoch(self, fast_cluster, topic):
+        p = Producer(fast_cluster)
+        calls = []
+        real = fast_cluster.leader_of
+        fast_cluster.leader_of = lambda tp: (calls.append(tp), real(tp))[1]
+        for i in range(10):
+            p.send(topic, key="k", value=i, partition=0)
+            p.flush()
+        assert calls == [TopicPartition(topic, 0)]
+
+    def test_topic_metadata_resolved_once_per_epoch(self, fast_cluster, topic):
+        p = Producer(fast_cluster)
+        calls = []
+        real = fast_cluster.topic_metadata
+        fast_cluster.topic_metadata = lambda name: (calls.append(name), real(name))[1]
+        for i in range(10):
+            p.send(topic, key=f"k{i}", value=i)
+        assert calls == [topic]
+
+    def test_consumer_leader_resolved_once_per_epoch(self, fast_cluster, topic):
+        Producer(fast_cluster).send(topic, key="k", value=1, partition=0)
+        c = Consumer(fast_cluster)
+        c.assign([TopicPartition(topic, 0)])
+        calls = []
+        real = fast_cluster.leader_of
+        fast_cluster.leader_of = lambda tp: (calls.append(tp), real(tp))[1]
+        for _ in range(5):
+            c.poll()
+        assert calls == [TopicPartition(topic, 0)]
+
+
+class TestLeaderFailover:
+    def test_send_after_leader_crash_routes_to_new_leader(
+        self, fast_cluster, topic
+    ):
+        tp = TopicPartition(topic, 0)
+        p = Producer(fast_cluster)
+        p.send(topic, key="k", value=1, partition=0)
+        p.flush()  # populates the leader cache
+
+        old_leader = fast_cluster.leader_of(tp)
+        FailureInjector(fast_cluster).crash_broker(old_leader)
+        new_leader = fast_cluster.leader_of(tp)
+        assert new_leader != old_leader
+
+        p.send(topic, key="k", value=2, partition=0)
+        p.flush()
+        # The record reached the new leader's log, with nothing lost.
+        assert log_values(fast_cluster, tp) == [1, 2]
+        # And the send did not need the retry path: the epoch bump alone
+        # invalidated the cached route.
+        assert p.retries_performed == 0
+
+    def test_consumer_poll_after_leader_crash(self, fast_cluster, topic):
+        tp = TopicPartition(topic, 0)
+        p = Producer(fast_cluster)
+        p.send(topic, key="k", value=1, partition=0)
+        p.flush()
+
+        c = Consumer(fast_cluster)
+        c.assign([tp])
+        assert [r.value for r in c.poll()] == [1]
+
+        old_leader = fast_cluster.leader_of(tp)
+        FailureInjector(fast_cluster).crash_broker(old_leader)
+
+        p.send(topic, key="k", value=2, partition=0)
+        p.flush()
+        assert [r.value for r in c.poll()] == [2]
+
+    def test_restart_also_bumps_epoch(self, fast_cluster, topic):
+        tp = TopicPartition(topic, 0)
+        p = Producer(fast_cluster)
+        p.send(topic, key="k", value=1, partition=0)
+        p.flush()
+        injector = FailureInjector(fast_cluster)
+        victim = fast_cluster.leader_of(tp)
+        injector.crash_broker(victim)
+        p.send(topic, key="k", value=2, partition=0)
+        p.flush()
+        injector.restart_broker(victim)
+        p.send(topic, key="k", value=3, partition=0)
+        p.flush()
+        assert log_values(fast_cluster, tp) == [1, 2, 3]
+
+
+class TestRepartitionedTopic:
+    def test_send_uses_new_partition_count(self, fast_cluster, topic):
+        p = Producer(fast_cluster)
+        # Populate the metadata cache at 2 partitions.
+        p.send(topic, key="x", value=0)
+        p.flush()
+
+        AdminClient(fast_cluster).create_partitions(topic, 8)
+
+        # Pick a key that maps differently under the two counts; the next
+        # send must use the *new* count, not the cached metadata.
+        key = next(
+            k
+            for k in (f"k{i}" for i in range(1000))
+            if partition_for(k, 2) != partition_for(k, 8)
+        )
+        tp = p.send(topic, key=key, value=1)
+        assert tp.partition == partition_for(key, 8)
+        p.flush()
+        assert log_values(fast_cluster, tp) == [1]
+
+    def test_stale_metadata_object_is_not_reused(self, fast_cluster, topic):
+        p = Producer(fast_cluster)
+        p.send(topic, key="x", value=0)
+        before = p._topic_metadata(topic).num_partitions
+        AdminClient(fast_cluster).create_partitions(topic, 5)
+        after = p._topic_metadata(topic).num_partitions
+        assert (before, after) == (2, 5)

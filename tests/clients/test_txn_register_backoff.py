@@ -1,0 +1,105 @@
+"""CONCURRENT_TRANSACTIONS backoff in ``_register_txn_partitions``.
+
+While the previous transaction's markers are still landing the coordinator
+rejects ``add_partitions_to_txn`` with a retriable error; the producer must
+back off exponentially (on the virtual clock) and eventually either get
+through or give up with a clear timeout once ``max_block_ms`` is spent.
+"""
+
+import pytest
+
+from repro.clients.producer import Producer
+from repro.config import ProducerConfig
+from repro.errors import (
+    ConcurrentTransactionsError,
+    InvalidConfigError,
+    MaxBlockTimeoutError,
+)
+
+
+@pytest.fixture
+def topic(fast_cluster):
+    fast_cluster.create_topic("t", 2)
+    return "t"
+
+
+def make_txn_producer(cluster, **overrides):
+    config = ProducerConfig(transactional_id="app-1", **overrides)
+    p = Producer(cluster, config)
+    p.init_transactions()
+    p.begin_transaction()
+    return p
+
+
+def always_concurrent(coordinator):
+    def add_partitions(tid, pid, epoch, partitions):
+        raise ConcurrentTransactionsError(tid)
+
+    coordinator.add_partitions = add_partitions
+
+
+class TestBackoff:
+    def test_times_out_with_max_block_error(self, fast_cluster, topic):
+        p = make_txn_producer(fast_cluster, max_block_ms=20.0)
+        always_concurrent(fast_cluster.txn_coordinator)
+        p.send(topic, key="k", value=1)
+        start = fast_cluster.clock.now
+        with pytest.raises(MaxBlockTimeoutError, match="max_block_ms"):
+            p.flush()
+        # The producer waited out the whole budget — no more, no less.
+        assert fast_cluster.clock.now - start == pytest.approx(20.0)
+
+    def test_backoff_grows_exponentially_and_is_capped(self, fast_cluster, topic):
+        p = make_txn_producer(
+            fast_cluster,
+            max_block_ms=100.0,
+            retry_backoff_ms=1.0,
+            retry_backoff_max_ms=8.0,
+        )
+        coordinator = fast_cluster.txn_coordinator
+        waits = []
+        last = [fast_cluster.clock.now]
+
+        real = coordinator.add_partitions
+
+        def add_partitions(tid, pid, epoch, partitions):
+            now = fast_cluster.clock.now
+            waits.append(now - last[0])
+            last[0] = now
+            if len(waits) <= 6:
+                raise ConcurrentTransactionsError(tid)
+            return real(tid, pid, epoch, partitions)
+
+        coordinator.add_partitions = add_partitions
+        p.send(topic, key="k", value=1)
+        p.flush()
+        # waits[0] is the time before the first attempt (no backoff yet);
+        # the rest double up to the cap: 1, 2, 4, 8, 8, 8.
+        assert waits[1:] == [1.0, 2.0, 4.0, 8.0, 8.0, 8.0]
+        p.commit_transaction()
+
+    def test_recovers_when_error_clears(self, fast_cluster, topic):
+        p = make_txn_producer(fast_cluster)
+        coordinator = fast_cluster.txn_coordinator
+        real = coordinator.add_partitions
+        attempts = [0]
+
+        def flaky(tid, pid, epoch, partitions):
+            attempts[0] += 1
+            if attempts[0] < 3:
+                raise ConcurrentTransactionsError(tid)
+            return real(tid, pid, epoch, partitions)
+
+        coordinator.add_partitions = flaky
+        p.send(topic, key="k", value=1)
+        p.flush()
+        p.commit_transaction()
+        assert attempts[0] == 3
+
+    def test_config_validation(self):
+        with pytest.raises(InvalidConfigError):
+            ProducerConfig(max_block_ms=0).validate()
+        with pytest.raises(InvalidConfigError):
+            ProducerConfig(retry_backoff_ms=0).validate()
+        with pytest.raises(InvalidConfigError):
+            ProducerConfig(retry_backoff_ms=10.0, retry_backoff_max_ms=5.0).validate()
