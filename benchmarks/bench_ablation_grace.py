@@ -10,7 +10,7 @@ against a workload with a heavy-tailed lateness distribution and report
 * how many emitted results were revisions of earlier emissions.
 """
 
-from harness import make_bench_cluster
+from harness import bench_scale, make_bench_cluster, smoke_mode
 from harness_report import record_table
 
 from repro.config import EXACTLY_ONCE, StreamsConfig
@@ -55,7 +55,7 @@ def run_one(grace_ms: float):
     )
     max_store = 0
     start = cluster.clock.now
-    while cluster.clock.now < start + DURATION_MS:
+    while cluster.clock.now < start + DURATION_MS * bench_scale():
         generator.produce_for(25.0)
         app.step()
         max_store = max(max_store, _store_entries(app))
@@ -111,6 +111,9 @@ def test_ablation_grace_period(benchmark):
             rows,
         ),
     )
+
+    if smoke_mode():
+        return
 
     drops = [_results[g]["dropped"] for g in GRACE_VALUES_MS]
     stores = [_results[g]["max_store_entries"] for g in GRACE_VALUES_MS]

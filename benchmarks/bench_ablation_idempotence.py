@@ -7,7 +7,7 @@ The paper's design point: sequence numbers add a "few extra numeric
 fields" per batch and fully remove retry duplicates.
 """
 
-from harness import make_bench_cluster
+from harness import bench_scale, make_bench_cluster, smoke_mode
 from harness_report import record_table
 
 from repro.broker.partition import TopicPartition
@@ -33,9 +33,10 @@ def run_one(enable_idempotence: bool):
             retries=10,
         ),
     )
+    records = max(100, int(RECORDS * bench_scale()))
     sent = 0
     produce_requests = 0
-    for i in range(RECORDS):
+    for i in range(records):
         if produce_requests and produce_requests % FAULT_EVERY == 0:
             injector.drop_next_produce_ack()
             produce_requests += 1   # only arm once per boundary
@@ -48,7 +49,7 @@ def run_one(enable_idempotence: bool):
     appended = [r.value for r in log.records() if not r.is_control]
     duplicates = len(appended) - len(set(appended))
     return {
-        "records_sent": RECORDS,
+        "records_sent": records,
         "records_in_log": len(appended),
         "duplicates": duplicates,
         "retries": producer.retries_performed,
@@ -78,11 +79,14 @@ def test_ablation_idempotence(benchmark):
         ),
     )
 
+    if smoke_mode():
+        return
+
     on, off = _results["idempotence_on"], _results["idempotence_off"]
     # Both configurations hit retries; only idempotence dedups them.
     assert on["retries"] > 0
     assert off["retries"] > 0
     assert on["duplicates"] == 0
-    assert on["records_in_log"] == RECORDS
+    assert on["records_in_log"] == on["records_sent"]
     assert off["duplicates"] > 0
-    assert off["records_in_log"] > RECORDS
+    assert off["records_in_log"] > off["records_sent"]

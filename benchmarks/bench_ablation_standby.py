@@ -7,7 +7,7 @@ of a counting task at several state sizes and measure the records
 replayed at takeover, with and without a standby.
 """
 
-from harness import make_bench_cluster
+from harness import bench_scale, make_bench_cluster, smoke_mode
 from harness_report import record_table
 
 from repro.clients.producer import Producer
@@ -39,6 +39,7 @@ def run_one(records: int, standbys: int):
     )
     app.start(2)
     producer = Producer(cluster)
+    records = max(50, int(records * bench_scale()))
     for i in range(records):
         producer.send("in", key=f"k{i % 50}", value=1, timestamp=float(i))
     producer.flush()
@@ -78,6 +79,9 @@ def test_ablation_standby_restore(benchmark):
             rows,
         ),
     )
+
+    if smoke_mode():
+        return
 
     # Cold restore grows with state size; warm restore stays near-constant.
     colds = [_results[(s, 0)] for s in STATE_SIZES]

@@ -7,7 +7,7 @@ count with no suppression, with time-limited suppression, and with
 emit-final suppression — and check that all three agree on final results.
 """
 
-from harness import make_bench_cluster
+from harness import bench_scale, make_bench_cluster, smoke_mode
 from harness_report import record_table
 
 from repro.clients.consumer import Consumer
@@ -59,10 +59,13 @@ def run_one(mode: str):
         cluster, "events", rate_per_sec=2000.0, key_space=10, seed=31
     )
     start = cluster.clock.now
-    while cluster.clock.now < start + DURATION_MS:
+    while cluster.clock.now < start + DURATION_MS * bench_scale():
         generator.produce_for(25.0)
         app.step()
     app.run_until_idle()
+    # The app's driver drained the tail discrete-event style: a handful of
+    # cycles with idle gaps jumped, instead of the old 1 ms idle-tick loop.
+    scheduler = app.driver.stats()
 
     consumer = Consumer(cluster, ConsumerConfig(isolation_level=READ_COMMITTED))
     consumer.assign(cluster.partitions_for("counts"))
@@ -79,6 +82,7 @@ def run_one(mode: str):
         "produced": generator.records_produced,
         "downstream_records": volume,
         "final_results": final,
+        "scheduler": scheduler,
     }
 
 
@@ -101,15 +105,39 @@ def test_ablation_suppression(benchmark):
             1 - r["downstream_records"] / _results["none"]["downstream_records"]
         )
         rows.append(
-            [mode, r["produced"], r["downstream_records"], f"{reduction:.1f}%"]
+            [
+                mode,
+                r["produced"],
+                r["downstream_records"],
+                f"{reduction:.1f}%",
+                r["scheduler"]["cycles"],
+                f"{r['scheduler']['idle_skipped_ms']:.1f}",
+            ]
         )
     record_table(
         "Ablation — suppression vs downstream record volume",
         format_table(
-            ["suppression", "inputs", "downstream records", "volume reduction"],
+            [
+                "suppression",
+                "inputs",
+                "downstream records",
+                "volume reduction",
+                "drain cycles",
+                "idle skipped (ms)",
+            ],
             rows,
         ),
     )
+
+    if smoke_mode():
+        return
+
+    # The discrete-event driver drains the post-production tail in a
+    # bounded handful of scheduler cycles, jumping idle time (the old
+    # step-loop burned one cycle per idle millisecond).
+    for r in _results.values():
+        assert r["scheduler"]["cycles"] < 20
+        assert r["scheduler"]["idle_skipped_ms"] > 0
 
     none = _results["none"]
     limited = _results["time_limit"]

@@ -16,7 +16,13 @@ data: outlier filtering, per-instrument windowed profiling, and weighted
 (VWAP-style) aggregation.
 """
 
-from harness import BenchResult, make_bench_cluster, _drain_outputs
+from harness import (
+    BenchResult,
+    _drain_outputs,
+    bench_scale,
+    make_bench_cluster,
+    smoke_mode,
+)
 from harness_report import record_table
 
 from repro.clients.consumer import Consumer
@@ -62,6 +68,7 @@ def mxflow_topology():
 
 
 def run_mxflow(guarantee: str, rate_per_sec: float, duration_ms: float = 1200.0) -> BenchResult:
+    duration_ms *= bench_scale()
     cluster = make_bench_cluster(seed=77)
     cluster.create_topic("market-data", 4)
     cluster.create_topic("market-insights", 4)
@@ -179,6 +186,9 @@ def test_bloomberg_eos_overhead(benchmark):
             counts,
         ),
     )
+
+    if smoke_mode():
+        return
 
     # Paper claim: 6-10% overhead (we accept 3-15% for the simulated box).
     for rate in RATES:

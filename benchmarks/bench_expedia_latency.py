@@ -10,7 +10,13 @@ Two measurable claims:
   and to the changelog.
 """
 
-from harness import BenchResult, make_bench_cluster, _drain_outputs
+from harness import (
+    BenchResult,
+    _drain_outputs,
+    bench_scale,
+    make_bench_cluster,
+    smoke_mode,
+)
 from harness_report import record_table
 
 from repro.broker.partition import TopicPartition
@@ -56,6 +62,7 @@ def run_conversations(
     rate_per_sec: float = 500.0,     # compressed pandemic-peak style load
     duration_ms: float = 4000.0,
 ) -> BenchResult:
+    duration_ms *= bench_scale()
     cluster = make_bench_cluster(seed=55)
     cluster.create_topic("conversation-events", 2)
     cluster.create_topic("conversation-views", 2)
@@ -144,6 +151,9 @@ def test_expedia_latency_and_suppression(benchmark):
             rows,
         ),
     )
+
+    if smoke_mode():
+        return
 
     # Claim 1: 100 ms commit interval -> sub-second end-to-end latency.
     fast = _results["enrichment_100ms"]

@@ -12,7 +12,7 @@ reproduce in shape:
   much faster than ALOS latency does.
 """
 
-from harness import run_streams_reduce
+from harness import run_streams_reduce, smoke_mode
 from harness_report import record_table
 
 from repro.config import AT_LEAST_ONCE, EXACTLY_ONCE
@@ -69,6 +69,9 @@ def test_fig5a_exactly_once_impact(benchmark):
             rows,
         ),
     )
+
+    if smoke_mode():
+        return
 
     # Shape assertions (the paper's qualitative findings).
     for partitions in PARTITIONS:

@@ -27,6 +27,7 @@ from repro.barriers.object_store import ObjectStore
 from repro.clients.consumer import Consumer
 from repro.clients.producer import Producer
 from repro.config import ConsumerConfig, ProducerConfig, READ_UNCOMMITTED
+from repro.sim.scheduler import Driver
 from repro.util import partition_for
 
 # Modelled CPU cost per record (same as the streams runtime, for fairness).
@@ -94,6 +95,15 @@ class BarrierEngine:
         self.records_processed = 0
         self.checkpoints_completed = 0
         self.checkpoint_time_ms = 0.0
+        # Checkpoint deadline as a wake timer on the shared clock: the
+        # callback only flags; the checkpoint runs at the safe point in
+        # step(). Idle drivers jump interval-to-interval instead of
+        # creeping 1 ms at a time.
+        self._checkpoint_due = False
+        self._checkpoint_timer = None
+        self._arm_checkpoint_timer()
+        self._driver = Driver(self.clock)
+        self._driver.register(self)
 
     # -- processing -----------------------------------------------------------------
 
@@ -119,19 +129,44 @@ class BarrierEngine:
         if records:
             self.clock.advance(len(records) * PROCESS_COST_MS_PER_RECORD)
             self.records_processed += len(records)
-        if self.clock.now >= self._next_checkpoint_at:
+        if self._checkpoint_due or self.clock.now >= self._next_checkpoint_at:
             self.checkpoint()
         return len(records)
 
-    def run_for(self, duration_ms: float, idle_advance_ms: float = 1.0) -> int:
-        deadline = self.clock.now + duration_ms
-        total = 0
-        while self.clock.now < deadline:
-            processed = self.step()
-            total += processed
-            if processed == 0:
-                self.clock.advance(idle_advance_ms)
-        return total
+    # Actor protocol (repro.sim.scheduler.Driver), so the checkpoint
+    # baseline can share a driver — and a deterministic timeline — with
+    # Streams apps and ksql queries on the same cluster.
+    def poll(self) -> int:
+        return self.step()
+
+    def flush(self) -> None:
+        """End-of-run commit: checkpoint only if output or state is
+        pending — the transactional sink's data is invisible until the
+        checkpoint's commit, but an empty checkpoint would just burn
+        object-store PUTs."""
+        if self._dirty or self.producer._in_transaction:
+            self.checkpoint()
+
+    @property
+    def driver(self) -> Driver:
+        return self._driver
+
+    def run_for(self, duration_ms: float) -> int:
+        """Drive the job for ``duration_ms`` of virtual time, jumping idle
+        gaps to the next checkpoint deadline."""
+        return self._driver.run_for(duration_ms)
+
+    def _arm_checkpoint_timer(self) -> None:
+        if self._checkpoint_timer is not None:
+            self._checkpoint_timer.cancel()
+        self._checkpoint_timer = self.clock.schedule(
+            max(0.0, self._next_checkpoint_at - self.clock.now),
+            self._on_checkpoint_timer,
+        )
+
+    def _on_checkpoint_timer(self) -> None:
+        self._checkpoint_timer = None
+        self._checkpoint_due = True
 
     # -- checkpointing --------------------------------------------------------------------
 
@@ -179,6 +214,8 @@ class BarrierEngine:
         self.checkpoints_completed += 1
         self._dirty.clear()
         self._next_checkpoint_at = self.clock.now + self.checkpoint_interval_ms
+        self._checkpoint_due = False
+        self._arm_checkpoint_timer()
         self.checkpoint_time_ms += self.clock.now - started
         return metadata
 
@@ -207,4 +244,6 @@ class BarrierEngine:
         for tp, offset in latest.source_offsets.items():
             self.consumer.seek(tp, offset)
         self._next_checkpoint_at = self.clock.now + self.checkpoint_interval_ms
+        self._checkpoint_due = False
+        self._arm_checkpoint_timer()
         return latest.checkpoint_id

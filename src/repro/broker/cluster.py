@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.config import BrokerConfig
+from repro.config import READ_COMMITTED, BrokerConfig
 from repro.errors import (
     BrokerUnavailableError,
     TopicAlreadyExistsError,
@@ -239,8 +239,6 @@ class Cluster:
     def end_offset(self, tp: TopicPartition, isolation_level: str) -> int:
         """The offset a new consumer with ``latest`` reset would start from."""
         log = self.partition_state(tp).leader_log()
-        from repro.config import READ_COMMITTED
-
         if isolation_level == READ_COMMITTED:
             return log.last_stable_offset
         return log.high_watermark

@@ -37,6 +37,19 @@ class GroupMember:
     member_id: str
     subscription: Tuple[str, ...]
     assignment: List[TopicPartition] = field(default_factory=list)
+    # Session tracking: 0 disables expiry for this member (legacy callers
+    # that never heartbeat keep their membership forever, as before).
+    session_timeout_ms: float = 0.0
+    last_heartbeat_ms: float = -1.0
+    # Optional probe standing in for the client's background heartbeat
+    # thread: when the session deadline passes, the coordinator asks the
+    # probe whether the process is still alive before evicting. This keeps
+    # discrete-event time jumps (which can skip many heartbeat intervals at
+    # once) from expiring perfectly healthy members.
+    liveness: Optional[object] = field(default=None, repr=False, compare=False)
+    session_timer: Optional[object] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
 
 @dataclass
@@ -59,6 +72,13 @@ class GroupCoordinator:
         self._assignors: Dict[str, object] = {}
         # (group_id, member_id) -> revocation-barrier callback.
         self._rebalance_listeners: Dict[Tuple[str, str], object] = {}
+        # Members whose session timer found them expired *and* dead. The
+        # eviction (and its rebalance) is deferred to the next safe point —
+        # a heartbeat/join/leave or an explicit expire_sessions() — because
+        # session timers can fire mid-advance, inside another member's
+        # processing step, where a reentrant rebalance could commit that
+        # member's transaction out from under it.
+        self._pending_evictions: List[Tuple[str, str]] = []
 
     def set_rebalance_listener(
         self, group_id: str, member_id: str, listener
@@ -91,11 +111,17 @@ class GroupCoordinator:
         group_id: str,
         subscription: Tuple[str, ...],
         member_id: Optional[str] = None,
+        session_timeout_ms: float = 0.0,
+        liveness=None,
     ) -> Tuple[str, int]:
         """Add (or re-add) a member; rebalances eagerly.
 
+        ``session_timeout_ms > 0`` arms a self-rescheduling session timer:
+        if the member neither heartbeats nor passes its ``liveness`` probe
+        for a full timeout window, it is evicted and the group rebalances.
         Returns (member_id, generation).
         """
+        self._apply_pending_evictions()
         group = self._groups.setdefault(group_id, GroupState(group_id))
         if member_id is None:
             self._member_seq += 1
@@ -105,21 +131,45 @@ class GroupCoordinator:
             # Re-sync: the member is already part of the group with the
             # same subscription — hand it the current generation instead of
             # forcing yet another rebalance (models SyncGroup).
+            existing.last_heartbeat_ms = self._cluster.clock.now
+            if session_timeout_ms != existing.session_timeout_ms or liveness:
+                existing.session_timeout_ms = session_timeout_ms
+                existing.liveness = liveness or existing.liveness
+                self._arm_session_timer(group, existing)
             return member_id, group.generation
-        group.members[member_id] = GroupMember(member_id, tuple(subscription))
+        member = GroupMember(
+            member_id,
+            tuple(subscription),
+            session_timeout_ms=session_timeout_ms,
+            last_heartbeat_ms=self._cluster.clock.now,
+            liveness=liveness,
+        )
+        group.members[member_id] = member
+        self._arm_session_timer(group, member)
         self._rebalance(group)
         return member_id, group.generation
 
     def leave_group(self, group_id: str, member_id: str) -> None:
+        self._apply_pending_evictions()
         group = self._groups.get(group_id)
         if group is None or member_id not in group.members:
             return
-        del group.members[member_id]
-        self._rebalance_listeners.pop((group_id, member_id), None)
+        self._remove_member(group, member_id)
         if group.members:
             self._rebalance(group)
         else:
             group.generation += 1
+
+    def heartbeat(self, group_id: str, member_id: str) -> bool:
+        """Record liveness for a member; returns False if it is no longer
+        in the group (the client should rejoin). Also a safe point at which
+        deferred session evictions are applied."""
+        self._apply_pending_evictions()
+        group = self._groups.get(group_id)
+        if group is None or member_id not in group.members:
+            return False
+        group.members[member_id].last_heartbeat_ms = self._cluster.clock.now
+        return True
 
     def assignment(self, group_id: str, member_id: str, generation: int) -> List[TopicPartition]:
         group = self._require_member(group_id, member_id)
@@ -146,6 +196,95 @@ class GroupCoordinator:
         if group is None or member_id not in group.members:
             raise UnknownMemberError(f"{member_id} not in group {group_id}")
         return group
+
+    # -- session expiry ---------------------------------------------------------------
+
+    def expire_sessions(self) -> List[str]:
+        """Apply deferred session evictions now; returns evicted member ids.
+
+        Session timers queue expired members as they fire; this (like any
+        heartbeat/join/leave) is the safe point where the evictions and the
+        resulting rebalances actually happen.
+        """
+        return self._apply_pending_evictions()
+
+    def _arm_session_timer(self, group: GroupState, member: GroupMember) -> None:
+        """Self-rescheduling session deadline for one member.
+
+        Housekeeping (non-wake) timer: expiry happens when simulated time
+        passes the deadline for other reasons; an idle driver does not
+        fast-forward a finished run just to expire sessions.
+        """
+        if member.session_timer is not None:
+            member.session_timer.cancel()
+            member.session_timer = None
+        if member.session_timeout_ms <= 0:
+            return
+        clock = self._cluster.clock
+        deadline = member.last_heartbeat_ms + member.session_timeout_ms
+        member.session_timer = clock.schedule(
+            max(0.0, deadline - clock.now),
+            lambda g=group, m=member: self._on_session_timer(g, m),
+            wake=False,
+        )
+
+    def _on_session_timer(self, group: GroupState, member: GroupMember) -> None:
+        member.session_timer = None
+        if group.members.get(member.member_id) is not member:
+            return  # left or was replaced since the timer was armed
+        now = self._cluster.clock.now
+        deadline = member.last_heartbeat_ms + member.session_timeout_ms
+        if now < deadline:
+            self._arm_session_timer(group, member)  # heartbeat moved it
+            return
+        probe = member.liveness
+        if probe is not None and probe():
+            # The process is alive — its background heartbeat thread would
+            # have kept the session fresh in real time; the discrete-event
+            # clock simply jumped several heartbeat intervals at once.
+            member.last_heartbeat_ms = now
+            self._arm_session_timer(group, member)
+            return
+        self._pending_evictions.append((group.group_id, member.member_id))
+
+    def _apply_pending_evictions(self) -> List[str]:
+        if not self._pending_evictions:
+            return []
+        pending, self._pending_evictions = self._pending_evictions, []
+        evicted: List[str] = []
+        affected: Dict[str, GroupState] = {}
+        for group_id, member_id in pending:
+            group = self._groups.get(group_id)
+            member = None if group is None else group.members.get(member_id)
+            if member is None:
+                continue
+            # Re-check at the safe point: the member may have heartbeated
+            # or come back to life between timer fire and application.
+            expired = (
+                self._cluster.clock.now
+                >= member.last_heartbeat_ms + member.session_timeout_ms
+            )
+            alive = member.liveness is not None and member.liveness()
+            if not expired or alive:
+                member.last_heartbeat_ms = self._cluster.clock.now
+                self._arm_session_timer(group, member)
+                continue
+            self._remove_member(group, member_id)
+            evicted.append(member_id)
+            affected[group_id] = group
+        for group in affected.values():
+            if group.members:
+                self._rebalance(group)
+            else:
+                group.generation += 1
+        return evicted
+
+    def _remove_member(self, group: GroupState, member_id: str) -> None:
+        member = group.members.pop(member_id)
+        if member.session_timer is not None:
+            member.session_timer.cancel()
+            member.session_timer = None
+        self._rebalance_listeners.pop((group.group_id, member_id), None)
 
     def _rebalance(self, group: GroupState) -> None:
         """Eager rebalance: bump generation, reassign round-robin with

@@ -73,6 +73,11 @@ class TxnMetadata:
     # Guards scheduled (asynchronous) phase-two completions: a scheduled
     # marker write no-ops if the epoch of completions has moved on.
     completion_seq: int = 0
+    # Self-rescheduling timeout timer armed while the transaction is
+    # Ongoing; runtime-only, never logged.
+    abort_timer: Optional[object] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def snapshot(self) -> dict:
         """Serializable form written to the transaction log."""
@@ -151,6 +156,7 @@ class TransactionCoordinator:
         txn.state = EMPTY
         txn.partitions = set()
         txn.txn_start_ms = -1.0
+        self._disarm_abort_timer(txn)
         self._persist(txn)
         return txn.producer_id, txn.producer_epoch
 
@@ -178,6 +184,7 @@ class TransactionCoordinator:
         if started:
             txn.state = ONGOING
             txn.txn_start_ms = self._cluster.clock.now
+            self._arm_abort_timer(txn)
         new = set(partitions) - txn.partitions
         if new or started:
             txn.partitions.update(new)
@@ -213,7 +220,14 @@ class TransactionCoordinator:
 
     def abort_timed_out(self) -> List[str]:
         """Abort every ongoing transaction past its timeout (coordinator-
-        initiated abort, Section 4.2.2). Returns the aborted ids."""
+        initiated abort, Section 4.2.2). Returns the aborted ids.
+
+        Timeouts are normally enforced by the self-rescheduling timer armed
+        when a transaction starts (:meth:`_arm_abort_timer`), which fires
+        as soon as virtual time passes the deadline — no driver needs to
+        sweep every cycle. This method remains as an explicit sweep for
+        callers that manage time themselves.
+        """
         now = self._cluster.clock.now
         aborted = []
         for txn in list(self._txns.values()):
@@ -221,13 +235,53 @@ class TransactionCoordinator:
                 continue
             if now - txn.txn_start_ms < txn.timeout_ms:
                 continue
-            # Bump the epoch so the timed-out producer is fenced when it
-            # eventually tries to commit.
-            txn.producer_epoch += 1
-            self._transition(txn, PREPARE_ABORT)
-            self._complete(txn, ABORT_MARKER)
+            self._abort_for_timeout(txn)
             aborted.append(txn.transactional_id)
         return aborted
+
+    def _abort_for_timeout(self, txn: TxnMetadata) -> None:
+        # Bump the epoch so the timed-out producer is fenced when it
+        # eventually tries to commit.
+        txn.producer_epoch += 1
+        self._transition(txn, PREPARE_ABORT)
+        self._complete(txn, ABORT_MARKER)
+
+    # -- timeout timers ----------------------------------------------------------------
+
+    def _arm_abort_timer(self, txn: TxnMetadata) -> None:
+        """(Re-)arm the transaction-timeout timer at ``start + timeout``.
+
+        Housekeeping (non-wake) timer: it fires whenever simulated time
+        actually crosses the deadline, but an otherwise idle driver does
+        not fast-forward the run just to expire transactions.
+        """
+        self._disarm_abort_timer(txn)
+        if txn.timeout_ms <= 0:
+            return
+        clock = self._cluster.clock
+        delay = max(0.0, txn.txn_start_ms + txn.timeout_ms - clock.now)
+        txn.abort_timer = clock.schedule(
+            delay, lambda txn=txn: self._on_abort_timer(txn), wake=False
+        )
+
+    def _disarm_abort_timer(self, txn: TxnMetadata) -> None:
+        if txn.abort_timer is not None:
+            txn.abort_timer.cancel()
+            txn.abort_timer = None
+
+    def _on_abort_timer(self, txn: TxnMetadata) -> None:
+        txn.abort_timer = None
+        if self._txns.get(txn.transactional_id) is not txn:
+            return  # superseded by recovery
+        if txn.state != ONGOING:
+            return
+        deadline = txn.txn_start_ms + txn.timeout_ms
+        if self._cluster.clock.now < deadline:
+            # The deadline moved (a newer transaction started under the
+            # same id); re-arm for the remaining window.
+            self._arm_abort_timer(txn)
+            return
+        self._abort_for_timeout(txn)
 
     # -- failover -------------------------------------------------------------------
 
@@ -250,9 +304,12 @@ class TransactionCoordinator:
         for txn in self._txns.values():
             # Transactions past the synchronization barrier are driven to
             # completion; Ongoing ones stay ongoing — their (possibly still
-            # live) producer continues or they eventually time out.
+            # live) producer continues or they eventually time out, so the
+            # new coordinator re-arms their timeout timers.
             if txn.state in (PREPARE_COMMIT, PREPARE_ABORT):
                 self.force_complete_pending(txn.transactional_id)
+            elif txn.state == ONGOING:
+                self._arm_abort_timer(txn)
 
     # -- introspection ----------------------------------------------------------------
 
@@ -282,6 +339,8 @@ class TransactionCoordinator:
 
     def _transition(self, txn: TxnMetadata, state: str) -> None:
         txn.state = state
+        if state != ONGOING:
+            self._disarm_abort_timer(txn)
         self._persist(txn)
 
     def _persist(self, txn: TxnMetadata) -> None:

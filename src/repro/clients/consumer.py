@@ -46,6 +46,12 @@ class Consumer:
         self._routing_epoch = -1
         self._leader_cache: Dict[TopicPartition, int] = {}
 
+        # Stands in for the background heartbeat thread of a real consumer:
+        # the coordinator calls it when this member's session deadline
+        # passes to ask whether the process is still alive (embedding
+        # runtimes point it at their own liveness, e.g. instance.alive).
+        self.liveness_probe = None
+
         self.records_consumed = 0
 
     # -- subscription / assignment ---------------------------------------------------
@@ -58,7 +64,11 @@ class Consumer:
         self._manual_assignment = False
         coordinator = self.cluster.group_coordinator
         self._member_id, self._generation = coordinator.join_group(
-            self.config.group_id, self._subscription, self._member_id
+            self.config.group_id,
+            self._subscription,
+            self._member_id,
+            session_timeout_ms=self.config.session_timeout_ms,
+            liveness=self._alive,
         )
         self._refresh_assignment()
 
@@ -116,9 +126,19 @@ class Consumer:
             self._assignment = []
             self._positions.clear()
         self._member_id, self._generation = coordinator.join_group(
-            self.config.group_id, self._subscription, self._member_id
+            self.config.group_id,
+            self._subscription,
+            self._member_id,
+            session_timeout_ms=self.config.session_timeout_ms,
+            liveness=self._alive,
         )
         self._refresh_assignment()
+
+    def _alive(self) -> bool:
+        if self._closed:
+            return False
+        probe = self.liveness_probe
+        return True if probe is None else bool(probe())
 
     def take_partitions_lost(self) -> bool:
         """True once if the member was kicked since the last check."""
@@ -143,6 +163,12 @@ class Consumer:
         """
         if self._closed:
             raise KafkaError("consumer is closed")
+        if self._member_id is not None and not self._manual_assignment:
+            # Heartbeat piggybacks on poll (and is also a coordinator safe
+            # point where deferred session evictions are applied).
+            self.cluster.group_coordinator.heartbeat(
+                self.config.group_id, self._member_id
+            )
         self._maybe_rejoin()
         budget = max_records or self.config.max_poll_records
         out: List[Record] = []

@@ -111,6 +111,20 @@ class Producer:
         self._txn_registered_partitions = set()
         self._txn_unregistered = set()
 
+    @property
+    def transaction_has_work(self) -> bool:
+        """True when the open transaction has sent or buffered anything —
+        i.e. committing it would not be a no-op. Drivers use this to decide
+        whether a commit-interval wake timer is worth arming."""
+        return self._in_transaction and bool(
+            self._pending or self._txn_registered_partitions or self._txn_unregistered
+        )
+
+    @property
+    def has_buffered_records(self) -> bool:
+        """True when unflushed sends are sitting in the client buffer."""
+        return bool(self._pending)
+
     def send_offsets_to_transaction(
         self,
         offsets: Dict[TopicPartition, int],

@@ -136,6 +136,10 @@ class StreamsConfig:
     num_stream_threads: int = 1
     max_poll_records: int = 500
     transaction_timeout_ms: float = 60_000.0
+    # Group-membership session timeout for the instances' consumers: a
+    # silently crashed instance is evicted (and its tasks migrated) when
+    # its session timer expires without a heartbeat.
+    session_timeout_ms: float = 10_000.0
     # >0 keeps warm shadow copies of stateful tasks' stores on non-owner
     # instances, replayed continuously from the changelogs, so task
     # migration restores incrementally instead of from scratch.

@@ -16,6 +16,7 @@ from repro.config import EXACTLY_ONCE, StreamsConfig
 from repro.ksql.ast import CreateAsSelect, CreateSource, DropStatement
 from repro.ksql.compiler import CompiledQuery, Compiler, SourceInfo
 from repro.ksql.parser import KsqlParseError, parse
+from repro.sim.scheduler import Driver
 from repro.streams import KafkaStreams
 
 
@@ -64,6 +65,10 @@ class KsqlEngine:
         self.catalog: Dict[str, SourceInfo] = {}
         self.queries: Dict[str, QueryHandle] = {}
         self._compiler = Compiler(self.catalog)
+        # Each query's KafkaStreams app registers here, so every running
+        # query shares one deterministic timeline (queries feed each other
+        # through topics, and idle gaps jump to the next commit deadline).
+        self._driver = Driver(cluster.clock)
 
     # -- statement execution -----------------------------------------------------------
 
@@ -117,6 +122,7 @@ class KsqlEngine:
             ),
         )
         app.start(1)
+        self._driver.register(app)
         handle = QueryHandle(
             name=statement.name, statement=statement, app=app, compiled=compiled
         )
@@ -135,6 +141,7 @@ class KsqlEngine:
         handle = self.queries.pop(key, None)
         if handle is None:
             raise KsqlParseError(f"unknown query: {name}")
+        self._driver.unregister(handle.app)
         handle.app.close()
         self.catalog.pop(key, None)
         return name
@@ -153,29 +160,24 @@ class KsqlEngine:
             processed += handle.app.step()
         return processed
 
-    def run_until_idle(self, max_steps: int = 10_000) -> int:
-        """Step all queries (they feed each other through topics) until
-        nothing moves."""
-        total = 0
-        idle = 0
-        for _ in range(max_steps):
-            processed = self.step()
-            if processed == 0:
-                for handle in self.queries.values():
-                    handle.app.commit_all()
-                self.cluster.clock.advance(1.0)
-                processed = self.step()
-            total += processed
-            if processed == 0:
-                idle += 1
-                if idle >= 2:
-                    break
-            else:
-                idle = 0
+    # Actor protocol: an engine full of queries is itself one pollable
+    # work source, so a ksql engine can share a Driver with standalone
+    # Streams apps or the checkpoint baseline on the same cluster.
+    def poll(self) -> int:
+        return self.step()
+
+    def flush(self) -> None:
         for handle in self.queries.values():
             handle.app.commit_all()
-        self.cluster.clock.advance(5.0)
-        return total
+
+    @property
+    def driver(self) -> Driver:
+        return self._driver
+
+    def run_until_idle(self, max_steps: int = 10_000) -> int:
+        """Drive all queries (they feed each other through topics) until
+        nothing moves, jumping idle gaps to the next commit deadline."""
+        return self._driver.run_until_idle(max_cycles=max_steps)
 
     def close(self) -> None:
         for key in list(self.queries):

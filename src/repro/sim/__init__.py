@@ -1,7 +1,15 @@
-"""Simulation substrate: virtual clock, network cost model, fault injection."""
+"""Simulation substrate: virtual clock, scheduler, network costs, faults."""
 
 from repro.sim.clock import SimClock
 from repro.sim.network import FaultRule, Network, NetworkCosts
 from repro.sim.failures import FailureInjector
+from repro.sim.scheduler import Driver
 
-__all__ = ["SimClock", "Network", "NetworkCosts", "FaultRule", "FailureInjector"]
+__all__ = [
+    "SimClock",
+    "Driver",
+    "Network",
+    "NetworkCosts",
+    "FaultRule",
+    "FailureInjector",
+]

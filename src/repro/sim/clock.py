@@ -23,12 +23,23 @@ class SimClock:
 
     Timers fire (in timestamp order) whenever the clock is advanced past
     their deadline. They are used for transaction timeouts, group session
-    timeouts, and streams commit intervals.
+    timeouts, streams commit intervals, punctuations, and checkpoint
+    intervals.
+
+    Timers come in two flavours. *Wake* timers (the default) represent
+    deadlines after which new work becomes possible — a commit interval
+    elapsing, a punctuation firing, an async marker write landing — and are
+    what :class:`~repro.sim.scheduler.Driver` jumps the clock to when every
+    actor is idle. *Housekeeping* timers (``wake=False``) are defensive
+    deadlines such as transaction timeouts and group session expiry: they
+    still fire during any advance that crosses them, but an idle driver does
+    not fast-forward time just to reach them (a fully idle simulation should
+    terminate rather than spin through every session timeout).
     """
 
     def __init__(self, start_ms: float = 0.0) -> None:
         self._now = float(start_ms)
-        self._timers: List[Tuple[float, int, Callable[[], None]]] = []
+        self._timers: List[Tuple[float, int, "Timer"]] = []
         self._seq = itertools.count()
 
     @property
@@ -49,23 +60,47 @@ class SimClock:
                 f"cannot move time backwards: now={self._now}, to={deadline_ms}"
             )
         while self._timers and self._timers[0][0] <= deadline_ms:
-            fire_at, _, callback = heapq.heappop(self._timers)
+            fire_at, _, timer = heapq.heappop(self._timers)
             # Fire the timer at its own deadline so callbacks observe a
             # consistent "now".
             self._now = max(self._now, fire_at)
-            callback()
-        self._now = deadline_ms
+            timer._fire()
+        # A callback may itself have advanced the clock (e.g. by charging
+        # network latency); never rewind below wherever it left us.
+        self._now = max(self._now, deadline_ms)
 
-    def schedule(self, delay_ms: float, callback: Callable[[], None]) -> "Timer":
+    def schedule(
+        self, delay_ms: float, callback: Callable[[], None], wake: bool = True
+    ) -> "Timer":
         """Schedule ``callback`` to run ``delay_ms`` from now.
 
-        Returns a :class:`Timer` handle that can be cancelled.
+        ``wake=False`` marks the timer as housekeeping: it fires normally
+        when time passes its deadline, but idle drivers do not jump the
+        clock forward just to reach it. Returns a :class:`Timer` handle
+        that can be cancelled.
         """
         if delay_ms < 0:
             raise ValueError(f"negative delay: {delay_ms}")
-        timer = Timer(self, self._now + delay_ms, callback)
-        heapq.heappush(self._timers, (timer.deadline, next(self._seq), timer._fire))
+        timer = Timer(self, self._now + delay_ms, callback, wake=wake)
+        heapq.heappush(self._timers, (timer.deadline, next(self._seq), timer))
         return timer
+
+    def next_wake_deadline(self) -> Optional[float]:
+        """Deadline of the earliest pending *wake* timer, or ``None``.
+
+        Cancelled entries at the top of the heap are pruned as a side
+        effect; cancelled or housekeeping entries deeper in are skipped
+        without being removed.
+        """
+        while self._timers and self._timers[0][2].cancelled:
+            heapq.heappop(self._timers)
+        best: Optional[float] = None
+        for deadline, _, timer in self._timers:
+            if timer.cancelled or not timer.wake:
+                continue
+            if best is None or deadline < best:
+                best = deadline
+        return best
 
     def pending_timers(self) -> int:
         """Number of scheduled (possibly cancelled) timers; for tests."""
@@ -75,9 +110,16 @@ class SimClock:
 class Timer:
     """Handle for a scheduled callback; cancellable."""
 
-    def __init__(self, clock: SimClock, deadline: float, callback: Callable[[], None]):
+    def __init__(
+        self,
+        clock: SimClock,
+        deadline: float,
+        callback: Callable[[], None],
+        wake: bool = True,
+    ):
         self._clock = clock
         self.deadline = deadline
+        self.wake = wake
         self._callback: Optional[Callable[[], None]] = callback
         self.fired = False
 

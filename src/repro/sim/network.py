@@ -66,6 +66,8 @@ class FaultRule:
     * ``"delay"`` — apply normally but add ``delay_ms`` extra latency.
     """
 
+    KINDS = ("drop_ack", "drop_request", "delay")
+
     kind: str
     match_api: Optional[str] = None     # e.g. "produce"; None matches any
     match_dst: Optional[int] = None     # broker id; None matches any
@@ -103,7 +105,16 @@ class Network:
     # -- fault control -------------------------------------------------------
 
     def add_fault(self, rule: FaultRule) -> FaultRule:
-        """Arm a fault rule; returns it so tests can inspect ``triggered``."""
+        """Arm a fault rule; returns it so tests can inspect ``triggered``.
+
+        Unknown kinds are rejected here, before any RPC can match the rule
+        — not at dispatch time, where the rule would already have counted a
+        trigger and charged latency.
+        """
+        if rule.kind not in FaultRule.KINDS:
+            raise ValueError(
+                f"unknown fault kind: {rule.kind!r} (expected one of {FaultRule.KINDS})"
+            )
         self._rules.append(rule)
         return rule
 
@@ -151,10 +162,8 @@ class Network:
                 del result  # applied, but the ack never arrives
                 self._charge(cost)
                 raise RequestTimeoutError(f"{api} to broker {dst}: ack lost")
-            if rule.kind == "delay":
+            else:  # "delay" — kinds are validated in add_fault
                 self._charge(rule.delay_ms)
-            else:
-                raise ValueError(f"unknown fault kind: {rule.kind}")
 
         result = fn()
         self._charge(cost)

@@ -15,6 +15,7 @@ from repro.broker.cluster import Cluster
 from repro.broker.partition import TopicPartition
 from repro.config import StreamsConfig
 from repro.errors import TopologyError
+from repro.sim.scheduler import Driver
 from repro.streams.builder import resolve_topic
 from repro.streams.runtime.assignor import StreamsAssignor
 from repro.streams.runtime.instance import StreamsInstance
@@ -66,6 +67,12 @@ class KafkaStreams:
             for sub in self._sub_topologies.values()
             for topic in sub.source_topics
         }
+
+        # The app is itself an actor (poll/flush); its private driver backs
+        # run_until_idle/run_for. Co-scheduling with other engines works by
+        # registering the app with an external Driver instead.
+        self._driver = Driver(cluster.clock)
+        self._driver.register(self)
 
     # -- topic management ---------------------------------------------------------------
 
@@ -171,58 +178,45 @@ class KafkaStreams:
 
     def step(self) -> int:
         """One cooperative cycle across all instances; returns records
-        processed. Also lets the transaction coordinator reap timed-out
-        transactions, as a real broker would do continuously."""
+        processed. Transaction timeouts no longer need a per-cycle sweep:
+        the coordinator's own timers reap timed-out transactions whenever
+        virtual time passes their deadlines."""
         processed = 0
         for instance in list(self.instances):
             processed += instance.step()
-        self.cluster.txn_coordinator.abort_timed_out()
         return processed
 
-    def run_until_idle(
-        self, max_steps: int = 10_000, idle_advance_ms: float = 1.0
-    ) -> int:
-        """Step until two consecutive cycles process nothing. Advances the
-        clock a little on idle cycles so commit intervals elapse.
+    # Actor protocol (repro.sim.scheduler.Driver): the whole app is one
+    # pollable work source, so a single driver can co-schedule several
+    # apps — or an app, the checkpoint baseline, and a ksql query —
+    # against one cluster.
+    def poll(self) -> int:
+        return self.step()
 
-        Always finishes with a commit on every instance so all outputs are
-        visible to read-committed consumers.
+    def flush(self) -> None:
+        self.commit_all()
+
+    @property
+    def driver(self) -> Driver:
+        """The app's private driver (scheduler stats live here)."""
+        return self._driver
+
+    def run_until_idle(self, max_steps: int = 10_000) -> int:
+        """Drive the app until no work remains; returns records processed.
+
+        Discrete-event semantics: when a cycle processes nothing, pending
+        work is committed and the clock jumps straight to the next due
+        timer (commit interval, punctuation, in-flight transaction
+        markers) instead of creeping forward in 1 ms idle ticks. Always
+        finishes with commits on every instance so all outputs are visible
+        to read-committed consumers.
         """
-        total = 0
-        idle_cycles = 0
-        for _ in range(max_steps):
-            processed = self.step()
-            if processed == 0:
-                # Nothing in flight: force a commit so that transactional
-                # outputs become visible to downstream sub-topologies, then
-                # check once more before declaring the app idle.
-                self.commit_all()
-                self.cluster.clock.advance(idle_advance_ms)
-                processed = self.step()
-            total += processed
-            if processed == 0:
-                idle_cycles += 1
-                if idle_cycles >= 2:
-                    break
-            else:
-                idle_cycles = 0
-        # Two final passes: a speculative downstream instance may defer its
-        # commit until the (same-pass, later-ordered) upstream commits.
-        self.commit_all()
-        self.step()
-        self.commit_all()
-        return total
+        return self._driver.run_until_idle(max_cycles=max_steps)
 
-    def run_for(self, duration_ms: float, idle_advance_ms: float = 1.0) -> int:
-        """Step repeatedly until ``duration_ms`` of virtual time passes."""
-        deadline = self.cluster.clock.now + duration_ms
-        total = 0
-        while self.cluster.clock.now < deadline:
-            processed = self.step()
-            total += processed
-            if processed == 0:
-                self.cluster.clock.advance(idle_advance_ms)
-        return total
+    def run_for(self, duration_ms: float) -> int:
+        """Drive the app until ``duration_ms`` of virtual time passes,
+        jumping idle gaps to the next due timer."""
+        return self._driver.run_for(duration_ms)
 
     def commit_all(self) -> None:
         from repro.errors import TaskMigratedError
@@ -253,6 +247,6 @@ class KafkaStreams:
         total = 0
         for instance in self.instances:
             for task in instance.tasks.values():
-                for processor in task._processors.values():
+                for processor in task.processors().values():
                     total += getattr(processor, attr, 0)
         return total

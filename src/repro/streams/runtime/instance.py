@@ -72,6 +72,7 @@ class StreamsInstance:
                 isolation_level=isolation,
                 auto_offset_reset="earliest",
                 max_poll_records=self.config.max_poll_records,
+                session_timeout_ms=self.config.session_timeout_ms,
             ),
         )
         self._task_producers: Dict[TaskId, Producer] = {}
@@ -86,6 +87,15 @@ class StreamsInstance:
             )
         self._txn_open = False
         self._last_commit_ms = self.cluster.clock.now
+        # Commit-interval deadline as a clock timer: the callback only sets
+        # a flag; the commit itself runs at the safe points in step() (never
+        # mid-record, where it could split a transaction). The timer is a
+        # *wake* timer, so an idle driver jumps straight to the next commit
+        # deadline instead of creeping toward it 1 ms at a time.
+        self._commit_due = False
+        self._commit_timer = None
+        # Wake timer for the earliest wall-clock punctuation across tasks.
+        self._punct_timer = None
         # Global tables: one full local replica per instance.
         from repro.streams.global_table import GlobalStateStore
 
@@ -93,6 +103,12 @@ class StreamsInstance:
             name: GlobalStateStore(self.cluster, spec)
             for name, spec in app.topology.global_tables().items()
         }
+        # The group coordinator's session timer probes this when the
+        # session deadline passes: a live instance (whose background
+        # heartbeat thread would have kept the session fresh in real time)
+        # is not evicted just because discrete-event time jumped; a crashed
+        # one is.
+        self.consumer.liveness_probe = lambda: self.alive
         self.consumer.subscribe(sorted(app.all_source_topics))
         # Revocation barrier: before any rebalance hands partitions to
         # another member, this instance commits its in-flight work.
@@ -179,10 +195,7 @@ class StreamsInstance:
                     break
                 processed += round_count
                 self.cluster.clock.advance(round_count * PROCESS_COST_MS_PER_RECORD)
-                if (
-                    self.cluster.clock.now - self._last_commit_ms
-                    >= self.config.commit_interval_ms
-                ):
+                if self._commit_interval_elapsed():
                     self.commit()
                     if self.config.eos_enabled:
                         self._ensure_transactions()
@@ -199,8 +212,9 @@ class StreamsInstance:
                 task.punctuate_wall_clock(now)
             for standby in self.standby_tasks.values():
                 standby.update()
-            if now - self._last_commit_ms >= self.config.commit_interval_ms:
+            if self._commit_interval_elapsed():
                 self.commit()
+            self._arm_timers()
             return processed
         except TaskMigratedError:
             self._handle_migration()
@@ -309,6 +323,77 @@ class StreamsInstance:
             if not producer._in_transaction:
                 producer.begin_transaction()
 
+    # -- deadline timers -------------------------------------------------------------------------
+
+    def _commit_interval_elapsed(self) -> bool:
+        return self._commit_due or (
+            self.cluster.clock.now - self._last_commit_ms
+            >= self.config.commit_interval_ms
+        )
+
+    def _on_commit_timer(self) -> None:
+        self._commit_timer = None
+        self._commit_due = True
+
+    def _has_uncommitted_work(self) -> bool:
+        if any(task.has_pending_commit() for task in self.tasks.values()):
+            return True
+        return any(
+            p.transaction_has_work or p.has_buffered_records
+            for p in self._all_producers()
+        )
+
+    def _arm_timers(self) -> None:
+        """(Re-)register this instance's next deadlines as wake timers.
+
+        Called at the end of every step. The commit timer is armed only
+        while there is uncommitted work — an idle instance has nothing to
+        commit, so arming would just keep an idle driver spinning through
+        empty commit intervals.
+        """
+        clock = self.cluster.clock
+        if self._has_uncommitted_work():
+            deadline = self._last_commit_ms + self.config.commit_interval_ms
+            timer = self._commit_timer
+            if timer is None or timer.fired or timer.cancelled or timer.deadline != deadline:
+                if timer is not None:
+                    timer.cancel()
+                self._commit_timer = clock.schedule(
+                    max(0.0, deadline - clock.now), self._on_commit_timer
+                )
+        elif self._commit_timer is not None:
+            self._commit_timer.cancel()
+            self._commit_timer = None
+
+        deadline = None
+        for task in self.tasks.values():
+            fire = task.next_wall_punctuation()
+            if fire is not None and (deadline is None or fire < deadline):
+                deadline = fire
+        timer = self._punct_timer
+        if deadline is None:
+            if timer is not None:
+                timer.cancel()
+                self._punct_timer = None
+            return
+        if timer is None or timer.fired or timer.cancelled or timer.deadline != deadline:
+            if timer is not None:
+                timer.cancel()
+            # The callback is empty: the timer exists so the driver jumps
+            # to the punctuation deadline; the next step() then fires the
+            # punctuator at its exact scheduled time.
+            self._punct_timer = clock.schedule(
+                max(0.0, deadline - clock.now), lambda: None
+            )
+
+    def _cancel_timers(self) -> None:
+        for attr in ("_commit_timer", "_punct_timer"):
+            timer = getattr(self, attr)
+            if timer is not None:
+                timer.cancel()
+                setattr(self, attr, None)
+        self._commit_due = False
+
     # -- commit ---------------------------------------------------------------------------------
 
     def commit(self) -> None:
@@ -320,6 +405,7 @@ class StreamsInstance:
         """
         if not self.tasks:
             self._last_commit_ms = self.cluster.clock.now
+            self._commit_due = False
             return
         if self.config.speculative:
             status = self._speculation_status()
@@ -343,6 +429,7 @@ class StreamsInstance:
             raise TaskMigratedError(str(exc)) from exc
         self.commits_performed += 1
         self._last_commit_ms = self.cluster.clock.now
+        self._commit_due = False
 
     def _commit_eos(self) -> None:
         if self._thread_producer is not None:
@@ -438,6 +525,7 @@ class StreamsInstance:
         self.tasks.clear()
         self._reset_positions_to_committed()
         self._last_commit_ms = self.cluster.clock.now
+        self._commit_due = False
 
     def _reset_positions_to_committed(self) -> None:
         """Rewind the consumer to the group's committed offsets — records
@@ -500,10 +588,14 @@ class StreamsInstance:
         for producer in self._all_producers():
             producer.close()
         self.consumer.close()
+        self._cancel_timers()
         self.alive = False
 
     def crash(self) -> None:
         """Abrupt failure: nothing is committed or aborted; any open
-        transaction dangles until fenced or timed out."""
+        transaction dangles until fenced or timed out. The group
+        coordinator eventually notices via session expiry (the dead
+        instance no longer heartbeats and fails its liveness probe)."""
         self.alive = False
         self.tasks.clear()
+        self._cancel_timers()

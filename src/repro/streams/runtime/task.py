@@ -287,6 +287,10 @@ class StreamTask:
     def pending_offsets(self) -> Dict[TopicPartition, int]:
         return dict(self._consumed)
 
+    def has_pending_commit(self) -> bool:
+        """True when records were consumed since the last commit."""
+        return bool(self._consumed)
+
     def mark_committed(self) -> None:
         self._consumed.clear()
         self.speculative_deps.clear()
@@ -325,6 +329,28 @@ class StreamTask:
 
     def stores(self) -> Dict[str, Any]:
         return dict(self._stores)
+
+    def processors(self) -> Dict[str, Processor]:
+        """Public view of the task's live processor nodes (metrics, tests)."""
+        return dict(self._processors)
+
+    def next_wall_punctuation(self) -> Optional[float]:
+        """Earliest pending wall-clock punctuation deadline, or None.
+
+        Drivers register this as a wake timer so idle time jumps straight
+        to the next punctuation instead of creeping toward it.
+        """
+        best: Optional[float] = None
+        for punctuation in self._punctuations:
+            if (
+                punctuation.punctuation_type != PUNCTUATION_WALL_CLOCK
+                or punctuation.cancelled
+                or punctuation.next_fire is None
+            ):
+                continue
+            if best is None or punctuation.next_fire < best:
+                best = punctuation.next_fire
+        return best
 
     def close(self) -> None:
         for processor in self._processors.values():

@@ -149,19 +149,54 @@ class TestFencing:
 
 
 class TestTimeout:
-    def test_ongoing_txn_aborted_after_timeout(self, fast_cluster, coordinator, topic):
+    def test_ongoing_txn_aborted_by_timer_after_timeout(
+        self, fast_cluster, coordinator, topic
+    ):
+        """The self-rescheduling timeout timer aborts the transaction as
+        soon as virtual time crosses the deadline — no sweep required."""
         pid, epoch = coordinator.init_producer_id("tid", timeout_ms=1000.0)
         tp = TopicPartition(topic, 0)
         coordinator.add_partitions("tid", pid, epoch, [tp])
         fast_cluster.partition_state(tp).append(txn_batch(pid, epoch, 0, "x"))
         fast_cluster.clock.advance(500.0)
-        assert coordinator.abort_timed_out() == []
+        assert coordinator.transaction_state("tid") == ONGOING
         fast_cluster.clock.advance(600.0)
-        assert coordinator.abort_timed_out() == ["tid"]
         assert coordinator.transaction_state("tid") == COMPLETE_ABORT
+        # The explicit sweep finds nothing left to do.
+        assert coordinator.abort_timed_out() == []
         # The timed-out producer is fenced when it finally tries to commit.
         with pytest.raises(ProducerFencedError):
             coordinator.end_transaction("tid", pid, epoch, commit=True)
+
+    def test_sweep_still_aborts_when_timer_disarmed(
+        self, fast_cluster, coordinator, topic
+    ):
+        """abort_timed_out remains a working sweep for callers that manage
+        timers themselves (e.g. state rebuilt without re-arming)."""
+        pid, epoch = coordinator.init_producer_id("tid", timeout_ms=1000.0)
+        tp = TopicPartition(topic, 0)
+        coordinator.add_partitions("tid", pid, epoch, [tp])
+        fast_cluster.partition_state(tp).append(txn_batch(pid, epoch, 0, "x"))
+        txn = coordinator.transaction_metadata("tid")
+        coordinator._disarm_abort_timer(txn)
+        fast_cluster.clock.advance(1100.0)
+        assert coordinator.transaction_state("tid") == ONGOING
+        assert coordinator.abort_timed_out() == ["tid"]
+        assert coordinator.transaction_state("tid") == COMPLETE_ABORT
+
+    def test_commit_before_timeout_cancels_timer(
+        self, fast_cluster, coordinator, topic
+    ):
+        pid, epoch = coordinator.init_producer_id("tid", timeout_ms=1000.0)
+        tp = TopicPartition(topic, 0)
+        coordinator.add_partitions("tid", pid, epoch, [tp])
+        fast_cluster.partition_state(tp).append(txn_batch(pid, epoch, 0, "x"))
+        coordinator.end_transaction("tid", pid, epoch, commit=True)
+        assert coordinator.transaction_state("tid") == COMPLETE_COMMIT
+        fast_cluster.clock.advance(5000.0)
+        # No spurious epoch bump from a stale timeout timer.
+        assert coordinator.transaction_metadata("tid").producer_epoch == epoch
+        assert coordinator.transaction_state("tid") == COMPLETE_COMMIT
 
 
 class TestRecovery:

@@ -139,12 +139,15 @@ def test_cascading_rollback_on_upstream_abort():
     assert drain_topic(cluster, "out") == []
 
     # The upstream restarts, reprocesses, commits; downstream re-speculates
-    # on the *new* (committed) data and converges exactly-once.
+    # on the *new* (committed) data and converges exactly-once. The total
+    # advance stays under transaction_timeout_ms (2 s): the coordinator's
+    # timeout timer fires exactly at the deadline, and the new upstream
+    # transaction must still be open when commit_all runs.
     up.add_instance()
     for _ in range(10):
         up.step()
         down.step()
-        cluster.clock.advance(200.0)
+        cluster.clock.advance(150.0)
     up.commit_all()
     down.step()
     down.commit_all()

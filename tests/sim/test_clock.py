@@ -103,3 +103,40 @@ def test_timer_scheduled_inside_callback_fires():
 def test_negative_delay_rejected():
     with pytest.raises(ValueError):
         SimClock().schedule(-1.0, lambda: None)
+
+
+def test_next_wake_deadline_returns_earliest_wake_timer():
+    clock = SimClock()
+    clock.schedule(30.0, lambda: None)
+    clock.schedule(10.0, lambda: None)
+    assert clock.next_wake_deadline() == 10.0
+
+
+def test_next_wake_deadline_skips_housekeeping_timers():
+    clock = SimClock()
+    clock.schedule(5.0, lambda: None, wake=False)
+    clock.schedule(20.0, lambda: None)
+    assert clock.next_wake_deadline() == 20.0
+
+
+def test_next_wake_deadline_skips_cancelled_timers():
+    clock = SimClock()
+    timer = clock.schedule(5.0, lambda: None)
+    clock.schedule(50.0, lambda: None)
+    timer.cancel()
+    assert clock.next_wake_deadline() == 50.0
+
+
+def test_next_wake_deadline_none_when_no_wake_timers():
+    clock = SimClock()
+    assert clock.next_wake_deadline() is None
+    clock.schedule(5.0, lambda: None, wake=False)
+    assert clock.next_wake_deadline() is None
+
+
+def test_housekeeping_timer_still_fires_on_advance():
+    clock = SimClock()
+    fired = []
+    clock.schedule(5.0, lambda: fired.append(clock.now), wake=False)
+    clock.advance(10.0)
+    assert fired == [5.0]
