@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 from repro.config import READ_COMMITTED, BrokerConfig
 from repro.errors import (
     BrokerUnavailableError,
+    NotEnoughReplicasError,
     TopicAlreadyExistsError,
     UnknownTopicOrPartitionError,
 )
@@ -68,7 +69,12 @@ class Cluster:
         self.config = config or BrokerConfig()
         self.config.validate()
         self.clock = clock or SimClock()
-        self.network = network or Network(self.clock, NetworkCosts(), seed=seed)
+        # One registry for brokers and the network, so fault-injection
+        # counters land next to the broker counters chaos runs report.
+        self.metrics = MetricsRegistry()
+        self.network = network or Network(
+            self.clock, NetworkCosts(), seed=seed, metrics=self.metrics
+        )
         self.brokers: Dict[int, Broker] = {
             i: Broker(broker_id=i) for i in range(num_brokers)
         }
@@ -79,7 +85,6 @@ class Cluster:
         # Bumped whenever routing facts change (leadership, partition
         # counts); clients key their metadata/leader caches on it.
         self._metadata_epoch = 0
-        self.metrics = MetricsRegistry()
 
         self.group_coordinator = GroupCoordinator(self)
         self.txn_coordinator = TransactionCoordinator(self)
@@ -209,12 +214,44 @@ class Cluster:
         partition counts). Client caches are valid only within one epoch."""
         return self._metadata_epoch
 
+    # -- invariant probes (read-only; used by repro.sim.invariants) -----------------
+
+    def partition_states(self) -> Dict[TopicPartition, PartitionState]:
+        """Every partition's replica state. Read-only view — do not mutate."""
+        return self._partitions
+
+    def user_topics(self) -> List[str]:
+        """Topics that are not cluster-internal (``__``-prefixed)."""
+        return sorted(name for name, meta in self.topics.items() if not meta.internal)
+
+    def is_broker_alive(self, broker_id: int) -> bool:
+        return self.brokers[broker_id].alive
+
+    def transfer_leadership(self, tp: TopicPartition) -> Optional[int]:
+        """Move leadership of ``tp`` to another in-sync replica (preferred
+        leader election / controlled churn). Returns the new leader id, or
+        ``None`` when no other ISR member exists. Only ISR members are
+        eligible — they hold every acked record, so no data moves."""
+        state = self.partition_state(tp)
+        candidates = sorted(state.isr - ({state.leader} if state.leader is not None else set()))
+        if not candidates:
+            return None
+        state.leader = candidates[0]
+        self._metadata_epoch += 1
+        return state.leader
+
     # -- RPC handlers (called through the Network by clients) -----------------------
 
     def handle_produce(
         self, tp: TopicPartition, batch: RecordBatch, acks: str = "all"
     ) -> AppendResult:
-        result = self.partition_state(tp).append(batch, acks=acks)
+        try:
+            result = self.partition_state(tp).append(batch, acks=acks)
+        except NotEnoughReplicasError:
+            # Surface under-replicated rejections: chaos runs and the
+            # min-ISR tests observe how often acks=all writes were refused.
+            self.metrics.counter("broker.not_enough_replicas").increment()
+            raise
         if not result.duplicate:
             self.metrics.counter("broker.produced_records").increment(
                 batch.record_count

@@ -18,6 +18,7 @@ from repro.errors import (
     IllegalGenerationError,
     KafkaError,
     OffsetOutOfRangeError,
+    RetriableError,
 )
 from repro.log.record import Record
 
@@ -179,7 +180,15 @@ class Consumer:
             if budget <= 0:
                 break
             tp = active[(self._fetch_cursor + i) % len(active)]
-            records = self._fetch_one(tp, budget)
+            try:
+                records = self._fetch_one(tp, budget)
+            except RetriableError:
+                # Leaderless partition, dropped fetch, dead broker: skip
+                # this partition for the round and let the next poll retry
+                # with refreshed routing. Positions are untouched, so
+                # nothing is lost or re-read.
+                self._leader_cache.pop(tp, None)
+                continue
             out.extend(records)
             budget -= len(records)
         self._fetch_cursor += 1
@@ -210,6 +219,7 @@ class Consumer:
                 tp, position, budget, self.config.isolation_level
             ),
             base_cost_ms=self._network.fetch_cost(),
+            src=self.config.client_id,
         )
         self._positions[tp] = result.next_offset
         # Return copies: the log's record objects are shared, and the
@@ -284,6 +294,7 @@ class Consumer:
                 generation=self._generation if self._member_id else None,
             ),
             base_cost_ms=self._network.produce_cost(len(offsets)),
+            src=self.config.client_id,
         )
 
     def committed(self, tp: TopicPartition) -> Optional[int]:

@@ -22,7 +22,6 @@ from repro.broker.cluster import Cluster, TopicMetadata
 from repro.broker.partition import TopicPartition
 from repro.config import ProducerConfig
 from repro.errors import (
-    ConcurrentTransactionsError,
     InvalidTxnStateError,
     KafkaError,
     MaxBlockTimeoutError,
@@ -78,20 +77,52 @@ class Producer:
     def transactional(self) -> bool:
         return self.config.transactional_id is not None
 
+    def _call_coordinator(self, api: str, resolve_leader, fn, cost: float):
+        """One coordinator RPC, retried through transient failures.
+
+        The coordinator's log partition can be leaderless or its broker
+        unreachable mid-failover; like every Kafka client RPC the call is
+        retried with exponential backoff (re-resolving the leader each
+        attempt) until it succeeds or ``max_block_ms`` of virtual time is
+        spent. Covers CONCURRENT_TRANSACTIONS backoff too — it is just
+        another retriable error.
+        """
+        deadline = self._clock.now + self.config.max_block_ms
+        backoff = self.config.retry_backoff_ms
+        while True:
+            try:
+                return self._network.call(
+                    api,
+                    resolve_leader(),
+                    fn,
+                    base_cost_ms=cost,
+                    src=self.config.client_id,
+                )
+            except ProducerFencedError:
+                raise
+            except RetriableError as exc:
+                remaining = deadline - self._clock.now
+                if remaining <= 0:
+                    raise MaxBlockTimeoutError(
+                        f"{api} for {self.config.transactional_id!r} blocked "
+                        f"longer than max_block_ms={self.config.max_block_ms}"
+                    ) from exc
+                self._clock.advance(min(backoff, remaining))
+                backoff = min(backoff * 2, self.config.retry_backoff_max_ms)
+
     def init_transactions(self) -> None:
         """Register the transactional id with the coordinator (Figure 4.b)."""
         if not self.transactional:
             raise InvalidTxnStateError("producer has no transactional_id")
         tid = self.config.transactional_id
         coordinator = self.cluster.txn_coordinator
-        leader = self.cluster.leader_of(coordinator.txn_log_partition(tid))
-        self.producer_id, self.producer_epoch = self._network.call(
+        self.producer_id, self.producer_epoch = self._call_coordinator(
             "init_producer_id",
-            leader,
+            lambda: self.cluster.leader_of(coordinator.txn_log_partition(tid)),
             lambda: coordinator.init_producer_id(
                 tid, self.config.transaction_timeout_ms
             ),
-            base_cost_ms=self._network.coordinator_cost(),
+            cost=self._network.coordinator_cost(),
         )
         # A re-registration (e.g. recovery after a crash) starts from a
         # clean slate: any client-side remnants of a previous incarnation's
@@ -150,10 +181,9 @@ class Producer:
         group_coord = self.cluster.group_coordinator
         offsets_tp = group_coord.offsets_partition(group_id)
         self._register_txn_partition(offsets_tp)
-        leader = self.cluster.leader_of(offsets_tp)
-        self._network.call(
+        self._call_coordinator(
             "txn_offset_commit",
-            leader,
+            lambda: self.cluster.leader_of(offsets_tp),
             lambda: group_coord.commit_offsets(
                 group_id,
                 offsets,
@@ -163,7 +193,7 @@ class Producer:
                 producer_epoch=self.producer_epoch,
                 transactional=True,
             ),
-            base_cost_ms=self._network.produce_cost(len(offsets)),
+            cost=self._network.produce_cost(len(offsets)),
         )
 
     def commit_transaction(self) -> None:
@@ -179,15 +209,14 @@ class Producer:
         self.flush()
         tid = self.config.transactional_id
         coordinator = self.cluster.txn_coordinator
-        leader = self.cluster.leader_of(coordinator.txn_log_partition(tid))
         try:
-            self._network.call(
+            self._call_coordinator(
                 "end_txn",
-                leader,
+                lambda: self.cluster.leader_of(coordinator.txn_log_partition(tid)),
                 lambda: coordinator.end_transaction(
                     tid, self.producer_id, self.producer_epoch, commit
                 ),
-                base_cost_ms=self._network.coordinator_cost(),
+                cost=self._network.coordinator_cost(),
             )
         finally:
             self._in_transaction = False
@@ -288,36 +317,19 @@ class Producer:
     def _register_txn_partitions(self, partitions: List[TopicPartition]) -> None:
         tid = self.config.transactional_id
         coordinator = self.cluster.txn_coordinator
-        leader = self.cluster.leader_of(coordinator.txn_log_partition(tid))
         # One batched RPC; its cost grows only marginally with the number
-        # of partitions registered.
+        # of partitions registered. CONCURRENT_TRANSACTIONS (the previous
+        # transaction's markers still landing) is retriable like any other
+        # transient coordinator failure.
         cost = self._network.coordinator_cost() + 0.002 * len(partitions)
-        deadline = self._clock.now + self.config.max_block_ms
-        backoff = self.config.retry_backoff_ms
-        while True:
-            try:
-                self._network.call(
-                    "add_partitions_to_txn",
-                    leader,
-                    lambda: coordinator.add_partitions(
-                        tid, self.producer_id, self.producer_epoch, partitions
-                    ),
-                    base_cost_ms=cost,
-                )
-                break
-            except ConcurrentTransactionsError as exc:
-                # The previous transaction's markers are still landing;
-                # back off exponentially and retry (Kafka's
-                # CONCURRENT_TRANSACTIONS handling), giving up once the
-                # wait would exceed max_block_ms.
-                remaining = deadline - self._clock.now
-                if remaining <= 0:
-                    raise MaxBlockTimeoutError(
-                        f"add_partitions_to_txn for {tid!r} blocked longer "
-                        f"than max_block_ms={self.config.max_block_ms}"
-                    ) from exc
-                self._clock.advance(min(backoff, remaining))
-                backoff = min(backoff * 2, self.config.retry_backoff_max_ms)
+        self._call_coordinator(
+            "add_partitions_to_txn",
+            lambda: self.cluster.leader_of(coordinator.txn_log_partition(tid)),
+            lambda: coordinator.add_partitions(
+                tid, self.producer_id, self.producer_epoch, partitions
+            ),
+            cost=cost,
+        )
         self._txn_registered_partitions.update(partitions)
 
     def _send_batch(self, tp: TopicPartition, records: List[Record]) -> None:
@@ -331,6 +343,13 @@ class Producer:
             base_sequence=base_sequence,
             is_transactional=self._in_transaction,
         )
+        # Retriable failures (timeouts, leaderless partitions, ISR below
+        # min) are ridden out with exponential backoff until either the
+        # attempt cap or the delivery deadline is hit. Backoff advances the
+        # virtual clock, so recovery scheduled on timers — a broker
+        # restart, a fault rule expiring — happens *during* the wait.
+        deadline = self._clock.now + self.config.delivery_timeout_ms
+        backoff = self.config.retry_backoff_ms
         attempts = 0
         while True:
             try:
@@ -340,6 +359,7 @@ class Producer:
                     leader,
                     lambda: self.cluster.handle_produce(tp, batch, self.config.acks),
                     base_cost_ms=self._network.produce_cost(len(records)),
+                    src=self.config.client_id,
                 )
                 break
             except ProducerFencedError:
@@ -347,12 +367,14 @@ class Producer:
             except RetriableError:
                 attempts += 1
                 self.retries_performed += 1
-                if attempts > self.config.retries:
+                remaining = deadline - self._clock.now
+                if attempts > self.config.retries or remaining <= 0:
                     raise
                 # Metadata refresh + backoff before the retry: the cached
                 # route is suspect even if the cluster epoch is unchanged.
                 self._leader_cache.pop(tp, None)
-                self._clock.advance(1.0)
+                self._clock.advance(min(backoff, remaining))
+                backoff = min(backoff * 2, self.config.retry_backoff_max_ms)
         if base_sequence != NO_SEQUENCE:
             self._sequences[tp] = base_sequence + len(records)
         self.records_sent += len(records)

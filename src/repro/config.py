@@ -64,7 +64,13 @@ class ProducerConfig:
     enable_idempotence: bool = True
     transactional_id: Optional[str] = None
     acks: str = "all"                 # "all" or "1"
-    retries: int = 5
+    # As in Kafka ≥ 2.1: retries is effectively unbounded and the *time*
+    # budget below (delivery_timeout_ms) is what gives up on a send. A
+    # sustained fault — gray broker, severed link, ISR below min — is
+    # ridden out with exponential backoff until the path heals or the
+    # delivery deadline passes, whichever comes first.
+    retries: int = 2**31 - 1
+    delivery_timeout_ms: float = 120_000.0
     batch_max_records: int = 500
     linger_ms: float = 0.0
     transaction_timeout_ms: float = 60_000.0
@@ -84,6 +90,8 @@ class ProducerConfig:
             raise InvalidConfigError(f"acks must be 'all' or '1', got {self.acks!r}")
         if self.retries < 0:
             raise InvalidConfigError("retries must be >= 0")
+        if self.delivery_timeout_ms <= 0:
+            raise InvalidConfigError("delivery_timeout_ms must be > 0")
         if self.batch_max_records < 1:
             raise InvalidConfigError("batch_max_records must be >= 1")
         if self.max_block_ms <= 0:

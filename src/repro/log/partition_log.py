@@ -84,12 +84,29 @@ class _ProducerIdState:
         return self.batches[-1].last_sequence
 
     def find_duplicate(self, batch: RecordBatch) -> Optional[_BatchMeta]:
+        """Metadata of an already-appended copy of ``batch``, if any.
+
+        Containment (not just exact equality) counts as a duplicate: a
+        newly elected leader rebuilds its batch metadata from replicated
+        records, where adjacent batches of one producer can merge into a
+        single sequence run. A retried batch whose sequence range lies
+        inside such a run was appended before the failover and must not be
+        appended again. Offsets within a run are contiguous (batches append
+        atomically), so the original offsets fall out arithmetically.
+        """
         for meta in self.batches:
             if (
-                meta.base_sequence == batch.base_sequence
-                and meta.last_sequence == batch.last_sequence
+                meta.base_sequence <= batch.base_sequence
+                and batch.last_sequence <= meta.last_sequence
             ):
-                return meta
+                delta = batch.base_sequence - meta.base_sequence
+                span = batch.last_sequence - batch.base_sequence
+                return _BatchMeta(
+                    batch.base_sequence,
+                    batch.last_sequence,
+                    meta.base_offset + delta,
+                    meta.base_offset + delta + span,
+                )
         return None
 
 
@@ -355,14 +372,29 @@ class PartitionLog:
                     state = _ProducerIdState(record.producer_epoch)
                     self._producers[pid] = state
                 if record.sequence != NO_SEQUENCE:
-                    state.batches.append(
-                        _BatchMeta(
-                            record.sequence,
-                            record.sequence,
-                            record.offset,
-                            record.offset,
+                    # Merge contiguous (sequence AND offset) records into
+                    # one batch-metadata run. Batches append atomically on
+                    # the leader, so a batch is always offset-contiguous;
+                    # keeping runs merged lets this replica — should it be
+                    # elected leader — recognise a producer's post-failover
+                    # retry as a duplicate instead of an out-of-order send.
+                    run = state.batches[-1] if state.batches else None
+                    if (
+                        run is not None
+                        and run.last_sequence + 1 == record.sequence
+                        and run.last_offset + 1 == record.offset
+                    ):
+                        run.last_sequence = record.sequence
+                        run.last_offset = record.offset
+                    else:
+                        state.batches.append(
+                            _BatchMeta(
+                                record.sequence,
+                                record.sequence,
+                                record.offset,
+                                record.offset,
+                            )
                         )
-                    )
                 if record.is_transactional and pid not in self._open_txns:
                     self._open_txns[pid] = record.offset
 

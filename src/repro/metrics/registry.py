@@ -18,6 +18,10 @@ class Counter:
             raise ValueError("counters only increase")
         self.value += by
 
+    def reset(self) -> None:
+        """Restart the count (e.g. between chaos-run phases)."""
+        self.value = 0
+
 
 class Histogram:
     """Stores observations; exposes mean and percentiles."""
@@ -62,6 +66,20 @@ class Histogram:
     def min(self) -> float:
         return min(self._values) if self._values else 0.0
 
+    def snapshot(self) -> Dict[str, float]:
+        """Summary stats at a point in time (chaos/bench reporting)."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "max": self.max(),
+        }
+
+    def reset(self) -> None:
+        """Discard all observations (e.g. between chaos-run phases)."""
+        self._values.clear()
+
 
 class MetricsRegistry:
     """Named counters and histograms."""
@@ -78,3 +96,15 @@ class MetricsRegistry:
 
     def counters(self) -> Dict[str, int]:
         return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def histograms(self) -> Dict[str, Dict[str, float]]:
+        """Snapshot of every histogram, keyed by name."""
+        return {name: h.snapshot() for name, h in sorted(self._histograms.items())}
+
+    def reset(self) -> None:
+        """Zero every counter and clear every histogram (keeps the names
+        registered, so held references stay valid)."""
+        for counter in self._counters.values():
+            counter.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()

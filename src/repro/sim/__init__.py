@@ -1,9 +1,22 @@
-"""Simulation substrate: virtual clock, scheduler, network costs, faults."""
+"""Simulation substrate: virtual clock, scheduler, network costs, faults,
+chaos orchestration, and invariant checking."""
 
 from repro.sim.clock import SimClock
 from repro.sim.network import FaultRule, Network, NetworkCosts
 from repro.sim.failures import FailureInjector
 from repro.sim.scheduler import Driver
+from repro.sim.chaos import ALL_KINDS, ChaosConfig, ChaosController
+from repro.sim.invariants import (
+    ChangelogStateEquivalence,
+    CommittedOutputEquality,
+    HighWatermarkMonotonic,
+    Invariant,
+    InvariantSuite,
+    InvariantViolation,
+    ReadCommittedIsolation,
+    ReplicaConsistency,
+    committed_records,
+)
 
 __all__ = [
     "SimClock",
@@ -12,4 +25,16 @@ __all__ = [
     "NetworkCosts",
     "FaultRule",
     "FailureInjector",
+    "ALL_KINDS",
+    "ChaosConfig",
+    "ChaosController",
+    "Invariant",
+    "InvariantSuite",
+    "InvariantViolation",
+    "HighWatermarkMonotonic",
+    "ReplicaConsistency",
+    "ReadCommittedIsolation",
+    "ChangelogStateEquivalence",
+    "CommittedOutputEquality",
+    "committed_records",
 ]

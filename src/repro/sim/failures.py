@@ -44,10 +44,14 @@ class FailureInjector:
             FaultRule(kind="drop_ack", match_api="produce", match_dst=broker_id, count=count)
         )
 
-    def drop_next_produce_request(self, count: int = 1) -> FaultRule:
+    def drop_next_produce_request(
+        self, count: int = 1, broker_id: Optional[int] = None
+    ) -> FaultRule:
         """The produce request never arrives; the retry is the first append."""
         return self.cluster.network.add_fault(
-            FaultRule(kind="drop_request", match_api="produce", count=count)
+            FaultRule(
+                kind="drop_request", match_api="produce", match_dst=broker_id, count=count
+            )
         )
 
     def delay_rpcs(self, api: str, delay_ms: float, count: int = 1) -> FaultRule:
@@ -55,5 +59,41 @@ class FailureInjector:
             FaultRule(kind="delay", match_api=api, count=count, delay_ms=delay_ms)
         )
 
+    def slow_broker(
+        self, broker_id: int, delay_ms: float, duration_ms: float
+    ) -> FaultRule:
+        """Gray-broker degradation: every RPC to ``broker_id`` pays an extra
+        ``delay_ms`` for the next ``duration_ms`` of virtual time."""
+        return self.cluster.network.add_fault(
+            FaultRule(
+                kind="slow",
+                match_dst=broker_id,
+                delay_ms=delay_ms,
+                duration_ms=duration_ms,
+            )
+        )
+
+    def sever_link(
+        self, client_id: str, broker_id: int, duration_ms: float
+    ) -> FaultRule:
+        """Cut one client↔broker path: requests from ``client_id`` to
+        ``broker_id`` are lost for ``duration_ms`` while every other path
+        keeps working."""
+        return self.cluster.network.add_fault(
+            FaultRule(
+                kind="drop_request",
+                match_src=client_id,
+                match_dst=broker_id,
+                duration_ms=duration_ms,
+            )
+        )
+
     def clear(self) -> None:
         self.cluster.network.clear_faults()
+
+    def heal(self) -> None:
+        """Full recovery: clear every armed network fault *and* restart all
+        crashed brokers (``clear()`` alone leaves brokers down)."""
+        self.clear()
+        for broker_id in sorted(self.cluster.brokers):
+            self.cluster.restart_broker(broker_id)

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import BrokerUnavailableError, RequestTimeoutError
+from repro.metrics.registry import MetricsRegistry
 from repro.sim.clock import SimClock
 
 
@@ -64,23 +65,44 @@ class FaultRule:
     * ``"drop_request"`` — do *not* apply the operation; raise
       RequestTimeoutError (classic lost request).
     * ``"delay"`` — apply normally but add ``delay_ms`` extra latency.
+    * ``"slow"`` — gray broker: like ``delay``, but sustained for
+      ``duration_ms`` of virtual time instead of a trigger count.
+
+    Rules expire either by trigger count (``count``, the default) or — when
+    ``duration_ms`` is set — by virtual time: the rule stays active from
+    arming until ``duration_ms`` later, however many RPCs it hits.
+
+    ``match_src`` matches the caller's identity (a client id, as passed to
+    :meth:`Network.call`), so one client↔broker link can be severed or
+    degraded while other paths to the same broker proceed.
     """
 
-    KINDS = ("drop_ack", "drop_request", "delay")
+    KINDS = ("drop_ack", "drop_request", "delay", "slow")
 
     kind: str
     match_api: Optional[str] = None     # e.g. "produce"; None matches any
     match_dst: Optional[int] = None     # broker id; None matches any
+    match_src: Optional[str] = None     # caller identity; None matches any
     count: int = 1                      # how many matching RPCs to affect
     delay_ms: float = 0.0
+    duration_ms: Optional[float] = None  # time-bounded instead of count-bounded
     triggered: int = field(default=0, init=False)
+    armed_at_ms: float = field(default=0.0, init=False)
 
-    def matches(self, api: str, dst: int) -> bool:
-        if self.triggered >= self.count:
+    def expired(self, now: float) -> bool:
+        if self.duration_ms is not None:
+            return now >= self.armed_at_ms + self.duration_ms
+        return self.triggered >= self.count
+
+    def matches(self, api: str, dst: int, src: Optional[str] = None,
+                now: float = 0.0) -> bool:
+        if self.expired(now):
             return False
         if self.match_api is not None and self.match_api != api:
             return False
         if self.match_dst is not None and self.match_dst != dst:
+            return False
+        if self.match_src is not None and self.match_src != src:
             return False
         return True
 
@@ -93,6 +115,7 @@ class Network:
         clock: SimClock,
         costs: Optional[NetworkCosts] = None,
         seed: int = 17,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.clock = clock
         self.costs = costs or NetworkCosts()
@@ -101,6 +124,9 @@ class Network:
         self._down: set = set()
         self.rpc_counts: Dict[str, int] = {}
         self.charge_latency = True
+        # Injected-fault observability: chaos runs report what was actually
+        # injected per kind and per api through the shared registry.
+        self.metrics = metrics or MetricsRegistry()
 
     # -- fault control -------------------------------------------------------
 
@@ -109,17 +135,37 @@ class Network:
 
         Unknown kinds are rejected here, before any RPC can match the rule
         — not at dispatch time, where the rule would already have counted a
-        trigger and charged latency.
+        trigger and charged latency. Duration-bounded rules start their
+        active window at arming time.
         """
         if rule.kind not in FaultRule.KINDS:
             raise ValueError(
                 f"unknown fault kind: {rule.kind!r} (expected one of {FaultRule.KINDS})"
             )
+        if rule.kind == "slow" and rule.duration_ms is None:
+            raise ValueError("slow (gray-broker) rules need duration_ms")
+        if rule.duration_ms is not None and rule.duration_ms <= 0:
+            raise ValueError(f"duration_ms must be > 0, got {rule.duration_ms}")
+        rule.armed_at_ms = self.clock.now
         self._rules.append(rule)
         return rule
 
     def clear_faults(self) -> None:
         self._rules.clear()
+
+    def active_faults(self) -> List[FaultRule]:
+        """Rules that can still trigger (prunes expired ones)."""
+        now = self.clock.now
+        self._rules = [r for r in self._rules if not r.expired(now)]
+        return list(self._rules)
+
+    def fault_counts(self) -> Dict[str, int]:
+        """Injected-fault counters (``network.faults.*``) from the registry."""
+        return {
+            name: value
+            for name, value in self.metrics.counters().items()
+            if name.startswith("network.faults.")
+        }
 
     def set_broker_down(self, broker_id: int, down: bool = True) -> None:
         """Mark a broker unreachable (RPCs raise BrokerUnavailableError)."""
@@ -139,21 +185,24 @@ class Network:
         dst: int,
         fn: Callable[[], Any],
         base_cost_ms: Optional[float] = None,
+        src: Optional[str] = None,
     ) -> Any:
         """Invoke ``fn`` as an RPC of kind ``api`` against broker ``dst``.
 
         Charges round-trip latency on the shared clock and applies the first
         matching fault rule. The *lost ack* fault applies ``fn`` first, then
-        raises — exactly the ambiguity a real sender faces.
+        raises — exactly the ambiguity a real sender faces. ``src`` is the
+        caller's identity (client id), matched by link-level fault rules.
         """
         self.rpc_counts[api] = self.rpc_counts.get(api, 0) + 1
         if dst in self._down:
             raise BrokerUnavailableError(f"broker {dst} is down ({api})")
 
         cost = self.costs.rpc_base_ms if base_cost_ms is None else base_cost_ms
-        rule = self._first_match(api, dst)
+        rule = self._first_match(api, dst, src)
         if rule is not None:
             rule.triggered += 1
+            self._count_fault(rule.kind, api)
             if rule.kind == "drop_request":
                 self._charge(cost)
                 raise RequestTimeoutError(f"{api} to broker {dst}: request lost")
@@ -162,16 +211,24 @@ class Network:
                 del result  # applied, but the ack never arrives
                 self._charge(cost)
                 raise RequestTimeoutError(f"{api} to broker {dst}: ack lost")
-            else:  # "delay" — kinds are validated in add_fault
+            else:  # "delay" / "slow" — kinds are validated in add_fault
                 self._charge(rule.delay_ms)
 
         result = fn()
         self._charge(cost)
         return result
 
-    def _first_match(self, api: str, dst: int) -> Optional[FaultRule]:
+    def _count_fault(self, kind: str, api: str) -> None:
+        self.metrics.counter("network.faults.injected").increment()
+        self.metrics.counter(f"network.faults.kind.{kind}").increment()
+        self.metrics.counter(f"network.faults.api.{api}").increment()
+
+    def _first_match(
+        self, api: str, dst: int, src: Optional[str] = None
+    ) -> Optional[FaultRule]:
+        now = self.clock.now
         for rule in self._rules:
-            if rule.matches(api, dst):
+            if rule.matches(api, dst, src, now):
                 return rule
         return None
 

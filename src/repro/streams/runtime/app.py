@@ -38,6 +38,11 @@ class KafkaStreams:
         self.config.validate()
         self.instances: List[StreamsInstance] = []
         self._instance_seq = 0
+        # Observer hook fired after every changelog restore, with
+        # (task_id, store_name, store, changelog_topic, partition,
+        # next_offset). Invariant checkers attach here to verify the
+        # restored store equals an independent changelog replay.
+        self.restore_listener = None
 
         self._sub_topologies: Dict[int, SubTopology] = {
             sub.sub_id: sub for sub in topology.sub_topologies()

@@ -269,6 +269,7 @@ class StreamsInstance:
                     name: gs.store for name, gs in self.global_state.items()
                 },
                 track_speculation=self.config.speculative,
+                restore_listener=self._notify_restore,
             )
         self._sync_standbys()
 
@@ -301,6 +302,16 @@ class StreamsInstance:
                     application_id=self.config.application_id,
                     cluster=self.cluster,
                 )
+
+    def _notify_restore(
+        self, task_id, store_name, store, changelog_topic, partition, next_offset
+    ) -> None:
+        """Forward a completed changelog restore to the app-level observer
+        (read at call time so listeners attached after start() still see
+        restores from later task migrations)."""
+        listener = self.app.restore_listener
+        if listener is not None:
+            listener(task_id, store_name, store, changelog_topic, partition, next_offset)
 
     def _route(self, records) -> None:
         by_tp: Dict[TopicPartition, list] = {}

@@ -61,6 +61,7 @@ class StreamTask:
         standby_state: Optional[Dict[str, Any]] = None,
         global_stores: Optional[Dict[str, Any]] = None,
         track_speculation: bool = False,
+        restore_listener: Optional[Callable] = None,
     ) -> None:
         # (tp, producer_id) -> [min offset, max offset] consumed from that
         # producer's (possibly still open) transaction — the commit
@@ -81,6 +82,7 @@ class StreamTask:
         self.stream_time = float("-inf")
         self.records_processed = 0
         self.restored_records = 0
+        self._restore_listener = restore_listener
 
         self.partitions = sorted(
             TopicPartition(resolve(topic), task_id.partition)
@@ -125,15 +127,25 @@ class StreamTask:
                 store, from_offset = self._create_store(spec), 0
             self._stores[spec.name] = store
             if spec.changelog:
-                applied, _ = restore_store(
+                changelog = spec.changelog_topic(self.application_id)
+                applied, next_offset = restore_store(
                     self.cluster,
                     store,
-                    spec.changelog_topic(self.application_id),
+                    changelog,
                     self.task_id.partition,
                     from_offset=from_offset,
                 )
                 self.restored_records += applied
                 store.set_update_hook(self._changelog_hook(spec))
+                if self._restore_listener is not None:
+                    self._restore_listener(
+                        self.task_id,
+                        spec.name,
+                        store,
+                        changelog,
+                        self.task_id.partition,
+                        next_offset,
+                    )
 
     def _create_store(self, spec: StateStoreSpec):
         if spec.kind == "kv":

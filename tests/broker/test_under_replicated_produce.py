@@ -1,0 +1,95 @@
+"""Under-replicated produce: acks=all vs min.insync.replicas (Section 4.1).
+
+With replication.factor=3 and min.insync.replicas=2, one dead broker keeps
+the partition writable; a second failure shrinks the ISR below the minimum
+and acks=all writes must be refused with the *retriable*
+NotEnoughReplicasError — the producer rides it out and, once a broker
+returns, the retry lands exactly once.
+"""
+
+import pytest
+
+from repro.broker.cluster import Cluster
+from repro.broker.partition import TopicPartition
+from repro.clients.producer import Producer
+from repro.config import ProducerConfig
+from repro.errors import NotEnoughReplicasError, RetriableError
+
+from tests.streams.harness import drain_topic
+
+
+@pytest.fixture
+def cluster():
+    cluster = Cluster(num_brokers=3, seed=7)
+    cluster.network.charge_latency = False
+    cluster.create_topic("t", 1)
+    return cluster
+
+
+def crash_two_followers(cluster):
+    tp = TopicPartition("t", 0)
+    state = cluster.partition_state(tp)
+    for broker_id in sorted(state.isr - {state.leader})[:2]:
+        cluster.crash_broker(broker_id)
+    return tp
+
+
+def test_acks_all_below_min_isr_raises(cluster):
+    crash_two_followers(cluster)
+    producer = Producer(cluster, ProducerConfig(retries=0))
+    producer.send("t", key="k", value="v")
+    with pytest.raises(NotEnoughReplicasError):
+        producer.flush()
+
+
+def test_not_enough_replicas_is_retriable(cluster):
+    assert issubclass(NotEnoughReplicasError, RetriableError)
+
+
+def test_rejection_is_counted(cluster):
+    crash_two_followers(cluster)
+    producer = Producer(cluster, ProducerConfig(retries=0))
+    producer.send("t", key="k", value="v")
+    with pytest.raises(NotEnoughReplicasError):
+        producer.flush()
+    assert cluster.metrics.counters()["broker.not_enough_replicas"] == 1
+
+
+def test_acks_1_still_accepted_below_min_isr(cluster):
+    crash_two_followers(cluster)
+    producer = Producer(cluster, ProducerConfig(acks="1"))
+    producer.send("t", key="k", value="v")
+    producer.flush()     # leader append only; no min-ISR gate
+
+
+def test_retry_succeeds_after_broker_returns_without_duplicate(cluster):
+    """The producer backs off through the outage; a scheduled broker
+    restart fires *during* the backoff (virtual time advances between
+    attempts) and the retried write lands exactly once."""
+    tp = crash_two_followers(cluster)
+    dead = sorted(
+        b for b in cluster.brokers if not cluster.is_broker_alive(b)
+    )
+    # Repair arrives 20ms of virtual time into the retry storm.
+    for broker_id in dead:
+        cluster.clock.schedule(20.0, lambda b=broker_id: cluster.restart_broker(b))
+
+    producer = Producer(cluster)     # idempotent, effectively-infinite retries
+    producer.send("t", key="k", value="v")
+    producer.flush()
+
+    assert producer.retries_performed > 0
+    records = drain_topic(cluster, "t")
+    assert [(r.key, r.value) for r in records] == [("k", "v")]
+    state = cluster.partition_state(tp)
+    assert len(state.isr) == 3      # everyone resynced
+
+
+def test_retry_gives_up_at_delivery_timeout(cluster):
+    crash_two_followers(cluster)     # and nobody ever comes back
+    producer = Producer(cluster, ProducerConfig(delivery_timeout_ms=50.0))
+    producer.send("t", key="k", value="v")
+    start = cluster.clock.now
+    with pytest.raises(NotEnoughReplicasError):
+        producer.flush()
+    assert cluster.clock.now - start >= 50.0

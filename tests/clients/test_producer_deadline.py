@@ -1,0 +1,74 @@
+"""Producer retry behaviour under sustained faults: the Kafka ≥2.1 model of
+effectively-unbounded retries bounded by delivery_timeout_ms."""
+
+import pytest
+
+from repro.broker.cluster import Cluster
+from repro.clients.producer import Producer
+from repro.config import ProducerConfig
+from repro.errors import RequestTimeoutError
+from repro.sim.failures import FailureInjector
+
+
+@pytest.fixture
+def cluster():
+    cluster = Cluster(num_brokers=3, seed=7)
+    cluster.network.charge_latency = False
+    cluster.create_topic("t", 1)
+    return cluster
+
+
+def test_default_retries_effectively_unbounded():
+    config = ProducerConfig()
+    assert config.retries == 2**31 - 1
+    assert config.delivery_timeout_ms == 120_000.0
+
+
+def test_survives_sustained_link_severance(cluster):
+    """A 30ms severed link is ridden out: exponential backoff advances the
+    virtual clock past the fault window and the send lands."""
+    producer = Producer(cluster, ProducerConfig(client_id="p1"))
+    leader = cluster.leader_of(cluster.partitions_for("t")[0])
+    FailureInjector(cluster).sever_link("p1", leader, duration_ms=30.0)
+    producer.send("t", key="k", value="v")
+    producer.flush()
+    assert producer.retries_performed > 0
+
+
+def test_deadline_exceeded_raises(cluster):
+    producer = Producer(
+        cluster, ProducerConfig(client_id="p1", delivery_timeout_ms=10.0)
+    )
+    leader = cluster.leader_of(cluster.partitions_for("t")[0])
+    # The fault outlives the delivery budget.
+    FailureInjector(cluster).sever_link("p1", leader, duration_ms=10_000.0)
+    producer.send("t", key="k", value="v")
+    with pytest.raises(RequestTimeoutError):
+        producer.flush()
+
+
+def test_backoff_grows_exponentially_to_cap(cluster):
+    """Riding out a long fault takes far fewer attempts than fixed 1ms
+    backoff would need: doubling from retry_backoff_ms to the cap."""
+    producer = Producer(
+        cluster,
+        ProducerConfig(
+            client_id="p1", retry_backoff_ms=1.0, retry_backoff_max_ms=64.0
+        ),
+    )
+    leader = cluster.leader_of(cluster.partitions_for("t")[0])
+    FailureInjector(cluster).sever_link("p1", leader, duration_ms=500.0)
+    producer.send("t", key="k", value="v")
+    producer.flush()
+    # 1+2+4+...+64, then 64ms steps: ~11 attempts to cover 500ms.
+    assert producer.retries_performed <= 14
+
+
+def test_explicit_retry_cap_still_honoured(cluster):
+    producer = Producer(cluster, ProducerConfig(client_id="p1", retries=2))
+    leader = cluster.leader_of(cluster.partitions_for("t")[0])
+    FailureInjector(cluster).sever_link("p1", leader, duration_ms=10_000.0)
+    producer.send("t", key="k", value="v")
+    with pytest.raises(RequestTimeoutError):
+        producer.flush()
+    assert producer.retries_performed == 3    # initial + 2 retries counted

@@ -1,0 +1,240 @@
+"""The deterministic chaos engine, end to end.
+
+A seeded :class:`ChaosController` drives the two-stage counting topology
+through broker crashes, leadership churn, coordinator kills, instance
+crashes, lost acks, gray brokers, and severed links — with the invariant
+suite evaluated continuously and the committed output compared to a
+fault-free golden run. Regression cases deliberately disable idempotence
+and read-committed filtering to prove the checkers actually catch the
+violations they claim to.
+"""
+
+import pytest
+
+from repro.clients.producer import Producer
+from repro.config import EXACTLY_ONCE, ProducerConfig, StreamsConfig
+from repro.sim.chaos import ChaosConfig, ChaosController
+from repro.sim.invariants import (
+    ChangelogStateEquivalence,
+    CommittedOutputEquality,
+    InvariantSuite,
+    InvariantViolation,
+    ReadCommittedIsolation,
+    committed_records,
+)
+from repro.streams import KafkaStreams, StreamsBuilder
+
+from tests.streams.harness import drain_topic, latest_by_key, make_cluster
+
+CATEGORIES = ["a", "b", "c", "d", "e"]
+
+
+def make_app(cluster):
+    builder = StreamsBuilder()
+    (
+        builder.stream("in")
+        .map(lambda k, v: (v, 1))
+        .group_by_key()
+        .count(store_name="counts")
+        .to_stream()
+        .to("out")
+    )
+    return KafkaStreams(
+        builder.build(),
+        cluster,
+        StreamsConfig(
+            application_id="chaos-app",
+            processing_guarantee=EXACTLY_ONCE,
+            commit_interval_ms=20.0,
+            transaction_timeout_ms=300.0,
+        ),
+    )
+
+
+def produce_workload(cluster, n=120):
+    producer = Producer(cluster)
+    expected = {}
+    for i in range(n):
+        category = CATEGORIES[i % len(CATEGORIES)]
+        expected[category] = expected.get(category, 0) + 1
+        producer.send("in", key=f"k{i}", value=category, timestamp=float(i * 3))
+    producer.flush()
+    return expected
+
+
+def golden_output(n=120):
+    """Committed output of a fault-free run of the same workload."""
+    cluster = make_cluster(**{"in": 2, "out": 2})
+    app = make_app(cluster)
+    app.start(2)
+    produce_workload(cluster, n)
+    app.run_until_idle(max_steps=50_000)
+    return committed_records(cluster, ["out"])
+
+
+def drain(cluster, app):
+    """Drain to quiescence, riding out dangling-transaction timeouts from
+    crashed instances (the reaper is a housekeeping timer, so idle drivers
+    do not jump to it — advance past it explicitly, as real time would)."""
+    for _ in range(4):
+        cluster.clock.advance(400.0)
+        app.run_until_idle(max_steps=50_000)
+
+
+def run_chaos(seed, golden, config=None, n=120):
+    cluster = make_cluster(**{"in": 2, "out": 2})
+    app = make_app(cluster)
+    app.start(2)
+    produce_workload(cluster, n)
+
+    suite = InvariantSuite()
+    suite.add(ChangelogStateEquivalence().attach(app))
+    suite.add(CommittedOutputEquality(golden))
+    chaos = ChaosController(
+        cluster,
+        apps=[app],
+        seed=seed,
+        config=config or ChaosConfig(horizon_ms=3_000.0),
+        invariants=suite,
+    )
+    app.driver.register(chaos)
+    scheduled = chaos.schedule()
+    assert scheduled > 0, "seed produced an empty fault timeline"
+    app.run_for(chaos.config.horizon_ms)
+    chaos.quiesce()
+    drain(cluster, app)
+    suite.check_all(cluster, final=True)
+    return cluster, app, chaos, suite
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return golden_output()
+
+
+def test_same_seed_same_timeline_and_output(golden):
+    results = [run_chaos(seed=11, golden=golden) for _ in range(2)]
+    timelines = [chaos.timeline for _, _, chaos, _ in results]
+    assert timelines[0] == timelines[1], "fault timeline is not deterministic"
+    outputs = [committed_records(c, ["out"]) for c, _, _, _ in results]
+    assert outputs[0] == outputs[1], "committed output is not deterministic"
+    assert results[0][2].faults_injected > 0
+
+
+def test_different_seeds_different_timelines(golden):
+    _, _, chaos_a, _ = run_chaos(seed=11, golden=golden)
+    _, _, chaos_b, _ = run_chaos(seed=12, golden=golden)
+    assert chaos_a.timeline != chaos_b.timeline
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", list(range(10)))
+def test_chaos_matrix_invariants_hold(seed, golden):
+    """Ten seeds of full-repertoire chaos: all invariants pass, the final
+    counts match the workload, and the run actually injected faults."""
+    cluster, app, chaos, suite = run_chaos(seed=seed, golden=golden)
+    assert chaos.faults_injected > 0
+    assert suite.checks_performed > 1, "continuous checking never ran"
+    final = latest_by_key(drain_topic(cluster, "out"))
+    expected = {}
+    for i in range(120):
+        category = CATEGORIES[i % len(CATEGORIES)]
+        expected[category] = expected.get(category, 0) + 1
+    assert final == expected, f"seed {seed} violated exactly-once"
+
+
+def test_quiesce_heals_cluster_and_instances(golden):
+    cluster, app, chaos, _ = run_chaos(seed=3, golden=golden)
+    assert cluster.alive_brokers() == sorted(cluster.brokers)
+    assert cluster.network.active_faults() == []
+    assert app.instances, "quiesce left the app without instances"
+
+
+def test_fault_metrics_exposed(golden):
+    cluster, _, chaos, _ = run_chaos(seed=11, golden=golden)
+    if any("ack_drop" in desc or "link_fault" in desc for _, desc in chaos.timeline):
+        counts = cluster.network.fault_counts()
+        assert counts.get("network.faults.injected", 0) > 0
+
+
+# -- regression: the checkers must catch deliberately broken safety ------------------
+
+
+def test_output_equality_catches_duplicates_without_idempotence():
+    """Disable idempotence, lose acks: the retry duplicates the write and
+    CommittedOutputEquality must say so."""
+    def produce(cluster, idempotent, inject):
+        producer = Producer(
+            cluster,
+            ProducerConfig(enable_idempotence=idempotent, acks="all"),
+        )
+        for i in range(10):
+            producer.send("t", key=f"k{i}", value=i)
+            if i == 4 and inject:
+                from repro.sim.failures import FailureInjector
+
+                FailureInjector(cluster).drop_next_produce_ack(count=1)
+        producer.flush()
+
+    golden_cluster = make_cluster(t=1)
+    produce(golden_cluster, idempotent=True, inject=False)
+    golden = committed_records(golden_cluster, ["t"])
+
+    cluster = make_cluster(t=1)
+    produce(cluster, idempotent=False, inject=True)
+    checker = CommittedOutputEquality(golden)
+    with pytest.raises(InvariantViolation, match="unexpected"):
+        checker.check(cluster, final=True)
+
+    # Control: with idempotence on, the same lost ack is deduplicated.
+    cluster = make_cluster(t=1)
+    produce(cluster, idempotent=True, inject=True)
+    CommittedOutputEquality(golden).check(cluster, final=True)
+
+
+def test_read_committed_checker_catches_aborted_data():
+    """Feed the checker records fetched with the isolation filter off
+    (read_uncommitted) — it must flag the aborted transaction's records."""
+    cluster = make_cluster(t=1)
+    producer = Producer(cluster, ProducerConfig(transactional_id="txn-1"))
+    producer.init_transactions()
+    producer.begin_transaction()
+    producer.send("t", key="doomed", value=1)
+    producer.abort_transaction()
+
+    tp = cluster.partitions_for("t")[0]
+    log = cluster.partition_state(tp).leader_log()
+    from repro.broker.fetch import fetch
+
+    unfiltered = fetch(
+        log, 0, max_records=1000, isolation_level="read_uncommitted"
+    )
+    aborted_data = [r for r in unfiltered.records if not r.is_control]
+    assert aborted_data, "aborted records should be visible read_uncommitted"
+    with pytest.raises(InvariantViolation, match="aborted"):
+        ReadCommittedIsolation.verify_records(log, aborted_data)
+
+    # Control: the records a real read-committed fetch returns pass.
+    filtered = fetch(log, 0, max_records=1000, isolation_level="read_committed")
+    ReadCommittedIsolation.verify_records(log, filtered.records)
+
+
+def test_read_committed_checker_catches_open_txn_data():
+    cluster = make_cluster(t=1)
+    producer = Producer(cluster, ProducerConfig(transactional_id="txn-2"))
+    producer.init_transactions()
+    producer.begin_transaction()
+    producer.send("t", key="open", value=1)
+    producer.flush()
+
+    tp = cluster.partitions_for("t")[0]
+    log = cluster.partition_state(tp).leader_log()
+    from repro.broker.fetch import fetch
+
+    unfiltered = fetch(
+        log, 0, max_records=1000, isolation_level="read_uncommitted"
+    )
+    open_data = [r for r in unfiltered.records if not r.is_control]
+    assert open_data
+    with pytest.raises(InvariantViolation, match="open-transaction"):
+        ReadCommittedIsolation.verify_records(log, open_data)

@@ -102,6 +102,89 @@ def test_clear_faults(net):
     net.call("produce", 0, lambda: None)  # should not raise
 
 
+def test_slow_fault_requires_duration(net):
+    with pytest.raises(ValueError):
+        net.add_fault(FaultRule(kind="slow", match_dst=0, delay_ms=5.0))
+    with pytest.raises(ValueError):
+        net.add_fault(
+            FaultRule(kind="slow", match_dst=0, delay_ms=5.0, duration_ms=0.0)
+        )
+
+
+def test_slow_fault_degrades_until_duration_expires(net):
+    net.add_fault(
+        FaultRule(kind="slow", match_dst=0, delay_ms=10.0, duration_ms=25.0)
+    )
+    net.call("produce", 0, lambda: None, base_cost_ms=1.0)
+    assert net.clock.now == pytest.approx(11.0)      # degraded
+    net.call("produce", 1, lambda: None, base_cost_ms=1.0)
+    assert net.clock.now == pytest.approx(12.0)      # other broker unaffected
+    net.call("produce", 0, lambda: None, base_cost_ms=1.0)
+    assert net.clock.now == pytest.approx(23.0)      # still degraded
+    net.clock.advance(10.0)                          # past 25ms window
+    net.call("produce", 0, lambda: None, base_cost_ms=1.0)
+    assert net.clock.now == pytest.approx(34.0)      # healthy again
+
+
+def test_duration_bound_applies_to_drop_rules_too(net):
+    net.add_fault(
+        FaultRule(kind="drop_request", match_dst=0, duration_ms=5.0)
+    )
+    for _ in range(3):                               # not count-limited
+        with pytest.raises(RequestTimeoutError):
+            net.call("produce", 0, lambda: None, base_cost_ms=1.0)
+    net.clock.advance(10.0)
+    net.call("produce", 0, lambda: None)             # expired
+
+
+def test_match_src_severs_one_link_only(net):
+    applied = []
+    net.add_fault(
+        FaultRule(
+            kind="drop_request", match_src="client-a", match_dst=0, duration_ms=100.0
+        )
+    )
+    with pytest.raises(RequestTimeoutError):
+        net.call("produce", 0, lambda: applied.append("a"), src="client-a")
+    net.call("produce", 0, lambda: applied.append("b"), src="client-b")
+    net.call("produce", 1, lambda: applied.append("a1"), src="client-a")
+    net.call("produce", 0, lambda: applied.append("anon"))     # no src
+    assert applied == ["b", "a1", "anon"]
+
+
+def test_active_faults_prunes_expired(net):
+    count_rule = net.add_fault(FaultRule(kind="drop_request", count=1))
+    timed_rule = net.add_fault(
+        FaultRule(kind="slow", delay_ms=1.0, duration_ms=5.0)
+    )
+    assert set(map(id, net.active_faults())) == {id(count_rule), id(timed_rule)}
+    with pytest.raises(RequestTimeoutError):
+        net.call("produce", 0, lambda: None)
+    net.clock.advance(10.0)
+    assert net.active_faults() == []
+
+
+def test_fault_counters_by_kind_and_api(net):
+    net.add_fault(FaultRule(kind="drop_ack", match_api="produce", count=2))
+    net.add_fault(FaultRule(kind="delay", match_api="fetch", delay_ms=1.0))
+    for _ in range(2):
+        with pytest.raises(RequestTimeoutError):
+            net.call("produce", 0, lambda: None)
+    net.call("fetch", 0, lambda: None)
+    assert net.fault_counts() == {
+        "network.faults.injected": 3,
+        "network.faults.kind.drop_ack": 2,
+        "network.faults.kind.delay": 1,
+        "network.faults.api.produce": 2,
+        "network.faults.api.fetch": 1,
+    }
+
+
+def test_unknown_fault_kind_rejected(net):
+    with pytest.raises(ValueError):
+        net.add_fault(FaultRule(kind="explode"))
+
+
 def test_marker_cost_grows_linearly():
     costs = NetworkCosts(jitter_frac=0.0)
     net = Network(SimClock(), costs)

@@ -59,6 +59,42 @@ class TestRegistry:
         registry.histogram("lat").observe(1.0)
         assert registry.histogram("lat").count == 1
 
+    def test_counter_reset(self):
+        counter = Counter("c")
+        counter.increment(3)
+        counter.reset()
+        assert counter.value == 0
+
+    def test_histogram_snapshot(self):
+        hist = Histogram("h")
+        for v in (1.0, 2.0, 3.0):
+            hist.observe(v)
+        snap = hist.snapshot()
+        assert snap["count"] == 3.0
+        assert snap["mean"] == pytest.approx(2.0)
+        assert snap["p50"] == pytest.approx(2.0)
+        assert snap["max"] == 3.0
+
+    def test_histograms_snapshot_all(self):
+        registry = MetricsRegistry()
+        registry.histogram("a").observe(5.0)
+        snaps = registry.histograms()
+        assert snaps["a"]["count"] == 1.0
+
+    def test_reset_keeps_references_valid(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        hist = registry.histogram("h")
+        counter.increment(7)
+        hist.observe(1.0)
+        registry.reset()
+        assert counter.value == 0 and hist.count == 0
+        # Held references still feed the same registry entries.
+        counter.increment()
+        hist.observe(2.0)
+        assert registry.counters()["c"] == 1
+        assert registry.histograms()["h"]["count"] == 1.0
+
 
 class TestLatencyTracker:
     def test_records_latency_from_header(self):
