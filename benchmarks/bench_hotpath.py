@@ -12,6 +12,9 @@ the batch-aware read-path work targets:
   record, batch assembly, sequence accounting).
 * ``streams`` — the full Figure 5 scenario (generator → stateful reduce →
   read-committed verifier) timed in wall-clock seconds.
+* ``tracing overhead`` — the produce loop with the (disabled) tracer
+  instrumentation in place vs a baseline with the network's tracer guard
+  bypassed entirely; disabled tracing must stay within 5% of the baseline.
 
 Numbers are recorded in EXPERIMENTS.md ("Hot-path microbenchmark"); CI runs
 a scaled-down smoke pass (HOTPATH_SCALE) so regressions fail loudly.
@@ -124,6 +127,44 @@ def run_produce_scenario(total_records: int, partitions: int = 8):
     }
 
 
+def run_tracing_overhead_scenario(total_records: int, rounds: int = 3):
+    """Produce-loop throughput with the disabled tracer vs a no-tracer
+    baseline.
+
+    The baseline rebinds ``network.call`` to ``network._dispatch`` — the
+    dispatch body without the tracer guard — so the comparison isolates
+    exactly the code the instrumentation added to the RPC hot path. Each
+    side takes the best of ``rounds`` timings (min-of-N rejects scheduler
+    noise; the work itself is deterministic).
+    """
+
+    def timed(bypass_guard: bool) -> float:
+        best = float("inf")
+        for _ in range(rounds):
+            cluster = make_bench_cluster()
+            cluster.create_topic("bench-produce", 8)
+            if bypass_guard:
+                cluster.network.call = cluster.network._dispatch
+            producer = Producer(cluster, ProducerConfig(client_id="bench-hotpath"))
+            start = time.perf_counter()
+            for i in range(total_records):
+                producer.send("bench-produce", key=i & 1023, value=i)
+            producer.flush()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    baseline_s = timed(bypass_guard=True)
+    disabled_s = timed(bypass_guard=False)
+    # throughput ratio: (n/disabled_s) / (n/baseline_s)
+    ratio = baseline_s / disabled_s if disabled_s > 0 else 1.0
+    return {
+        "records": total_records,
+        "baseline_s": baseline_s,
+        "disabled_s": disabled_s,
+        "throughput_ratio": ratio,
+    }
+
+
 def run_streams_scenario(duration_ms: float, rate_per_sec: float = 10_000.0):
     """The Figure 5 reduce scenario, timed in wall-clock seconds."""
     start = time.perf_counter()
@@ -172,14 +213,41 @@ def run_all():
             round(streams_stats["records_per_sec"]),
         ]
     )
+    overhead = run_tracing_overhead_scenario(max(_scaled(30_000), 5_000))
+    rows.append(
+        [
+            "produce (no-tracer baseline)",
+            overhead["records"],
+            f"{overhead['baseline_s']:.2f}",
+            round(overhead["records"] / overhead["baseline_s"])
+            if overhead["baseline_s"]
+            else 0,
+        ]
+    )
+    rows.append(
+        [
+            "produce (tracing disabled)",
+            overhead["records"],
+            f"{overhead['disabled_s']:.2f}",
+            round(overhead["records"] / overhead["disabled_s"])
+            if overhead["disabled_s"]
+            else 0,
+        ]
+    )
     table = format_table(
         ["scenario", "records", "wall (s)", "records/sec (wall)"], rows
     )
     record_table("Hot-path microbenchmark — wall-clock records/sec", table)
+    # Disabled tracing must stay within 5% of the guard-free baseline.
+    assert overhead["throughput_ratio"] >= 0.95, (
+        f"disabled-tracer produce throughput fell to "
+        f"{overhead['throughput_ratio']:.3f}x of the no-tracer baseline"
+    )
     return {
         "fetch": fetch_stats,
         "produce": produce_stats,
         "streams": streams_stats,
+        "tracing_overhead": overhead,
         "table": table,
     }
 
@@ -192,6 +260,8 @@ def test_hotpath_throughput(benchmark):
     assert stats["streams"]["records"] > 0
     # The read-committed pager must skip the aborted spans and markers.
     assert stats["fetch"]["returned"] < stats["fetch"]["scanned"]
+    # Tracing-disabled overhead stays within 5% (also asserted in run_all).
+    assert stats["tracing_overhead"]["throughput_ratio"] >= 0.95
 
 
 if __name__ == "__main__":

@@ -1,0 +1,93 @@
+"""Observability bench — the Figure 5.b reduce workload with tracing on.
+
+Runs one traced EOS pass of the paper's benchmark scenario and checks the
+observability layer's load-bearing promises:
+
+* the per-stage decomposition (produce/queue/process/commit) telescopes:
+  stage sums match the e2e histogram mean within 1%;
+* every committed output carried the full set of stage stamps;
+* the exported Chrome trace is schema-valid (``ph``/``ts``/``pid``/``tid``/
+  ``name``, integer pid/tid) and is written to ``results/`` so it can be
+  dropped into Perfetto (https://ui.perfetto.dev) directly;
+* the telemetry reporter produced virtual-time samples.
+
+The breakdown table lands in EXPERIMENTS.md ("Figure 5.b stage breakdown").
+"""
+
+from __future__ import annotations
+
+import json
+
+from harness import run_streams_reduce
+from harness_report import RESULTS_DIR, record_table
+
+from repro.config import EXACTLY_ONCE
+from repro.metrics.reporter import format_table
+from repro.obs import STAGES, chrome_trace, run_summary, write_chrome_trace
+
+_state = {}
+
+
+def _run():
+    result = run_streams_reduce(
+        output_partitions=10,
+        guarantee=EXACTLY_ONCE,
+        commit_interval_ms=100.0,
+        duration_ms=2000.0,
+        rate_per_sec=5000.0,
+        trace=True,
+    )
+    _state["result"] = result
+    return result
+
+
+def test_obs_stage_breakdown(benchmark):
+    benchmark.pedantic(_run, rounds=1, iterations=1)
+    result = _state["result"]
+    tracker = result.latency
+
+    # The traced run produced committed output, and every output record
+    # carried the full telescoping stamp set.
+    assert tracker.count > 0
+    assert tracker.stamped_count == tracker.count
+
+    # Stage sums telescope to the e2e mean (1% tolerance for float
+    # accumulation — by construction the stamps partition each latency).
+    breakdown = tracker.breakdown()
+    stage_sum = tracker.stage_sum_ms()
+    e2e_mean = tracker.mean_ms()
+    assert abs(stage_sum - e2e_mean) <= 0.01 * e2e_mean, (
+        f"stage sum {stage_sum:.3f} ms vs e2e mean {e2e_mean:.3f} ms"
+    )
+
+    # The Chrome trace export is schema-valid and Perfetto-loadable.
+    trace = chrome_trace(result.tracer)
+    events = trace["traceEvents"]
+    assert events, "traced run produced no events"
+    for event in events:
+        assert {"ph", "ts", "pid", "tid", "name"} <= set(event)
+        assert event["ph"] in ("X", "i", "M")
+        assert isinstance(event["pid"], int) and isinstance(event["tid"], int)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = write_chrome_trace(result.tracer, str(RESULTS_DIR / "fig5b_trace.json"))
+    json.loads(open(path).read())    # round-trips as valid JSON
+
+    # Telemetry sampled on the virtual-time interval.
+    assert result.telemetry is not None and result.telemetry.samples
+
+    rows = [
+        [stage, round(breakdown[stage], 3),
+         f"{100.0 * breakdown[stage] / e2e_mean:.1f}%"]
+        for stage in STAGES
+    ]
+    rows.append(["(stage sum)", round(stage_sum, 3), ""])
+    rows.append(["(e2e mean)", round(e2e_mean, 3), ""])
+    record_table(
+        "Figure 5b stage breakdown — e2e latency by pipeline stage "
+        "(EOS, 100 ms commit)",
+        format_table(["stage", "mean (ms)", "share"], rows),
+    )
+    record_table(
+        "Traced run summary (EOS, 100 ms commit)",
+        run_summary(result.tracer, registry=None, stages=tracker),
+    )

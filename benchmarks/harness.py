@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.barriers.engine import BarrierEngine
 from repro.barriers.object_store import ObjectStore
@@ -27,6 +27,7 @@ from repro.config import (
     StreamsConfig,
 )
 from repro.metrics.latency import LatencyTracker
+from repro.obs import StageLatencyTracker, TelemetryReporter
 from repro.sim.scheduler import Driver
 from repro.streams import KafkaStreams, StreamsBuilder
 from repro.workloads.generator import WorkloadGenerator
@@ -53,6 +54,9 @@ class BenchResult:
     elapsed_ms: float = 0.0
     latency: LatencyTracker = field(default_factory=LatencyTracker)
     extra: Dict[str, float] = field(default_factory=dict)
+    # Populated only for traced runs (run_streams_reduce(trace=True)).
+    tracer: Optional[Any] = None
+    telemetry: Optional[Any] = None
 
     @property
     def throughput_per_sec(self) -> float:
@@ -97,10 +101,20 @@ def run_streams_reduce(
     key_space: Optional[int] = None,
     seed: int = 101,
     label: Optional[str] = None,
+    trace: bool = False,
 ) -> BenchResult:
-    """One full run of the Figure 5 scenario; returns throughput+latency."""
+    """One full run of the Figure 5 scenario; returns throughput+latency.
+
+    With ``trace=True`` the cluster's tracer records the full span timeline,
+    stage stamps decompose end-to-end latency (see
+    :class:`repro.obs.StageLatencyTracker`), and a telemetry reporter samples
+    cluster metrics every commit interval; the result carries ``tracer`` and
+    ``telemetry`` for export.
+    """
     duration_ms *= bench_scale()
     cluster = make_bench_cluster(seed)
+    if trace:
+        cluster.enable_tracing()
     cluster.create_topic("input", input_partitions)
     cluster.create_topic("output", output_partitions)
     app = KafkaStreams(
@@ -126,13 +140,23 @@ def run_streams_reduce(
         cluster, ConsumerConfig(client_id="verifier", isolation_level=isolation)
     )
     sink_consumer.assign(cluster.partitions_for("output"))
-    tracker = LatencyTracker()
+    # StageLatencyTracker degrades to a plain LatencyTracker when tracing
+    # is off (no stage stamps in the headers → no stage histograms).
+    tracker = StageLatencyTracker()
 
     # One driver schedules the app and the sink drain; the drain reports
     # records seen, so the driver keeps cycling while output still lands.
-    driver = Driver(cluster.clock)
+    driver = Driver(cluster.clock, tracer=cluster.tracer)
     driver.register(app)
     driver.register(_SinkDrain(cluster, sink_consumer, tracker))
+    telemetry = None
+    if trace:
+        telemetry = TelemetryReporter(
+            cluster.clock,
+            {"cluster": cluster.metrics},
+            interval_ms=commit_interval_ms,
+        )
+        driver.register(telemetry)
 
     start = cluster.clock.now
     deadline = start + duration_ms
@@ -161,6 +185,10 @@ def run_streams_reduce(
     result.extra["outputs_observed"] = tracker.count
     result.extra["scheduler_cycles"] = driver.cycles
     result.extra["idle_skipped_ms"] = round(driver.idle_skipped_ms, 3)
+    if trace:
+        result.extra["stamped_outputs"] = tracker.stamped_count
+        result.tracer = cluster.tracer
+        result.telemetry = telemetry
     return result
 
 

@@ -32,6 +32,7 @@ from repro.log.compaction import compact_log
 from repro.log.partition_log import AppendResult
 from repro.log.record import RecordBatch
 from repro.metrics.registry import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.sim.clock import SimClock
 from repro.sim.network import Network, NetworkCosts
 
@@ -63,6 +64,7 @@ class Cluster:
         clock: Optional[SimClock] = None,
         network: Optional[Network] = None,
         seed: int = 17,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if num_brokers < 1:
             raise ValueError("need at least one broker")
@@ -72,9 +74,15 @@ class Cluster:
         # One registry for brokers and the network, so fault-injection
         # counters land next to the broker counters chaos runs report.
         self.metrics = MetricsRegistry()
+        # Always a real (if disabled) tracer on the shared clock, so every
+        # component can cache the reference at construction and tracing can
+        # be toggled at any point (`cluster.tracer.enabled = True`).
+        # None check, not truthiness: an empty Tracer is falsy (__len__).
+        self.tracer = Tracer(self.clock) if tracer is None else tracer
         self.network = network or Network(
             self.clock, NetworkCosts(), seed=seed, metrics=self.metrics
         )
+        self.network.tracer = self.tracer
         self.brokers: Dict[int, Broker] = {
             i: Broker(broker_id=i) for i in range(num_brokers)
         }
@@ -236,9 +244,25 @@ class Cluster:
         candidates = sorted(state.isr - ({state.leader} if state.leader is not None else set()))
         if not candidates:
             return None
+        old = state.leader
         state.leader = candidates[0]
         self._metadata_epoch += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "partition.leader_change",
+                f"broker-{state.leader}",
+                str(tp),
+                category="lifecycle",
+                previous=old,
+            )
         return state.leader
+
+    # -- tracing ---------------------------------------------------------------------
+
+    def enable_tracing(self) -> Tracer:
+        """Switch the cluster-wide tracer on; returns it for convenience."""
+        self.tracer.enabled = True
+        return self.tracer
 
     # -- RPC handlers (called through the Network by clients) -----------------------
 
@@ -311,6 +335,11 @@ class Cluster:
         broker.alive = False
         self.network.set_broker_down(broker_id)
         self._metadata_epoch += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "broker.crash", f"broker-{broker_id}", "lifecycle",
+                category="fault",
+            )
         coordinator_moved = False
         for tp, state in self._partitions.items():
             was_leader = state.leader == broker_id
@@ -330,6 +359,11 @@ class Cluster:
         broker.alive = True
         self.network.set_broker_down(broker_id, down=False)
         self._metadata_epoch += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "broker.restart", f"broker-{broker_id}", "lifecycle",
+                category="fault",
+            )
         for state in self._partitions.values():
             state.on_broker_restart(broker_id)
 

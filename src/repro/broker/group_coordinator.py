@@ -145,6 +145,12 @@ class GroupCoordinator:
             liveness=liveness,
         )
         group.members[member_id] = member
+        tracer = self._cluster.tracer
+        if tracer.enabled:
+            tracer.event(
+                "group.join", "group-coordinator", group_id,
+                category="group", member=member_id,
+            )
         self._arm_session_timer(group, member)
         self._rebalance(group)
         return member_id, group.generation
@@ -272,6 +278,12 @@ class GroupCoordinator:
             self._remove_member(group, member_id)
             evicted.append(member_id)
             affected[group_id] = group
+            tracer = self._cluster.tracer
+            if tracer.enabled:
+                tracer.event(
+                    "group.session_expired", "group-coordinator", group_id,
+                    category="group", member=member_id,
+                )
         for group in affected.values():
             if group.members:
                 self._rebalance(group)
@@ -293,6 +305,20 @@ class GroupCoordinator:
         Revocation barrier first: every member's listener runs (committing
         in-flight work) before partitions change hands.
         """
+        tracer = self._cluster.tracer
+        if tracer.enabled:
+            # The span covers the revocation barrier (whose commits charge
+            # latency) through reassignment; generation is stamped at close.
+            with tracer.begin(
+                "group.rebalance", "group-coordinator", group.group_id,
+                category="group", members=len(group.members),
+            ) as span:
+                self._do_rebalance(group)
+                span.add(generation=group.generation)
+            return
+        self._do_rebalance(group)
+
+    def _do_rebalance(self, group: GroupState) -> None:
         for member_id in sorted(group.members):
             listener = self._rebalance_listeners.get((group.group_id, member_id))
             if listener is not None:

@@ -240,6 +240,16 @@ class TransactionCoordinator:
         return aborted
 
     def _abort_for_timeout(self, txn: TxnMetadata) -> None:
+        tracer = self._cluster.tracer
+        if tracer.enabled:
+            tracer.event(
+                "txn.timeout_abort",
+                "txn-coordinator",
+                txn.transactional_id,
+                category="txn",
+                started_ms=txn.txn_start_ms,
+                timeout_ms=txn.timeout_ms,
+            )
         # Bump the epoch so the timed-out producer is fenced when it
         # eventually tries to commit.
         txn.producer_epoch += 1
@@ -345,6 +355,19 @@ class TransactionCoordinator:
 
     def _persist(self, txn: TxnMetadata) -> None:
         """Append the latest metadata to the transaction log (replicated)."""
+        tracer = self._cluster.tracer
+        if tracer.enabled:
+            # Every durable 2PC transition flows through here — synchronous
+            # _transition() calls and the scheduled phase-two finishes alike
+            # — so one event site covers the whole state machine.
+            tracer.event(
+                f"txn.{txn.state}",
+                "txn-coordinator",
+                txn.transactional_id,
+                category="txn",
+                epoch=txn.producer_epoch,
+                partitions=len(txn.partitions),
+            )
         tp = self.txn_log_partition(txn.transactional_id)
         record = Record(
             key=txn.transactional_id,
@@ -431,6 +454,16 @@ class TransactionCoordinator:
         )
         self._cluster.partition_state(tp).append_marker(marker)
         self.markers_written += 1
+        tracer = self._cluster.tracer
+        if tracer.enabled:
+            tracer.event(
+                "txn.marker",
+                "txn-coordinator",
+                txn.transactional_id,
+                category="txn",
+                marker=marker_type,
+                partition=str(tp),
+            )
 
     def force_complete_pending(self, transactional_id: str) -> None:
         """Synchronously finish a transaction whose phase two is still in

@@ -21,6 +21,7 @@ from repro.errors import (
     RetriableError,
 )
 from repro.log.record import Record
+from repro.obs.stages import FETCHED_AT_HEADER
 
 
 class Consumer:
@@ -31,6 +32,11 @@ class Consumer:
         self.config = config or ConsumerConfig()
         self.config.validate()
         self._network = cluster.network
+        self._tracer = cluster.tracer
+        # Streams instances set this so fetched records carry the
+        # `__t_fetched` stage stamp. Off for plain consumers — the
+        # verifier's final fetch must not overwrite the pipeline's stamp.
+        self.stage_stamping = False
 
         self._subscription: Tuple[str, ...] = ()
         self._assignment: List[TopicPartition] = []
@@ -212,6 +218,8 @@ class Consumer:
             position = self._reset_offset(tp)
             self._positions[tp] = position
         leader = self._leader_of(tp)
+        traced = self._tracer.enabled
+        fetch_started = self.cluster.clock.now if traced else 0.0
         result = self._network.call(
             "fetch",
             leader,
@@ -227,12 +235,19 @@ class Consumer:
         # (Direct construction — dataclasses.replace costs ~3x as much on
         # this per-record path.)
         topic, partition = tp
+        extra: Dict[str, Any] = {"__topic": topic, "__partition": partition}
+        if traced:
+            self.cluster.metrics.histogram(
+                "fetch_latency_ms", topic=topic, partition=partition
+            ).observe(self.cluster.clock.now - fetch_started)
+            if self.stage_stamping:
+                extra[FETCHED_AT_HEADER] = self.cluster.clock.now
         return [
             Record(
                 key=r.key,
                 value=r.value,
                 timestamp=r.timestamp,
-                headers={**r.headers, "__topic": topic, "__partition": partition},
+                headers={**r.headers, **extra},
                 offset=r.offset,
                 producer_id=r.producer_id,
                 producer_epoch=r.producer_epoch,

@@ -29,6 +29,7 @@ from repro.errors import (
     RetriableError,
 )
 from repro.log.record import NO_SEQUENCE, Record, RecordBatch
+from repro.obs.tracer import TRACE_ID_HEADER
 from repro.util import partition_for
 
 
@@ -41,6 +42,7 @@ class Producer:
         self.config.validate()
         self._network = cluster.network
         self._clock = cluster.clock
+        self._tracer = cluster.tracer
 
         self.producer_id = -1
         self.producer_epoch = -1
@@ -286,6 +288,10 @@ class Producer:
             timestamp=self._clock.now if timestamp is None else timestamp,
             headers=dict(headers or {}),
         )
+        if self._tracer.enabled and TRACE_ID_HEADER not in record.headers:
+            # First send of a fresh record: root of its causal chain. Hops
+            # (repartition, changelog, sink) keep the inherited id.
+            record.headers[TRACE_ID_HEADER] = self._tracer.new_trace_id()
         bucket = self._pending.setdefault(tp, [])
         bucket.append(record)
         if len(bucket) >= self.config.batch_max_records:
@@ -351,6 +357,7 @@ class Producer:
         deadline = self._clock.now + self.config.delivery_timeout_ms
         backoff = self.config.retry_backoff_ms
         attempts = 0
+        send_started = self._clock.now if self._tracer.enabled else 0.0
         while True:
             try:
                 leader = self._leader_of(tp)
@@ -377,6 +384,12 @@ class Producer:
                 backoff = min(backoff * 2, self.config.retry_backoff_max_ms)
         if base_sequence != NO_SEQUENCE:
             self._sequences[tp] = base_sequence + len(records)
+        if self._tracer.enabled:
+            # Acked-produce latency, labeled per partition (includes any
+            # retries/backoff this batch rode through).
+            self.cluster.metrics.histogram(
+                "produce_latency_ms", topic=tp.topic, partition=tp.partition
+            ).observe(self._clock.now - send_started)
         self.records_sent += len(records)
         self.batches_sent += 1
 

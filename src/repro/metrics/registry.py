@@ -1,9 +1,24 @@
-"""Minimal metrics primitives used by benchmarks and examples."""
+"""Minimal metrics primitives used by benchmarks and examples.
+
+Metrics can carry labels, Prometheus-style: ``registry.counter("fetched",
+topic="orders", partition=0)`` registers under the key
+``fetched{partition=0,topic=orders}`` (label keys sorted, so the same
+label set always yields the same key). Unlabeled metrics keep their bare
+name, so existing call sites are untouched.
+"""
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
+
+
+def labeled_name(name: str, labels: Dict[str, Any]) -> str:
+    """Canonical registry key for a metric with labels."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
 
 
 class Counter:
@@ -23,19 +38,49 @@ class Counter:
         self.value = 0
 
 
+class Gauge:
+    """A value that can go up and down; reports its last-set value."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
 class Histogram:
-    """Stores observations; exposes mean and percentiles."""
+    """Stores observations; exposes mean and percentiles.
+
+    The sorted view is computed lazily and cached: ``snapshot()`` asks for
+    three percentiles plus min/max, and the telemetry reporter snapshots
+    every histogram on every sample tick, so re-sorting per call would be
+    O(n log n) per percentile instead of per batch of observations.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._values: List[float] = []
+        self._sorted: Optional[List[float]] = None
 
     def observe(self, value: float) -> None:
         self._values.append(value)
+        self._sorted = None
 
     @property
     def count(self) -> int:
         return len(self._values)
+
+    def _ordered(self) -> List[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self._values)
+        return self._sorted
 
     def mean(self) -> float:
         if not self._values:
@@ -48,7 +93,7 @@ class Histogram:
             raise ValueError("percentile must be in [0, 100]")
         if not self._values:
             return 0.0
-        ordered = sorted(self._values)
+        ordered = self._ordered()
         if len(ordered) == 1:
             return ordered[0]
         rank = (p / 100) * (len(ordered) - 1)
@@ -61,10 +106,10 @@ class Histogram:
         return ordered[low] + (ordered[high] - ordered[low]) * frac
 
     def max(self) -> float:
-        return max(self._values) if self._values else 0.0
+        return self._ordered()[-1] if self._values else 0.0
 
     def min(self) -> float:
-        return min(self._values) if self._values else 0.0
+        return self._ordered()[0] if self._values else 0.0
 
     def snapshot(self) -> Dict[str, float]:
         """Summary stats at a point in time (chaos/bench reporting)."""
@@ -79,32 +124,45 @@ class Histogram:
     def reset(self) -> None:
         """Discard all observations (e.g. between chaos-run phases)."""
         self._values.clear()
+        self._sorted = None
 
 
 class MetricsRegistry:
-    """Named counters and histograms."""
+    """Named counters, gauges, and histograms, with optional labels."""
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
 
-    def counter(self, name: str) -> Counter:
-        return self._counters.setdefault(name, Counter(name))
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = labeled_name(name, labels)
+        return self._counters.setdefault(key, Counter(key))
 
-    def histogram(self, name: str) -> Histogram:
-        return self._histograms.setdefault(name, Histogram(name))
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = labeled_name(name, labels)
+        return self._gauges.setdefault(key, Gauge(key))
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        key = labeled_name(name, labels)
+        return self._histograms.setdefault(key, Histogram(key))
 
     def counters(self) -> Dict[str, int]:
         return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def gauges(self) -> Dict[str, float]:
+        return {name: g.value for name, g in sorted(self._gauges.items())}
 
     def histograms(self) -> Dict[str, Dict[str, float]]:
         """Snapshot of every histogram, keyed by name."""
         return {name: h.snapshot() for name, h in sorted(self._histograms.items())}
 
     def reset(self) -> None:
-        """Zero every counter and clear every histogram (keeps the names
-        registered, so held references stay valid)."""
+        """Zero every counter/gauge and clear every histogram (keeps the
+        names registered, so held references stay valid)."""
         for counter in self._counters.values():
             counter.reset()
+        for gauge in self._gauges.values():
+            gauge.reset()
         for histogram in self._histograms.values():
             histogram.reset()

@@ -1,0 +1,45 @@
+"""Observability over virtual time: tracing, telemetry, exporters.
+
+See :mod:`repro.obs.tracer` for the span model, :mod:`repro.obs.stages`
+for the per-stage latency decomposition, :mod:`repro.obs.telemetry` for
+interval sampling, :mod:`repro.obs.export` for the JSONL /
+Chrome-trace / summary exporters, and :mod:`repro.obs.debug` for failure
+debug bundles.
+"""
+
+from repro.obs.debug import dump_debug_bundle
+from repro.obs.export import (
+    chrome_trace,
+    run_summary,
+    span_log_lines,
+    write_chrome_trace,
+    write_span_log,
+)
+from repro.obs.stages import (
+    EMITTED_AT_HEADER,
+    FETCHED_AT_HEADER,
+    PROCESSED_AT_HEADER,
+    STAGES,
+    StageLatencyTracker,
+)
+from repro.obs.telemetry import TelemetryReporter
+from repro.obs.tracer import NOOP_TRACER, Span, TRACE_ID_HEADER, Tracer
+
+__all__ = [
+    "NOOP_TRACER",
+    "Span",
+    "TRACE_ID_HEADER",
+    "Tracer",
+    "chrome_trace",
+    "run_summary",
+    "span_log_lines",
+    "write_chrome_trace",
+    "write_span_log",
+    "EMITTED_AT_HEADER",
+    "FETCHED_AT_HEADER",
+    "PROCESSED_AT_HEADER",
+    "STAGES",
+    "StageLatencyTracker",
+    "TelemetryReporter",
+    "dump_debug_bundle",
+]

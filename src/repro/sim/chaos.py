@@ -32,8 +32,9 @@ from repro.broker.partition import (
     TRANSACTION_STATE_TOPIC,
     TopicPartition,
 )
+from repro.obs.debug import dump_debug_bundle
 from repro.sim.failures import FailureInjector
-from repro.sim.invariants import InvariantSuite
+from repro.sim.invariants import InvariantSuite, InvariantViolation
 
 # The full fault repertoire; trim via ChaosConfig.kinds to focus a run.
 ALL_KINDS = (
@@ -89,7 +90,7 @@ class ChaosController:
         app.run_for(chaos.config.horizon_ms)
         chaos.quiesce()                  # stop injecting, apply repairs
         app.run_until_idle()             # drain and commit
-        suite.check_all(cluster, final=True)
+        chaos.final_check()              # invariants, with debug dump on failure
     """
 
     def __init__(
@@ -158,15 +159,53 @@ class ChaosController:
         if self.invariants is not None:
             now = self.cluster.clock.now
             if now - self._last_check_ms >= self.config.invariant_check_interval_ms:
-                self.invariants.check_all(self.cluster, final=False)
+                self.check_invariants(final=False)
                 self._last_check_ms = now
         return 0
+
+    # -- invariant checking with failure forensics ---------------------------------------
+
+    def check_invariants(self, final: bool = False) -> None:
+        """Run the invariant suite; on violation, dump a debug bundle
+        (span log, Chrome trace, metrics, fault timeline) and re-raise
+        with the bundle path appended to the assertion message."""
+        if self.invariants is None:
+            return
+        try:
+            self.invariants.check_all(self.cluster, final=final)
+        except InvariantViolation as exc:
+            path = dump_debug_bundle(
+                f"chaos-seed{self.seed}",
+                self.cluster.tracer,
+                registries={"cluster": self.cluster.metrics},
+                timeline=self.timeline,
+            )
+            raise InvariantViolation(f"{exc} [debug bundle: {path}]") from exc
+
+    def final_check(self) -> None:
+        """The end-of-run invariant pass (committed-output equality etc.)."""
+        self.check_invariants(final=True)
 
     # -- event application ---------------------------------------------------------------
 
     def _record(self, description: str) -> None:
         self.timeline.append((self.cluster.clock.now, description))
         self.faults_injected += 1
+        tracer = self.cluster.tracer
+        if tracer.enabled:
+            tracer.event(
+                "chaos.fault", "chaos", "faults", category="chaos",
+                description=description,
+            )
+
+    def _record_repair(self, description: str) -> None:
+        self.timeline.append((self.cluster.clock.now, description))
+        tracer = self.cluster.tracer
+        if tracer.enabled:
+            tracer.event(
+                "chaos.repair", "chaos", "repairs", category="chaos",
+                description=description,
+            )
 
     def _skip(self, kind: str) -> None:
         self.faults_skipped += 1
@@ -199,9 +238,7 @@ class ChaosController:
     def _restart_broker(self, broker_id: int) -> None:
         self._broker_repairs.pop(broker_id, None)
         self.cluster.restart_broker(broker_id)
-        self.timeline.append(
-            (self.cluster.clock.now, f"repair: restart broker {broker_id}")
-        )
+        self._record_repair(f"repair: restart broker {broker_id}")
 
     def _apply_broker_crash(self) -> None:
         candidates = self._crashable_brokers()
@@ -269,12 +306,9 @@ class ChaosController:
             (a, t) for a, t in self._instance_repairs if not (a is app and t.fired)
         ]
         instance = app.add_instance()
-        self.timeline.append(
-            (
-                self.cluster.clock.now,
-                f"repair: add instance {instance.instance_id} to "
-                f"{app.config.application_id}",
-            )
+        self._record_repair(
+            f"repair: add instance {instance.instance_id} to "
+            f"{app.config.application_id}"
         )
 
     def _apply_ack_drop(self) -> None:

@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import BrokerUnavailableError, RequestTimeoutError
 from repro.metrics.registry import MetricsRegistry
+from repro.obs.tracer import NOOP_TRACER, Tracer
 from repro.sim.clock import SimClock
 
 
@@ -127,6 +128,9 @@ class Network:
         # Injected-fault observability: chaos runs report what was actually
         # injected per kind and per api through the shared registry.
         self.metrics = metrics or MetricsRegistry()
+        # The cluster that owns this network replaces the no-op tracer with
+        # its own; RPC spans then cover exactly the latency charged here.
+        self.tracer: Tracer = NOOP_TRACER
 
     # -- fault control -------------------------------------------------------
 
@@ -194,6 +198,28 @@ class Network:
         raises — exactly the ambiguity a real sender faces. ``src`` is the
         caller's identity (client id), matched by link-level fault rules.
         """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._dispatch(api, dst, fn, base_cost_ms, src)
+        handle = tracer.begin(
+            api, f"broker-{dst}", api, category="rpc", src=src or ""
+        )
+        try:
+            return self._dispatch(api, dst, fn, base_cost_ms, src)
+        except Exception as exc:
+            handle.add(error=type(exc).__name__)
+            raise
+        finally:
+            handle.end()
+
+    def _dispatch(
+        self,
+        api: str,
+        dst: int,
+        fn: Callable[[], Any],
+        base_cost_ms: Optional[float],
+        src: Optional[str],
+    ) -> Any:
         self.rpc_counts[api] = self.rpc_counts.get(api, 0) + 1
         if dst in self._down:
             raise BrokerUnavailableError(f"broker {dst} is down ({api})")

@@ -21,8 +21,9 @@ toward it. Idle time is free, and the amount skipped is observable via
 
 from __future__ import annotations
 
-from typing import Any, List
+from typing import Any, List, Optional
 
+from repro.obs.tracer import NOOP_TRACER, Tracer
 from repro.sim.clock import SimClock
 
 # After the final flush, transaction markers written asynchronously (the
@@ -42,8 +43,13 @@ class Driver:
     output. Registration order is poll order, so runs are deterministic.
     """
 
-    def __init__(self, clock: SimClock) -> None:
+    def __init__(self, clock: SimClock, tracer: Optional[Tracer] = None) -> None:
         self.clock = clock
+        # Scheduler-level trace events (idle jumps, flush passes) land on
+        # the same timeline as the components'; defaults to a no-op. An
+        # explicit None check: Tracer defines __len__, so a tracer with no
+        # spans yet is falsy and `tracer or NOOP_TRACER` would discard it.
+        self.tracer = NOOP_TRACER if tracer is None else tracer
         self._actors: List[Any] = []
         # Observability: how much work the scheduler did and how much idle
         # time it skipped (the figure benches report these).
@@ -83,6 +89,10 @@ class Driver:
     def flush_all(self) -> None:
         """Ask every actor to commit/emit pending work (if it supports it)."""
         self.flushes += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "driver.flush", "driver", "scheduler", category="driver"
+            )
         for actor in list(self._actors):
             flush = getattr(actor, "flush", None)
             if flush is not None:
@@ -95,7 +105,15 @@ class Driver:
         if deadline is None or deadline > limit_ms:
             return False
         skip = max(0.0, deadline - self.clock.now)
-        self.clock.advance_to(deadline)
+        if self.tracer.enabled and skip > 0:
+            # Recorded as a span covering the skipped gap, so Perfetto shows
+            # idle time as explicit blocks on the driver track.
+            span = self.tracer.begin("driver.idle_jump", "driver", "scheduler",
+                                     category="driver", skipped_ms=round(skip, 3))
+            self.clock.advance_to(deadline)
+            span.end()
+        else:
+            self.clock.advance_to(deadline)
         self.idle_jumps += 1
         self.idle_skipped_ms += skip
         return True

@@ -76,7 +76,7 @@ class KafkaStreams:
         # The app is itself an actor (poll/flush); its private driver backs
         # run_until_idle/run_for. Co-scheduling with other engines works by
         # registering the app with an external Driver instead.
-        self._driver = Driver(cluster.clock)
+        self._driver = Driver(cluster.clock, tracer=cluster.tracer)
         self._driver.register(self)
 
     # -- topic management ---------------------------------------------------------------

@@ -75,6 +75,13 @@ class StreamsInstance:
                 session_timeout_ms=self.config.session_timeout_ms,
             ),
         )
+        # The pipeline's own consumer stamps `__t_fetched` on records (when
+        # tracing is on) so e2e latency decomposes into stages; downstream
+        # verifier consumers leave the stamps alone.
+        self.consumer.stage_stamping = True
+        self._tracer = self.cluster.tracer
+        self._trace_pid = f"streams-{self.config.application_id}"
+        self._trace_tid = f"instance-{instance_id}"
         self._task_producers: Dict[TaskId, Producer] = {}
         self._thread_producer: Optional[Producer] = None
         if not self.config.eos_per_task_producer:
@@ -180,6 +187,14 @@ class StreamsInstance:
                 raise TaskMigratedError("partitions lost: member was kicked")
             self._sync_tasks()
             self._route(records)
+            if self._tracer.enabled:
+                # Post-route queue depths, one labeled gauge per task; the
+                # telemetry reporter turns these into time series.
+                metrics = self.cluster.metrics
+                for task_id, task in self.tasks.items():
+                    metrics.gauge(
+                        "task_queue_depth", task=repr(task_id)
+                    ).set(task.buffered())
             if self.config.eos_enabled:
                 self._ensure_transactions()
             # Process one record per task per round: tasks interleave
@@ -427,7 +442,20 @@ class StreamsInstance:
                 self.commits_deferred += 1
                 return
         try:
-            if self.config.eos_enabled:
+            if self._tracer.enabled:
+                with self._tracer.begin(
+                    "instance.commit",
+                    self._trace_pid,
+                    self._trace_tid,
+                    category="commit",
+                    mode="eos" if self.config.eos_enabled else "alos",
+                    tasks=len(self.tasks),
+                ):
+                    if self.config.eos_enabled:
+                        self._commit_eos()
+                    else:
+                        self._commit_alos()
+            elif self.config.eos_enabled:
                 self._commit_eos()
             else:
                 self._commit_alos()

@@ -35,6 +35,23 @@ def restore_store(
     ``restore_put(key, value)``.
     """
     tp = TopicPartition(changelog_topic, partition)
+    tracer = cluster.tracer
+    if not tracer.enabled:
+        return _replay(cluster, store, tp, from_offset)
+    with tracer.begin(
+        "restore",
+        "restore",
+        str(tp),
+        category="restore",
+        store=store.name,
+        from_offset=from_offset,
+    ) as span:
+        applied, next_offset = _replay(cluster, store, tp, from_offset)
+        span.add(applied=applied, next_offset=next_offset)
+    return applied, next_offset
+
+
+def _replay(cluster: "Cluster", store, tp: TopicPartition, from_offset: int):
     log = cluster.partition_state(tp).leader_log()
     result = fetch(
         log,

@@ -18,6 +18,8 @@ from typing import Any, Callable, Dict, List, NamedTuple, Optional
 from repro.broker.partition import TopicPartition
 from repro.errors import TopologyError
 from repro.log.record import Record
+from repro.obs.stages import EMITTED_AT_HEADER, PROCESSED_AT_HEADER
+from repro.obs.tracer import TRACE_ID_HEADER
 from repro.streams.processor import (
     PUNCTUATION_STREAM_TIME,
     PUNCTUATION_WALL_CLOCK,
@@ -83,6 +85,13 @@ class StreamTask:
         self.records_processed = 0
         self.restored_records = 0
         self._restore_listener = restore_listener
+        self._tracer = cluster.tracer
+        # Trace track: one process per application, one lane per task.
+        self._trace_pid = f"streams-{application_id}"
+        self._trace_tid = repr(task_id)
+        # Trace id of the record currently being processed; the changelog
+        # hook has no record context, so it propagates this instead.
+        self._current_trace: Optional[str] = None
 
         self.partitions = sorted(
             TopicPartition(resolve(topic), task_id.partition)
@@ -158,13 +167,38 @@ class StreamTask:
         topic = spec.changelog_topic(self.application_id)
         partition = self.task_id.partition
 
+        store_name = spec.name
+
         def on_update(key: Any, value: Any) -> None:
+            tracer = self._tracer
+            if not tracer.enabled:
+                self.producer.send(
+                    topic,
+                    key=key,
+                    value=value,
+                    timestamp=max(self.stream_time, 0.0),
+                    partition=partition,
+                )
+                return
+            trace = self._current_trace or ""
+            tracer.event(
+                "store.put",
+                self._trace_pid,
+                self._trace_tid,
+                category="state",
+                store=store_name,
+                changelog=topic,
+                trace=trace,
+            )
+            # Propagate the triggering record's trace id onto the changelog
+            # append so the causal chain survives the state-store hop.
             self.producer.send(
                 topic,
                 key=key,
                 value=value,
                 timestamp=max(self.stream_time, 0.0),
                 partition=partition,
+                headers={TRACE_ID_HEADER: trace} if trace else None,
             )
 
         return on_update
@@ -228,8 +262,24 @@ class StreamTask:
             if children is None:
                 children = self._source_children[tp.topic]
                 self._children_by_tp[tp] = children
+            traced = self._tracer.enabled
+            if traced:
+                record.headers[PROCESSED_AT_HEADER] = self.cluster.clock.now
+                self._current_trace = record.headers.get(TRACE_ID_HEADER)
+                handle = self._tracer.begin(
+                    "task.process",
+                    self._trace_pid,
+                    self._trace_tid,
+                    category="task",
+                    topic=tp.topic,
+                    offset=record.offset,
+                    trace=self._current_trace or "",
+                )
             for child in children:
                 self.process_at(child, record)
+            if traced:
+                handle.end()
+                self._current_trace = None
             self._consumed[tp] = record.offset + 1
             self.records_processed += 1
             processed += 1
@@ -255,6 +305,15 @@ class StreamTask:
         if isinstance(node, SinkNode):
             self._send_to_sink(node, record)
             return
+        if self._tracer.enabled:
+            with self._tracer.begin(
+                f"process.{node_name}",
+                self._trace_pid,
+                self._trace_tid,
+                category="task",
+            ):
+                self._processors[node_name].process(record)
+            return
         self._processors[node_name].process(record)
 
     def _sink_route(self, node: SinkNode) -> tuple:
@@ -277,13 +336,16 @@ class StreamTask:
             partition = node.partitioner(record.key, record.value, num_partitions)
         else:
             partition = partition_for(record.key, num_partitions)
+        headers = record.headers
+        if self._tracer.enabled:
+            headers = {**headers, EMITTED_AT_HEADER: self.cluster.clock.now}
         self.producer.send(
             topic,
             key=record.key,
             value=record.value,
             timestamp=record.timestamp,
             partition=partition,
-            headers=record.headers,
+            headers=headers,
         )
 
     # -- commit hooks --------------------------------------------------------------------------

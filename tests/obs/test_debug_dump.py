@@ -1,0 +1,97 @@
+"""Chaos failure forensics: the debug bundle.
+
+An invariant violation mid-chaos must leave behind an inspectable bundle
+(span log, Chrome trace, metrics, fault timeline, summary) and name its
+path in the assertion message — the regression here is "a chaos failure
+is just a diff again".
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.metrics.registry import MetricsRegistry
+from repro.obs.debug import DUMP_DIR_ENV, dump_debug_bundle
+from repro.obs.tracer import Tracer
+from repro.sim.chaos import ChaosConfig, ChaosController
+from repro.sim.clock import SimClock
+from repro.sim.invariants import Invariant, InvariantSuite, InvariantViolation
+
+from tests.streams.harness import make_cluster
+
+BUNDLE_FILES = (
+    "spans.jsonl", "trace.json", "metrics.json", "summary.txt"
+)
+
+
+def make_tracer():
+    clock = SimClock()
+    clock.advance(42.0)
+    tracer = Tracer(clock, enabled=True)
+    tracer.event("broker.crash", "broker-1", "lifecycle", category="fault")
+    return tracer
+
+
+class TestDumpBundle:
+    def test_writes_all_files(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("produced").increment(3)
+        path = dump_debug_bundle(
+            "seed7",
+            make_tracer(),
+            registries={"cluster": registry},
+            timeline=[(1.0, "broker_crash b1")],
+            base_dir=str(tmp_path),
+        )
+        assert os.path.basename(path) == "seed7-t42"
+        for fname in BUNDLE_FILES + ("chaos-timeline.txt",):
+            assert os.path.exists(os.path.join(path, fname)), fname
+        metrics = json.load(open(os.path.join(path, "metrics.json")))
+        assert metrics["cluster"]["counters"]["produced"] == 3
+        assert "broker_crash b1" in open(
+            os.path.join(path, "chaos-timeline.txt")
+        ).read()
+        json.loads(open(os.path.join(path, "trace.json")).read())
+
+    def test_repeated_failures_do_not_clobber(self, tmp_path):
+        tracer = make_tracer()
+        first = dump_debug_bundle("x", tracer, base_dir=str(tmp_path))
+        second = dump_debug_bundle("x", tracer, base_dir=str(tmp_path))
+        assert first != second and second.endswith("-1")
+        assert os.path.isdir(first) and os.path.isdir(second)
+
+    def test_env_var_overrides_location(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(DUMP_DIR_ENV, str(tmp_path / "custom"))
+        path = dump_debug_bundle("y", make_tracer())
+        assert path.startswith(str(tmp_path / "custom"))
+
+
+class AlwaysViolated(Invariant):
+    name = "always-violated"
+
+    def check(self, cluster, final: bool = False) -> None:
+        self._fail("deliberately broken for the forensics test")
+
+
+class TestChaosFailureForensics:
+    def test_violation_dumps_bundle_and_names_path(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(DUMP_DIR_ENV, str(tmp_path))
+        cluster = make_cluster(**{"in": 1, "out": 1})
+        cluster.enable_tracing()
+        chaos = ChaosController(
+            cluster,
+            apps=[],
+            seed=1,
+            config=ChaosConfig(horizon_ms=100.0),
+            invariants=InvariantSuite([AlwaysViolated()]),
+        )
+        with pytest.raises(InvariantViolation) as excinfo:
+            chaos.final_check()
+        message = str(excinfo.value)
+        assert "always-violated" in message
+        assert "[debug bundle: " in message
+        bundle = message.rsplit("[debug bundle: ", 1)[1].rstrip("]")
+        assert os.path.isdir(bundle)
+        for fname in BUNDLE_FILES:
+            assert os.path.exists(os.path.join(bundle, fname)), fname

@@ -1,0 +1,118 @@
+"""Exporters: JSONL span log, Chrome trace-event JSON, run summary."""
+
+import json
+
+from repro.metrics.registry import MetricsRegistry
+from repro.obs.export import (
+    chrome_trace,
+    run_summary,
+    span_log_lines,
+    write_chrome_trace,
+    write_span_log,
+)
+from repro.obs.stages import StageLatencyTracker
+from repro.obs.tracer import Tracer
+from repro.sim.clock import SimClock
+
+
+def sample_tracer():
+    clock = SimClock()
+    tracer = Tracer(clock, enabled=True)
+    with tracer.begin("produce", "broker-0", "produce", category="rpc"):
+        clock.advance(1.5)
+    tracer.event("txn.commit", "txn-coordinator", "txn-1", category="txn")
+    clock.advance(0.5)
+    with tracer.begin("task.process", "streams-app", "0_0", category="task"):
+        clock.advance(0.25)
+    return tracer
+
+
+class TestSpanLog:
+    def test_lines_are_canonical_json(self):
+        lines = span_log_lines(sample_tracer())
+        assert len(lines) == 3
+        for line in lines:
+            parsed = json.loads(line)
+            # Canonical: sorted keys, compact separators.
+            assert line == json.dumps(
+                parsed, sort_keys=True, separators=(",", ":")
+            )
+        assert json.loads(lines[0])["name"] == "produce"
+        assert json.loads(lines[1])["ph"] == "i"
+
+    def test_write_span_log(self, tmp_path):
+        path = write_span_log(sample_tracer(), str(tmp_path / "spans.jsonl"))
+        content = open(path).read()
+        assert content.endswith("\n")
+        assert len(content.splitlines()) == 3
+
+    def test_identical_tracers_identical_bytes(self):
+        assert span_log_lines(sample_tracer()) == span_log_lines(sample_tracer())
+
+
+class TestChromeTrace:
+    def test_schema(self):
+        trace = chrome_trace(sample_tracer())
+        events = trace["traceEvents"]
+        assert trace["displayTimeUnit"] == "ms"
+        for event in events:
+            assert {"ph", "ts", "pid", "tid", "name"} <= set(event)
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            assert event["ph"] in ("X", "i", "M")
+
+    def test_process_and_thread_metadata(self):
+        events = chrome_trace(sample_tracer())["traceEvents"]
+        process_names = {
+            e["args"]["name"] for e in events if e["name"] == "process_name"
+        }
+        assert process_names == {"broker-0", "txn-coordinator", "streams-app"}
+        thread_names = {
+            e["args"]["name"] for e in events if e["name"] == "thread_name"
+        }
+        assert {"produce", "txn-1", "0_0"} <= thread_names
+
+    def test_durations_in_microseconds(self):
+        events = chrome_trace(sample_tracer())["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert complete[0]["dur"] == 1500.0          # 1.5 virtual ms
+        instants = [e for e in events if e["ph"] == "i"]
+        assert instants[0]["s"] == "t"
+        assert instants[0]["ts"] == 1500.0
+
+    def test_write_round_trips(self, tmp_path):
+        path = write_chrome_trace(sample_tracer(), str(tmp_path / "t.json"))
+        parsed = json.loads(open(path).read())
+        assert parsed["traceEvents"]
+
+
+class TestRunSummary:
+    def test_sections(self):
+        registry = MetricsRegistry()
+        registry.counter("produced").increment(3)
+        registry.gauge("depth").set(2.0)
+        registry.histogram("lat").observe(1.0)
+        text = run_summary(sample_tracer(), registry=registry)
+        assert "Top spans by total virtual time" in text
+        assert "counts by category" in text
+        assert "produced" in text and "depth" in text and "lat" in text
+
+    def test_stage_breakdown_section(self):
+        tracker = StageLatencyTracker()
+
+        class FakeRecord:
+            headers = {
+                "created_at": 0.0,
+                "__t_fetched": 2.0,
+                "__t_processed": 3.0,
+                "__t_emitted": 4.0,
+            }
+
+        tracker.record_output(FakeRecord(), 10.0)
+        text = run_summary(sample_tracer(), stages=tracker)
+        assert "latency by stage" in text
+        assert "(stage sum)" in text and "(e2e mean)" in text
+
+    def test_no_stage_section_without_stamps(self):
+        text = run_summary(sample_tracer(), stages=StageLatencyTracker())
+        assert "latency by stage" not in text

@@ -81,8 +81,10 @@ def drain(cluster, app):
         app.run_until_idle(max_steps=50_000)
 
 
-def run_chaos(seed, golden, config=None, n=120):
+def run_chaos(seed, golden, config=None, n=120, trace=False):
     cluster = make_cluster(**{"in": 2, "out": 2})
+    if trace:
+        cluster.enable_tracing()
     app = make_app(cluster)
     app.start(2)
     produce_workload(cluster, n)
@@ -103,7 +105,8 @@ def run_chaos(seed, golden, config=None, n=120):
     app.run_for(chaos.config.horizon_ms)
     chaos.quiesce()
     drain(cluster, app)
-    suite.check_all(cluster, final=True)
+    # The controller's final pass dumps a debug bundle on violation.
+    chaos.final_check()
     return cluster, app, chaos, suite
 
 

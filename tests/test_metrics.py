@@ -4,7 +4,13 @@ import pytest
 
 from repro.log.record import Record
 from repro.metrics.latency import CREATED_AT_HEADER, LatencyTracker
-from repro.metrics.registry import Counter, Histogram, MetricsRegistry
+from repro.metrics.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    labeled_name,
+)
 from repro.metrics.reporter import format_series, format_table
 
 
@@ -18,6 +24,56 @@ class TestCounter:
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             Counter("c").increment(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("g")
+        assert gauge.value == 0.0
+        gauge.set(5.0)
+        gauge.add(2.5)
+        gauge.add(-10.0)                 # gauges go down, unlike counters
+        assert gauge.value == -2.5
+
+    def test_reset(self):
+        gauge = Gauge("g")
+        gauge.set(9.0)
+        gauge.reset()
+        assert gauge.value == 0.0
+
+
+class TestLabels:
+    def test_labeled_name_sorts_keys(self):
+        assert labeled_name("fetched", {"topic": "a", "partition": 0}) == (
+            "fetched{partition=0,topic=a}"
+        )
+        assert labeled_name("fetched", {}) == "fetched"
+
+    def test_label_variants_are_distinct_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("fetched", topic="a").increment()
+        registry.counter("fetched", topic="b").increment(2)
+        registry.counter("fetched").increment(4)
+        assert registry.counters() == {
+            "fetched": 4,
+            "fetched{topic=a}": 1,
+            "fetched{topic=b}": 2,
+        }
+
+    def test_same_labels_same_instance_regardless_of_kwarg_order(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("lat", topic="t", partition=1)
+        second = registry.histogram("lat", partition=1, topic="t")
+        assert first is second
+
+    def test_labeled_gauges_listed_and_reset(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth", task="0_1")
+        gauge.set(3.0)
+        assert registry.gauges() == {"depth{task=0_1}": 3.0}
+        registry.reset()
+        assert registry.gauges() == {"depth{task=0_1}": 0.0}
+        assert registry.gauge("depth", task="0_1") is gauge
 
 
 class TestHistogram:
@@ -45,6 +101,29 @@ class TestHistogram:
         hist = Histogram("h")
         hist.observe(7.0)
         assert hist.percentile(50) == 7.0
+
+    def test_cached_sort_invalidated_by_observe(self):
+        """percentile() caches the sorted view; new observations must
+        invalidate it (the original bug re-sorted on every call; the fix
+        must not go stale instead)."""
+        hist = Histogram("h")
+        hist.observe(10.0)
+        assert hist.percentile(100) == 10.0
+        hist.observe(2.0)               # arrives out of order
+        assert hist.percentile(100) == 10.0
+        assert hist.percentile(0) == 2.0
+        assert hist.min() == 2.0 and hist.max() == 10.0
+        hist.observe(20.0)
+        assert hist.max() == 20.0
+
+    def test_cached_sort_invalidated_by_reset(self):
+        hist = Histogram("h")
+        hist.observe(5.0)
+        assert hist.max() == 5.0
+        hist.reset()
+        assert hist.count == 0 and hist.max() == 0.0
+        hist.observe(1.0)
+        assert hist.percentile(50) == 1.0
 
 
 class TestRegistry:
