@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
-from repro.config import READ_COMMITTED
+from repro.config import COOPERATIVE, EAGER, READ_COMMITTED
 from repro.errors import (
     IllegalGenerationError,
     UnknownMemberError,
@@ -37,6 +37,10 @@ class GroupMember:
     member_id: str
     subscription: Tuple[str, ...]
     assignment: List[TopicPartition] = field(default_factory=list)
+    # Rebalance protocol this member offered at join. The group runs
+    # cooperatively only when *every* member offers COOPERATIVE (Kafka's
+    # protocol negotiation downgrades to the common denominator).
+    protocol: str = EAGER
     # Session tracking: 0 disables expiry for this member (legacy callers
     # that never heartbeat keep their membership forever, as before).
     session_timeout_ms: float = 0.0
@@ -57,6 +61,12 @@ class GroupState:
     group_id: str
     generation: int = 0
     members: Dict[str, GroupMember] = field(default_factory=dict)
+    # Negotiated protocol of the last rebalance (EAGER or COOPERATIVE).
+    protocol: str = EAGER
+    # Cooperative handover bookkeeping: partitions withheld from their new
+    # owner because the previous owner has not yet confirmed (via
+    # rebalance_ack) that it committed and closed them. tp -> old owner.
+    unreleased: Dict[TopicPartition, str] = field(default_factory=dict)
 
 
 class GroupCoordinator:
@@ -79,6 +89,12 @@ class GroupCoordinator:
         # processing step, where a reentrant rebalance could commit that
         # member's transaction out from under it.
         self._pending_evictions: List[Tuple[str, str]] = []
+        # Groups with a rebalance requested out-of-band — cooperative
+        # follow-ups (granting partitions freed by a rebalance_ack) and
+        # probing rebalances from the streams assignor's warmup timer.
+        # Applied at the same safe points as evictions, for the same
+        # reentrancy reason.
+        self._pending_rebalances: Set[str] = set()
 
     def set_rebalance_listener(
         self, group_id: str, member_id: str, listener
@@ -113,6 +129,7 @@ class GroupCoordinator:
         member_id: Optional[str] = None,
         session_timeout_ms: float = 0.0,
         liveness=None,
+        protocol: str = EAGER,
     ) -> Tuple[str, int]:
         """Add (or re-add) a member; rebalances eagerly.
 
@@ -132,6 +149,7 @@ class GroupCoordinator:
             # same subscription — hand it the current generation instead of
             # forcing yet another rebalance (models SyncGroup).
             existing.last_heartbeat_ms = self._cluster.clock.now
+            existing.protocol = protocol
             if session_timeout_ms != existing.session_timeout_ms or liveness:
                 existing.session_timeout_ms = session_timeout_ms
                 existing.liveness = liveness or existing.liveness
@@ -143,6 +161,7 @@ class GroupCoordinator:
             session_timeout_ms=session_timeout_ms,
             last_heartbeat_ms=self._cluster.clock.now,
             liveness=liveness,
+            protocol=protocol,
         )
         group.members[member_id] = member
         tracer = self._cluster.tracer
@@ -255,6 +274,7 @@ class GroupCoordinator:
 
     def _apply_pending_evictions(self) -> List[str]:
         if not self._pending_evictions:
+            self._apply_pending_rebalances()
             return []
         pending, self._pending_evictions = self._pending_evictions, []
         evicted: List[str] = []
@@ -289,6 +309,7 @@ class GroupCoordinator:
                 self._rebalance(group)
             else:
                 group.generation += 1
+        self._apply_pending_rebalances(just_rebalanced=set(affected))
         return evicted
 
     def _remove_member(self, group: GroupState, member_id: str) -> None:
@@ -297,13 +318,97 @@ class GroupCoordinator:
             member.session_timer.cancel()
             member.session_timer = None
         self._rebalance_listeners.pop((group.group_id, member_id), None)
+        # A departed member can no longer confirm its revocations. Graceful
+        # leavers committed before leave_group; a crashed member's dangling
+        # transaction will be aborted, so the last *committed* offsets are
+        # the correct handover point either way — release its claims.
+        for tp in [t for t, m in group.unreleased.items() if m == member_id]:
+            del group.unreleased[tp]
+
+    # -- out-of-band rebalance requests -------------------------------------------
+
+    def request_rebalance(self, group_id: str) -> None:
+        """Ask for a rebalance at the next safe point (heartbeat/join/leave
+        or expire_sessions). Used by cooperative follow-ups and by the
+        streams assignor's probing-rebalance timer (KIP-441): probing
+        wake timers fire between actor polls, where a synchronous rebalance
+        could reach into a member mid-step."""
+        self._pending_rebalances.add(group_id)
+        # Wake timer (empty callback): the request is applied at the next
+        # heartbeat, so make sure an otherwise-idle driver performs one
+        # more poll round instead of concluding with the rebalance pending.
+        self._cluster.clock.schedule(0.0, lambda: None)
+
+    def rebalance_ack(self, group_id: str, member_id: str) -> None:
+        """Cooperative revocation confirmation: ``member_id`` has committed
+        and closed every partition the last rebalance took away from it.
+        Once a member's claims are all released, a follow-up rebalance is
+        requested so the freed partitions reach their new owners."""
+        group = self._groups.get(group_id)
+        if group is None:
+            return
+        released = [t for t, m in group.unreleased.items() if m == member_id]
+        for tp in released:
+            del group.unreleased[tp]
+        if released and group.members:
+            self.request_rebalance(group_id)
+
+    def _apply_pending_rebalances(self, just_rebalanced: Set[str] = frozenset()) -> None:
+        if not self._pending_rebalances:
+            return
+        pending, self._pending_rebalances = self._pending_rebalances, set()
+        for group_id in sorted(pending):
+            if group_id in just_rebalanced:
+                continue
+            group = self._groups.get(group_id)
+            if group is not None and group.members:
+                self._rebalance(group)
+
+    # -- introspection (invariants / tests) ----------------------------------------
+
+    def group_protocol(self, group_id: str) -> str:
+        group = self._groups.get(group_id)
+        return EAGER if group is None else group.protocol
+
+    def assignment_snapshot(self, group_id: str) -> Dict[str, List[TopicPartition]]:
+        """Current owner map, regardless of generation (for observers)."""
+        group = self._groups.get(group_id)
+        if group is None:
+            return {}
+        return {m: list(member.assignment) for m, member in group.members.items()}
+
+    def unreleased_partitions(self, group_id: str) -> Dict[TopicPartition, str]:
+        """Partitions mid-handover: withheld until the old owner acks."""
+        group = self._groups.get(group_id)
+        return {} if group is None else dict(group.unreleased)
+
+    def rebalance_pending(self, group_id: str) -> bool:
+        """True while an out-of-band rebalance request awaits its safe
+        point (observers must expect transiently unowned partitions)."""
+        return group_id in self._pending_rebalances
+
+    def offsets_stable(self, group_id: str) -> bool:
+        """True when the group's ``__consumer_offsets`` partition has no
+        open transaction (Kafka's UNSTABLE_OFFSET_COMMIT condition). While
+        a commit's markers are still in flight, a read_committed offset
+        fetch would return the *previous* committed offsets; adopting a
+        partition on those would replay work its old owner already
+        committed."""
+        tp = self.offsets_partition(group_id)
+        log = self._cluster.partition_state(tp).leader_log()
+        return not log.open_transactions()
+
+    # -- rebalancing ----------------------------------------------------------------
 
     def _rebalance(self, group: GroupState) -> None:
-        """Eager rebalance: bump generation, reassign round-robin with
-        stickiness (a partition stays with its old owner when possible).
+        """Bump the generation and reassign partitions.
 
-        Revocation barrier first: every member's listener runs (committing
-        in-flight work) before partitions change hands.
+        The negotiated protocol decides how: EAGER runs every member's
+        revocation-barrier listener (committing in-flight work) and then
+        moves everything in one step; COOPERATIVE hands each member only
+        the partitions no other member might still hold, withholding moved
+        partitions until their previous owner acks the revocation in a
+        follow-up generation (KIP-429).
         """
         tracer = self._cluster.tracer
         if tracer.enabled:
@@ -314,16 +419,66 @@ class GroupCoordinator:
                 category="group", members=len(group.members),
             ) as span:
                 self._do_rebalance(group)
-                span.add(generation=group.generation)
+                span.add(
+                    generation=group.generation,
+                    protocol=group.protocol,
+                    deferred=len(group.unreleased),
+                )
             return
         self._do_rebalance(group)
 
     def _do_rebalance(self, group: GroupState) -> None:
-        for member_id in sorted(group.members):
-            listener = self._rebalance_listeners.get((group.group_id, member_id))
-            if listener is not None:
-                listener()
+        group.protocol = (
+            COOPERATIVE
+            if group.members
+            and all(m.protocol == COOPERATIVE for m in group.members.values())
+            else EAGER
+        )
+        self._cluster.metrics.counter(
+            "rebalance_count", group=group.group_id, protocol=group.protocol
+        ).increment()
+        if group.protocol == EAGER:
+            # Revocation barrier: current owners finish (commit) in-flight
+            # work before any partition changes hands.
+            for member_id in sorted(group.members):
+                listener = self._rebalance_listeners.get((group.group_id, member_id))
+                if listener is not None:
+                    listener()
+            group.unreleased.clear()
         group.generation += 1
+        target = self._target_assignment(group)
+        if group.protocol == EAGER:
+            for member_id, member in group.members.items():
+                member.assignment = list(target.get(member_id, []))
+            return
+
+        # Cooperative: a member may still hold uncommitted work for every
+        # partition in its current assignment, plus any earlier revocation
+        # it has not acked yet. Withhold those from their new owners.
+        holder: Dict[TopicPartition, str] = {}
+        for member in group.members.values():
+            for tp in member.assignment:
+                holder[tp] = member.member_id
+        for tp, member_id in group.unreleased.items():
+            if member_id in group.members:
+                holder.setdefault(tp, member_id)
+
+        granted: Dict[str, Set[TopicPartition]] = {m: set() for m in group.members}
+        for member_id in group.members:
+            for tp in target.get(member_id, []):
+                if holder.get(tp) in (None, member_id):
+                    granted[member_id].add(tp)
+        group.unreleased = {
+            tp: member_id
+            for tp, member_id in holder.items()
+            if tp not in granted[member_id]
+        }
+        for member_id, member in group.members.items():
+            member.assignment = sorted(granted[member_id])
+
+    def _target_assignment(self, group: GroupState) -> Dict[str, List[TopicPartition]]:
+        """The assignment the group is converging to (custom assignor, or
+        sticky round-robin over the subscribed partitions)."""
         partitions: List[TopicPartition] = []
         topics: Set[str] = set()
         for member in group.members.values():
@@ -337,9 +492,7 @@ class GroupCoordinator:
         custom = self._assignors.get(group.group_id)
         if custom is not None:
             new = custom(group.members, partitions)
-            for member_id, member in group.members.items():
-                member.assignment = list(new.get(member_id, []))
-            return
+            return {m: list(new.get(m, [])) for m in group.members}
 
         previous_owner: Dict[TopicPartition, str] = {}
         for member in group.members.values():
@@ -369,9 +522,7 @@ class GroupCoordinator:
                 continue
             target = min(eligible, key=lambda m: len(new_assignment[m]))
             new_assignment[target].append(tp)
-
-        for member_id, assigned in new_assignment.items():
-            group.members[member_id].assignment = assigned
+        return new_assignment
 
     # -- offsets ------------------------------------------------------------------
 

@@ -13,7 +13,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.broker.cluster import Cluster
 from repro.broker.partition import TopicPartition
-from repro.config import ConsumerConfig
+from repro.config import COOPERATIVE, ConsumerConfig
 from repro.errors import (
     IllegalGenerationError,
     KafkaError,
@@ -59,6 +59,14 @@ class Consumer:
         # runtimes point it at their own liveness, e.g. instance.alive).
         self.liveness_probe = None
 
+        # Optional rebalance listener: callback(revoked, added, retained),
+        # each a sorted list of TopicPartitions, invoked whenever the
+        # adopted assignment changes. The sets follow the negotiated
+        # protocol's semantics: an eager rebalance revokes *everything*
+        # (retained is always empty); a cooperative one revokes only the
+        # partitions actually moving away (KIP-429 incremental semantics).
+        self.rebalance_callback = None
+
         self.records_consumed = 0
 
     # -- subscription / assignment ---------------------------------------------------
@@ -76,6 +84,7 @@ class Consumer:
             self._member_id,
             session_timeout_ms=self.config.session_timeout_ms,
             liveness=self._alive,
+            protocol=self.config.rebalance_protocol,
         )
         self._refresh_assignment()
 
@@ -112,8 +121,32 @@ class Consumer:
                 self._positions[tp] = (
                     self._reset_offset(tp) if offset is None else offset
                 )
-        for tp in old - set(assigned):
+        removed = old - set(assigned)
+        for tp in removed:
             self._positions.pop(tp, None)
+        cooperative = coordinator.group_protocol(group) == COOPERATIVE
+        if old != set(assigned) and self.rebalance_callback is not None:
+            if cooperative:
+                revoked = sorted(removed)
+                added = sorted(newly)
+                retained = sorted(old & set(assigned))
+            else:
+                # Eager semantics: the old assignment was revoked wholesale
+                # and the new one adopted from scratch.
+                revoked = sorted(old)
+                added = sorted(assigned)
+                retained = []
+            self.rebalance_callback(revoked, added, retained)
+        if cooperative:
+            # The callback (or, without one, the adoption above) has
+            # finished with every partition outside the adopted assignment:
+            # confirm the release so the coordinator can grant them to
+            # their new owners in a follow-up generation. Unconditional on
+            # purpose — the coordinator may hold claims under this member's
+            # name for a *grant it never adopted* (a generation it slept
+            # through while idle); no local state exists for those either,
+            # so the last committed offsets are the correct handover point.
+            coordinator.rebalance_ack(group, self._member_id)
 
     def _maybe_rejoin(self) -> None:
         """Detect a generation bump (another member joined/left) and rejoin.
@@ -138,6 +171,7 @@ class Consumer:
             self._member_id,
             session_timeout_ms=self.config.session_timeout_ms,
             liveness=self._alive,
+            protocol=self.config.rebalance_protocol,
         )
         self._refresh_assignment()
 

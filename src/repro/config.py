@@ -21,6 +21,17 @@ AT_LEAST_ONCE = "at_least_once"
 EXACTLY_ONCE = "exactly_once"
 EXACTLY_ONCE_V1 = "exactly_once_v1"
 
+# Group rebalance protocols (StreamsConfig.rebalance_protocol /
+# ConsumerConfig.rebalance_protocol). EAGER is the classic stop-the-world
+# protocol: every membership change revokes *all* partitions from *all*
+# members, which commit, close, and re-open every task. COOPERATIVE is the
+# KIP-429 incremental protocol: a rebalance first hands each member the
+# intersection of its old and new assignment; partitions that must move are
+# granted to their new owner only in a follow-up generation, after the old
+# owner has committed and released them.
+EAGER = "eager"
+COOPERATIVE = "cooperative"
+
 # Consumer isolation levels. READ_SPECULATIVE is this repo's
 # implementation of the paper's future-work idea (Section 8): it returns
 # records of *open* transactions (no LSO gating) so downstream processing
@@ -112,6 +123,9 @@ class ConsumerConfig:
     auto_offset_reset: str = "earliest"   # "earliest" | "latest" | "none"
     max_poll_records: int = 500
     session_timeout_ms: float = 10_000.0
+    # Protocol this member offers at join_group. The group coordinator
+    # negotiates down to EAGER unless *every* member offers COOPERATIVE.
+    rebalance_protocol: str = EAGER
 
     def validate(self) -> None:
         if self.isolation_level not in (
@@ -125,6 +139,10 @@ class ConsumerConfig:
         if self.auto_offset_reset not in ("earliest", "latest", "none"):
             raise InvalidConfigError(
                 f"unknown auto_offset_reset: {self.auto_offset_reset!r}"
+            )
+        if self.rebalance_protocol not in (EAGER, COOPERATIVE):
+            raise InvalidConfigError(
+                f"unknown rebalance_protocol: {self.rebalance_protocol!r}"
             )
 
 
@@ -158,6 +176,19 @@ class StreamsConfig:
     # speculation back if the upstream transaction aborts. Requires
     # processing_guarantee=EXACTLY_ONCE.
     speculative: bool = False
+    # KIP-429: "cooperative" rebalances incrementally — retained tasks keep
+    # processing while moved partitions are handed over in a follow-up
+    # generation. "eager" is the classic revoke-everything protocol.
+    rebalance_protocol: str = EAGER
+    # KIP-441: with the cooperative protocol, a stateful task only moves to
+    # an instance whose changelog lag (end offset minus standby position) is
+    # at most this many records. A laggier destination first gets a warmup
+    # standby, and a probing rebalance completes the migration once the
+    # warmup has caught up.
+    acceptable_recovery_lag: int = 10_000
+    # Virtual-time interval between probing rebalances while any warmup
+    # standby is still catching up.
+    probing_rebalance_interval_ms: float = 1_000.0
 
     def validate(self) -> None:
         if self.processing_guarantee not in (
@@ -181,6 +212,14 @@ class StreamsConfig:
                 "speculative processing requires processing_guarantee="
                 "exactly_once (per-thread transactions)"
             )
+        if self.rebalance_protocol not in (EAGER, COOPERATIVE):
+            raise InvalidConfigError(
+                f"unknown rebalance_protocol: {self.rebalance_protocol!r}"
+            )
+        if self.acceptable_recovery_lag < 0:
+            raise InvalidConfigError("acceptable_recovery_lag must be >= 0")
+        if self.probing_rebalance_interval_ms <= 0:
+            raise InvalidConfigError("probing_rebalance_interval_ms must be > 0")
 
     @property
     def eos_enabled(self) -> bool:

@@ -34,7 +34,11 @@ from repro.broker.partition import (
 )
 from repro.obs.debug import dump_debug_bundle
 from repro.sim.failures import FailureInjector
-from repro.sim.invariants import InvariantSuite, InvariantViolation
+from repro.sim.invariants import (
+    InvariantSuite,
+    InvariantViolation,
+    RebalanceContinuity,
+)
 
 # The full fault repertoire; trim via ChaosConfig.kinds to focus a run.
 ALL_KINDS = (
@@ -106,6 +110,19 @@ class ChaosController:
         self.seed = seed
         self.config = config or ChaosConfig()
         self.invariants = invariants
+        if self.invariants is not None and self.apps:
+            # Rebalance continuity is checked on every chaos run with apps:
+            # instance crashes and replacements are rebalance storms, and
+            # partitions must never be double-owned or silently dropped
+            # whichever protocol the group negotiated.
+            if not any(
+                isinstance(inv, RebalanceContinuity)
+                for inv in self.invariants.invariants
+            ):
+                continuity = RebalanceContinuity()
+                for app in self.apps:
+                    continuity.attach(app)
+                self.invariants.add(continuity)
         self.injector = FailureInjector(cluster)
         self.rng = random.Random(seed)
 

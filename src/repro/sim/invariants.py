@@ -210,7 +210,10 @@ class ChangelogStateEquivalence(Invariant):
         self.restores_verified = 0
 
     def attach(self, app) -> "ChangelogStateEquivalence":
-        def listener(task_id, store_name, store, changelog, partition, next_offset):
+        def listener(
+            task_id, store_name, store, changelog, partition, next_offset,
+            from_offset=0,
+        ):
             self._on_restore(
                 app.cluster, task_id, store_name, store, changelog, partition
             )
@@ -285,6 +288,83 @@ class ChangelogStateEquivalence(Invariant):
                                 f"replay ({len(actual)} keys vs "
                                 f"{len(expected)} replayed)"
                             )
+
+
+class RebalanceContinuity(Invariant):
+    """Processing continuity through (incremental) rebalances.
+
+    The cooperative protocol's availability claim, as safety properties on
+    the coordinator's ownership bookkeeping:
+
+    * no source partition is ever assigned to two group members at once —
+      the whole point of withholding moved partitions until the old owner
+      acks (KIP-429);
+    * a partition absent from *every* member's assignment is exactly one
+      mid-handover (tracked in the group's unreleased map) — rebalancing
+      never silently drops a partition, so records keep flowing through
+      every task that is not itself being moved;
+    * no handover gets stuck: an unreleased claim clears within
+      ``max_handover_ms`` of virtual time (the old owner polls, commits
+      and acks; a crashed owner's claims are released on eviction), and
+      none survive to quiescence.
+    """
+
+    name = "rebalance-continuity"
+
+    def __init__(self, max_handover_ms: float = 2_000.0) -> None:
+        self.max_handover_ms = max_handover_ms
+        self._apps: List[Any] = []
+        # (group, tp, old owner) -> virtual time the claim was first seen.
+        self._first_seen: Dict[Tuple[str, TopicPartition, str], float] = {}
+
+    def attach(self, app) -> "RebalanceContinuity":
+        self._apps.append(app)
+        return self
+
+    def check(self, cluster, final: bool = False) -> None:
+        coordinator = cluster.group_coordinator
+        now = cluster.clock.now
+        live_claims = set()
+        for app in self._apps:
+            group = app.config.application_id
+            snapshot = coordinator.assignment_snapshot(group)
+            owners: Dict[TopicPartition, str] = {}
+            for member_id, tps in snapshot.items():
+                for tp in tps:
+                    if tp in owners:
+                        self._fail(
+                            f"{group}: {tp} assigned to both "
+                            f"{owners[tp]} and {member_id}"
+                        )
+                    owners[tp] = member_id
+            unreleased = coordinator.unreleased_partitions(group)
+            if snapshot and not coordinator.rebalance_pending(group):
+                for topic in sorted(app.all_source_topics):
+                    for tp in cluster.partitions_for(topic):
+                        if tp not in owners and tp not in unreleased:
+                            self._fail(
+                                f"{group}: {tp} is owned by nobody and "
+                                f"not mid-handover — it stopped flowing"
+                            )
+            for tp, member_id in unreleased.items():
+                claim = (group, tp, member_id)
+                live_claims.add(claim)
+                first = self._first_seen.setdefault(claim, now)
+                if final:
+                    self._fail(
+                        f"{group}: handover of {tp} from {member_id} "
+                        f"never completed (pending since t={first:.0f}ms)"
+                    )
+                if now - first > self.max_handover_ms:
+                    self._fail(
+                        f"{group}: handover of {tp} from {member_id} stuck "
+                        f"for {now - first:.0f}ms"
+                    )
+        self._first_seen = {
+            claim: first
+            for claim, first in self._first_seen.items()
+            if claim in live_claims
+        }
 
 
 class CommittedOutputEquality(Invariant):

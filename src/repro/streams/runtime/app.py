@@ -40,9 +40,14 @@ class KafkaStreams:
         self._instance_seq = 0
         # Observer hook fired after every changelog restore, with
         # (task_id, store_name, store, changelog_topic, partition,
-        # next_offset). Invariant checkers attach here to verify the
-        # restored store equals an independent changelog replay.
+        # next_offset, from_offset). Invariant checkers attach here to
+        # verify the restored store equals an independent changelog replay.
         self.restore_listener = None
+        # Task unavailability windows: task_id -> virtual time of the last
+        # commit before the task closed anywhere. Closed again by the first
+        # record the task processes after reopening; the gap lands in the
+        # rebalance_unavailability_ms histogram.
+        self._task_unavailable_since: Dict[TaskId, float] = {}
 
         self._sub_topologies: Dict[int, SubTopology] = {
             sub.sub_id: sub for sub in topology.sub_topologies()
@@ -63,6 +68,7 @@ class KafkaStreams:
                     for topic in sorted(sub.source_topics)
                 ]
         self.assignor = StreamsAssignor(task_partitions)
+        self.assignor.bind(self)
         cluster.group_coordinator.set_assignor(
             self.config.application_id, self.assignor
         )
@@ -145,6 +151,30 @@ class KafkaStreams:
             for sub_id, count in self._task_counts.items()
             for p in range(count)
         )
+
+    # -- rebalance availability accounting ---------------------------------------------------
+
+    def note_task_closed(self, task_id: TaskId, since_ms: float) -> None:
+        """Open an unavailability window for ``task_id`` at ``since_ms``
+        (the last commit before it closed). The earliest close wins when a
+        task bounces through several instances before reopening."""
+        self._task_unavailable_since.setdefault(task_id, since_ms)
+
+    def first_process_listener_for(self, task_id: TaskId):
+        """One-shot callback closing the unavailability window when a
+        reopened task processes its first record; None when no window is
+        open (initial startup is not a rebalance outage)."""
+        since = self._task_unavailable_since.pop(task_id, None)
+        if since is None:
+            return None
+
+        def listener() -> None:
+            self.cluster.metrics.histogram(
+                "rebalance_unavailability_ms",
+                app=self.config.application_id,
+            ).observe(self.cluster.clock.now - since)
+
+        return listener
 
     # -- instance lifecycle -----------------------------------------------------------------
 

@@ -73,6 +73,7 @@ class StreamsInstance:
                 auto_offset_reset="earliest",
                 max_poll_records=self.config.max_poll_records,
                 session_timeout_ms=self.config.session_timeout_ms,
+                rebalance_protocol=self.config.rebalance_protocol,
             ),
         )
         # The pipeline's own consumer stamps `__t_fetched` on records (when
@@ -116,6 +117,10 @@ class StreamsInstance:
         # is not evicted just because discrete-event time jumped; a crashed
         # one is.
         self.consumer.liveness_probe = lambda: self.alive
+        # Incremental rebalance listener: the consumer diffs each new
+        # assignment and reports which partitions were revoked, added, and
+        # retained, so only the revoked tasks are committed and closed.
+        self.consumer.rebalance_callback = self._on_assignment_change
         self.consumer.subscribe(sorted(app.all_source_topics))
         # Revocation barrier: before any rebalance hands partitions to
         # another member, this instance commits its in-flight work.
@@ -132,6 +137,49 @@ class StreamsInstance:
             self.commit()
         except TaskMigratedError:
             self._handle_migration()
+
+    def _on_assignment_change(self, revoked, added, retained) -> None:
+        """React to an assignment diff from the consumer.
+
+        Tasks whose partitions were truly lost (revoked and not re-granted)
+        are committed and closed here, *during* the poll that adopted the
+        new assignment; retained tasks are untouched and keep processing.
+        Added partitions are paused until :meth:`_sync_tasks` has sought
+        them to the committed offset of their new task — records fetched
+        before the task exists would otherwise be silently dropped.
+        """
+        if not self.alive:
+            return
+        lost_tps = set(revoked) - set(added)
+        lost_tasks = {
+            self.app.assignor.task_for(tp)
+            for tp in lost_tps
+            if self.app.assignor.task_for(tp) in self.tasks
+        }
+        metrics = self.cluster.metrics
+        if lost_tasks:
+            metrics.counter(
+                "tasks_revoked_total", app=self.config.application_id
+            ).increment(len(lost_tasks))
+            if any(
+                self.tasks[t].has_pending_commit() for t in lost_tasks
+            ):
+                # A commit failure here means this member was fenced; let
+                # the error surface through poll() to the migration path.
+                self.commit()
+            for task_id in sorted(lost_tasks):
+                self.app.note_task_closed(task_id, self._last_commit_ms)
+                self.tasks.pop(task_id).close()
+                producer = self._task_producers.pop(task_id, None)
+                if producer is not None:
+                    producer.close()
+        retained_tasks = len(self.tasks)
+        if retained_tasks:
+            metrics.counter(
+                "tasks_retained_total", app=self.config.application_id
+            ).increment(retained_tasks)
+        for tp in lost_tps:
+            self.consumer.resume(tp)   # drop stale pause state
 
     def _make_producer(self, transactional_id: Optional[str]) -> Producer:
         producer = Producer(
@@ -258,21 +306,56 @@ class StreamsInstance:
         if removed:
             self.commit()
             for task_id in removed:
+                self.app.note_task_closed(task_id, self._last_commit_ms)
                 self.tasks.pop(task_id).close()
                 producer = self._task_producers.pop(task_id, None)
                 if producer is not None:
                     producer.close()
 
-        for task_id in sorted(assigned_tasks):
-            if task_id in self.tasks:
-                continue
+        to_create = [t for t in sorted(assigned_tasks) if t not in self.tasks]
+        coordinator = self.cluster.group_coordinator
+        if to_create and not coordinator.offsets_stable(
+            self.config.application_id
+        ):
+            # The previous owner's offset commit is still materialising
+            # (transaction markers in flight): reading "last committed"
+            # now could adopt the offsets of the commit *before* it.
+            # Pause the new partitions and retry on a later poll — the
+            # KIP-447 UNSTABLE_OFFSET_COMMIT backoff. (Anything already
+            # fetched for them is dropped by _route; the seek below
+            # re-fetches it once the task exists.)
+            for task_id in to_create:
+                for tp in assigned_tasks[task_id]:
+                    self.consumer.pause(tp)
+            self._sync_standbys()
+            return
+
+        for task_id in to_create:
+            partitions = assigned_tasks[task_id]
+            # Partitions paused by an earlier deferral had records fetched
+            # and dropped before the pause took hold: rewind them to the
+            # committed offset so nothing is lost. Never-paused partitions
+            # keep their poll positions — their fetched records are routed
+            # right after this sync, and a rewind would duplicate them.
+            paused = [tp for tp in partitions if tp in self.consumer._paused]
+            if paused:
+                committed = coordinator.fetch_committed(
+                    self.config.application_id, paused
+                )
+                for tp in paused:
+                    offset = committed.get(tp)
+                    if offset is not None:
+                        self.consumer.seek(tp, offset)
+                    else:
+                        self.consumer.seek_to_beginning(tp)
+                    self.consumer.resume(tp)
             producer = self.producer_for(task_id)
             standby_state = None
             standby = self.standby_tasks.pop(task_id, None)
             if standby is not None:
                 standby.update()              # final catch-up before promotion
                 standby_state = standby.handoff()
-            self.tasks[task_id] = StreamTask(
+            task = StreamTask(
                 task_id=task_id,
                 sub_topology=self.app.sub_topology(task_id.sub_id),
                 application_id=self.config.application_id,
@@ -286,25 +369,54 @@ class StreamsInstance:
                 track_speculation=self.config.speculative,
                 restore_listener=self._notify_restore,
             )
+            task.first_process_listener = self.app.first_process_listener_for(
+                task_id
+            )
+            self.tasks[task_id] = task
         self._sync_standbys()
 
     def _sync_standbys(self) -> None:
         """Maintain warm shadow stores for stateful tasks owned elsewhere.
 
-        Simplification vs Kafka: with ``num_standby_replicas > 0`` every
-        non-owner instance keeps a shadow of every stateful task (i.e. the
-        replica count is effectively capped by the instance count).
+        At most ``num_standby_replicas`` standbys exist per stateful task:
+        each non-owner instance ranks itself against the other candidates
+        by rendezvous hashing of the task id, and hosts the standby only
+        when it lands in the top N. Every instance evaluates the same
+        deterministic ranking, so the replica set needs no coordination.
+        On top of the configured replicas, this instance also shadows any
+        **warmup** tasks the assignor earmarked for it — standbys built
+        solely so a pending migration can complete without a cold restore.
         """
-        if self.config.num_standby_replicas <= 0:
-            return
         from repro.streams.runtime.standby import StandbyTask
+        from repro.util import stable_hash
 
+        warmups = self.app.assignor.warmup_tasks_for(self.consumer.member_id)
+        replicas = self.config.num_standby_replicas
         wanted = set()
         for task_id in self.app.task_ids():
             if task_id in self.tasks:
                 continue
             sub = self.app.sub_topology(task_id.sub_id)
-            if any(spec.changelog for spec in sub.stores):
+            if not any(spec.changelog for spec in sub.stores):
+                continue
+            if task_id in warmups:
+                wanted.add(task_id)
+                continue
+            if replicas <= 0:
+                continue
+            candidates = [
+                inst
+                for inst in self.app.instances
+                if inst.alive and task_id not in inst.tasks
+            ]
+            ranked = sorted(
+                candidates,
+                key=lambda inst: (
+                    stable_hash(f"{task_id!r}:{inst.instance_id}"),
+                    inst.instance_id,
+                ),
+            )
+            if self in ranked[:replicas]:
                 wanted.add(task_id)
         for task_id in list(self.standby_tasks):
             if task_id not in wanted:
@@ -319,14 +431,31 @@ class StreamsInstance:
                 )
 
     def _notify_restore(
-        self, task_id, store_name, store, changelog_topic, partition, next_offset
+        self,
+        task_id,
+        store_name,
+        store,
+        changelog_topic,
+        partition,
+        next_offset,
+        from_offset=0,
     ) -> None:
         """Forward a completed changelog restore to the app-level observer
         (read at call time so listeners attached after start() still see
-        restores from later task migrations)."""
+        restores from later task migrations). ``from_offset`` tells the
+        listener where the replay started — nonzero when a standby handoff
+        turned the rebuild into an incremental catch-up."""
         listener = self.app.restore_listener
         if listener is not None:
-            listener(task_id, store_name, store, changelog_topic, partition, next_offset)
+            listener(
+                task_id,
+                store_name,
+                store,
+                changelog_topic,
+                partition,
+                next_offset,
+                from_offset,
+            )
 
     def _route(self, records) -> None:
         by_tp: Dict[TopicPartition, list] = {}
@@ -598,9 +727,17 @@ class StreamsInstance:
                     producer.init_transactions()
                 except Exception:
                     pass
-        for task in self.tasks.values():
+        for task_id, task in self.tasks.items():
+            self.app.note_task_closed(task_id, self._last_commit_ms)
             task.close()
         self.tasks.clear()
+        if self.consumer.member_id is not None:
+            # Release any partitions the coordinator is still waiting on
+            # this member to hand over — its state is gone, so the last
+            # committed offsets are the correct handover point.
+            self.cluster.group_coordinator.rebalance_ack(
+                self.config.application_id, self.consumer.member_id
+            )
         self.consumer.subscribe(sorted(self.app.all_source_topics))
         self._reset_positions_to_committed()
 
@@ -621,7 +758,8 @@ class StreamsInstance:
                 self.commit()
             except TaskMigratedError:
                 pass
-        for task in self.tasks.values():
+        for task_id, task in self.tasks.items():
+            self.app.note_task_closed(task_id, self._last_commit_ms)
             task.close()
         self.tasks.clear()
         for producer in self._all_producers():
@@ -636,5 +774,7 @@ class StreamsInstance:
         coordinator eventually notices via session expiry (the dead
         instance no longer heartbeats and fails its liveness probe)."""
         self.alive = False
+        for task_id in self.tasks:
+            self.app.note_task_closed(task_id, self._last_commit_ms)
         self.tasks.clear()
         self._cancel_timers()

@@ -19,6 +19,13 @@ from repro.config import READ_COMMITTED
 if TYPE_CHECKING:  # pragma: no cover
     from repro.broker.cluster import Cluster
 
+# Modelled cost of replaying one changelog record into a store during
+# restoration. Charged (together with one fetch round trip) only when the
+# cluster's network charges latency at all, so recovery time is
+# proportional to how far behind the restore starts — the quantity
+# lag-aware task placement (KIP-441) exists to minimise.
+RESTORE_APPLY_COST_MS_PER_RECORD = 0.02
+
 
 def restore_store(
     cluster: "Cluster",
@@ -63,4 +70,9 @@ def _replay(cluster: "Cluster", store, tp: TopicPartition, from_offset: int):
     for record in result.records:
         store.restore_put(record.key, record.value)
         applied += 1
+    if applied and cluster.network.charge_latency:
+        cluster.clock.advance(
+            cluster.network.fetch_cost()
+            + applied * RESTORE_APPLY_COST_MS_PER_RECORD
+        )
     return applied, result.next_offset

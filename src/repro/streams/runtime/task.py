@@ -85,6 +85,11 @@ class StreamTask:
         self.records_processed = 0
         self.restored_records = 0
         self._restore_listener = restore_listener
+        # One-shot hook fired when this task processes its first record —
+        # set by the instance only for tasks reopening after a revocation,
+        # so per-task unavailability windows close at the exact virtual
+        # time processing resumes (zero overhead otherwise).
+        self.first_process_listener: Optional[Callable[[], None]] = None
         self._tracer = cluster.tracer
         # Trace track: one process per application, one lane per task.
         self._trace_pid = f"streams-{application_id}"
@@ -154,6 +159,7 @@ class StreamTask:
                         changelog,
                         self.task_id.partition,
                         next_offset,
+                        from_offset,
                     )
 
     def _create_store(self, spec: StateStoreSpec):
@@ -283,6 +289,11 @@ class StreamTask:
             self._consumed[tp] = record.offset + 1
             self.records_processed += 1
             processed += 1
+            if self.first_process_listener is not None:
+                listener, self.first_process_listener = (
+                    self.first_process_listener, None
+                )
+                listener()
             self._punctuate(PUNCTUATION_STREAM_TIME, self.stream_time)
         return processed
 

@@ -146,3 +146,86 @@ class TestCustomAssignor:
         other = m2 if first == m1 else m1
         assert len(coordinator.assignment("g", first, gen)) == 4
         assert coordinator.assignment("g", other, gen) == []
+
+
+class TestCooperativeProtocol:
+    """KIP-429 incremental rebalancing at the coordinator level."""
+
+    def test_all_cooperative_members_negotiate_cooperative(self, coordinator):
+        from repro.config import COOPERATIVE
+
+        coordinator.join_group("g", ("t",), protocol=COOPERATIVE)
+        coordinator.join_group("g", ("t",), protocol=COOPERATIVE)
+        assert coordinator.group_protocol("g") == COOPERATIVE
+
+    def test_mixed_protocols_downgrade_to_eager(self, coordinator):
+        from repro.config import COOPERATIVE, EAGER
+
+        m1, _ = coordinator.join_group("g", ("t",), protocol=COOPERATIVE)
+        m2, gen = coordinator.join_group("g", ("t",))   # eager member
+        assert coordinator.group_protocol("g") == EAGER
+        # Eager semantics: the new member is granted partitions at once.
+        assert coordinator.assignment("g", m2, gen)
+        assert coordinator.unreleased_partitions("g") == {}
+
+    def test_moved_partitions_withheld_until_ack(self, coordinator):
+        from repro.config import COOPERATIVE
+
+        m1, _ = coordinator.join_group("g", ("t",), protocol=COOPERATIVE)
+        m2, gen = coordinator.join_group("g", ("t",), protocol=COOPERATIVE)
+        # First phase: m1 keeps the intersection of old and new assignment;
+        # the partitions moving to m2 are withheld until m1 acks.
+        a1 = coordinator.assignment("g", m1, gen)
+        a2 = coordinator.assignment("g", m2, gen)
+        assert len(a1) == 2
+        assert a2 == []
+        unreleased = coordinator.unreleased_partitions("g")
+        assert len(unreleased) == 2
+        assert set(unreleased.values()) == {m1}
+        assert not set(unreleased) & set(a1)
+
+    def test_ack_triggers_followup_grant(self, coordinator):
+        from repro.config import COOPERATIVE
+
+        m1, _ = coordinator.join_group("g", ("t",), protocol=COOPERATIVE)
+        m2, _ = coordinator.join_group("g", ("t",), protocol=COOPERATIVE)
+        coordinator.rebalance_ack("g", m1)
+        assert coordinator.unreleased_partitions("g") == {}
+        assert coordinator.rebalance_pending("g")
+        # The follow-up rebalance applies at the next safe point.
+        coordinator.heartbeat("g", m1)
+        gen = coordinator.generation("g")
+        a1 = coordinator.assignment("g", m1, gen)
+        a2 = coordinator.assignment("g", m2, gen)
+        assert len(a1) == len(a2) == 2
+        assert not set(a1) & set(a2)
+
+    def test_departed_owner_releases_its_claims(self, coordinator):
+        from repro.config import COOPERATIVE
+
+        m1, _ = coordinator.join_group("g", ("t",), protocol=COOPERATIVE)
+        m2, _ = coordinator.join_group("g", ("t",), protocol=COOPERATIVE)
+        assert coordinator.unreleased_partitions("g")
+        coordinator.leave_group("g", m1)
+        # The departed owner can never ack; its claims are released and the
+        # survivor owns everything.
+        assert coordinator.unreleased_partitions("g") == {}
+        gen = coordinator.generation("g")
+        assert len(coordinator.assignment("g", m2, gen)) == 4
+
+    def test_offsets_stable_tracks_open_transactions(self, fast_cluster, coordinator):
+        txn = fast_cluster.txn_coordinator
+        assert coordinator.offsets_stable("g")
+        pid, epoch = txn.init_producer_id("tid")
+        offsets_tp = coordinator.offsets_partition("g")
+        txn.add_partitions("tid", pid, epoch, [offsets_tp])
+        coordinator.commit_offsets(
+            "g",
+            {TopicPartition("t", 0): 7},
+            producer_id=pid,
+            producer_epoch=epoch,
+            transactional=True,
+        )
+        assert not coordinator.offsets_stable("g")
+        txn.end_transaction("tid", pid, epoch, commit=True)
+        assert coordinator.offsets_stable("g")

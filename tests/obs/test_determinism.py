@@ -53,6 +53,47 @@ def test_chaos_chrome_trace_schema_valid(traced_runs):
     assert {"rpc", "txn", "chaos"} <= categories
 
 
+def test_rebalance_metrics_deterministic(golden):
+    """The cooperative-rebalance metrics — rebalance counts, revoked and
+    retained task counters, the unavailability histogram — replay exactly
+    for the same seed, and a faulty run actually populates them."""
+    from repro.config import COOPERATIVE
+    from repro.sim.chaos import ChaosConfig
+
+    # Instance crashes only: every fault is a rebalance, so the counters
+    # under test are guaranteed to be populated.
+    config = ChaosConfig(horizon_ms=3_000.0, kinds=("instance_crash",))
+    runs = [
+        run_chaos(seed=9, golden=golden, protocol=COOPERATIVE, config=config)
+        for _ in range(2)
+    ]
+    snapshots = []
+    for cluster, _, _, _ in runs:
+        counters = {
+            name: value
+            for name, value in cluster.metrics.counters().items()
+            if name.startswith(
+                ("rebalance_count", "tasks_revoked_total", "tasks_retained_total")
+            )
+        }
+        histograms = {
+            name: snap
+            for name, snap in cluster.metrics.histograms().items()
+            if name.startswith("rebalance_unavailability_ms")
+        }
+        snapshots.append((counters, histograms))
+    assert snapshots[0] == snapshots[1], "rebalance metrics are not deterministic"
+    counters, _ = snapshots[0]
+    assert any(
+        name.startswith("rebalance_count") and value > 0
+        for name, value in counters.items()
+    )
+    assert any(
+        name.startswith("tasks_retained_total") and value > 0
+        for name, value in counters.items()
+    )
+
+
 def test_trace_ids_propagate_to_committed_output(traced_runs):
     cluster = traced_runs[0][0]
     records = drain_topic(cluster, "out")

@@ -12,7 +12,13 @@ violations they claim to.
 import pytest
 
 from repro.clients.producer import Producer
-from repro.config import EXACTLY_ONCE, ProducerConfig, StreamsConfig
+from repro.config import (
+    COOPERATIVE,
+    EAGER,
+    EXACTLY_ONCE,
+    ProducerConfig,
+    StreamsConfig,
+)
 from repro.sim.chaos import ChaosConfig, ChaosController
 from repro.sim.invariants import (
     ChangelogStateEquivalence,
@@ -29,7 +35,7 @@ from tests.streams.harness import drain_topic, latest_by_key, make_cluster
 CATEGORIES = ["a", "b", "c", "d", "e"]
 
 
-def make_app(cluster):
+def make_app(cluster, protocol=EAGER, standbys=0):
     builder = StreamsBuilder()
     (
         builder.stream("in")
@@ -47,6 +53,8 @@ def make_app(cluster):
             processing_guarantee=EXACTLY_ONCE,
             commit_interval_ms=20.0,
             transaction_timeout_ms=300.0,
+            rebalance_protocol=protocol,
+            num_standby_replicas=standbys,
         ),
     )
 
@@ -81,11 +89,14 @@ def drain(cluster, app):
         app.run_until_idle(max_steps=50_000)
 
 
-def run_chaos(seed, golden, config=None, n=120, trace=False):
+def run_chaos(
+    seed, golden, config=None, n=120, trace=False,
+    protocol=EAGER, standbys=0,
+):
     cluster = make_cluster(**{"in": 2, "out": 2})
     if trace:
         cluster.enable_tracing()
-    app = make_app(cluster)
+    app = make_app(cluster, protocol=protocol, standbys=standbys)
     app.start(2)
     produce_workload(cluster, n)
 
@@ -97,7 +108,7 @@ def run_chaos(seed, golden, config=None, n=120, trace=False):
         apps=[app],
         seed=seed,
         config=config or ChaosConfig(horizon_ms=3_000.0),
-        invariants=suite,
+        invariants=suite,      # controller auto-adds RebalanceContinuity
     )
     app.driver.register(chaos)
     scheduled = chaos.schedule()
@@ -131,11 +142,15 @@ def test_different_seeds_different_timelines(golden):
 
 
 @pytest.mark.chaos
+@pytest.mark.parametrize("protocol", [EAGER, COOPERATIVE])
 @pytest.mark.parametrize("seed", list(range(10)))
-def test_chaos_matrix_invariants_hold(seed, golden):
-    """Ten seeds of full-repertoire chaos: all invariants pass, the final
-    counts match the workload, and the run actually injected faults."""
-    cluster, app, chaos, suite = run_chaos(seed=seed, golden=golden)
+def test_chaos_matrix_invariants_hold(seed, protocol, golden):
+    """Ten seeds of full-repertoire chaos under both rebalance protocols:
+    all invariants pass (including rebalance continuity), the final counts
+    match the workload, and the run actually injected faults."""
+    cluster, app, chaos, suite = run_chaos(
+        seed=seed, golden=golden, protocol=protocol
+    )
     assert chaos.faults_injected > 0
     assert suite.checks_performed > 1, "continuous checking never ran"
     final = latest_by_key(drain_topic(cluster, "out"))
@@ -144,6 +159,47 @@ def test_chaos_matrix_invariants_hold(seed, golden):
         category = CATEGORIES[i % len(CATEGORIES)]
         expected[category] = expected.get(category, 0) + 1
     assert final == expected, f"seed {seed} violated exactly-once"
+
+
+@pytest.mark.chaos
+def test_standby_promotion_restores_from_standby_position(golden):
+    """A crashed owner's task restarts on the standby host: the restore
+    starts from the standby's changelog position (nonzero), not offset 0,
+    and the committed output still equals the fault-free run."""
+    cluster = make_cluster(**{"in": 2, "out": 2})
+    app = make_app(cluster, protocol=COOPERATIVE, standbys=1)
+    app.start(2)
+    produce_workload(cluster)
+
+    restore_offsets = []
+
+    def listener(task_id, store, s, changelog, partition, next_offset,
+                 from_offset=0):
+        restore_offsets.append((task_id, from_offset, next_offset))
+
+    app.restore_listener = listener
+    suite = InvariantSuite()
+    suite.add(CommittedOutputEquality(golden))
+    chaos = ChaosController(
+        cluster,
+        apps=[app],
+        seed=21,
+        config=ChaosConfig(horizon_ms=3_000.0, kinds=("instance_crash",)),
+        invariants=suite,
+    )
+    app.driver.register(chaos)
+    assert chaos.schedule() > 0
+    app.run_for(chaos.config.horizon_ms)
+    chaos.quiesce()
+    drain(cluster, app)
+    chaos.final_check()
+
+    assert any("instance_crash" in desc for _, desc in chaos.timeline)
+    warm = [entry for entry in restore_offsets if entry[1] > 0]
+    assert warm, (
+        "no restore started from a standby position: "
+        f"{restore_offsets}"
+    )
 
 
 def test_quiesce_heals_cluster_and_instances(golden):
