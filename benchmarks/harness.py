@@ -102,6 +102,7 @@ def run_streams_reduce(
     seed: int = 101,
     label: Optional[str] = None,
     trace: bool = False,
+    batch_execution: bool = False,
 ) -> BenchResult:
     """One full run of the Figure 5 scenario; returns throughput+latency.
 
@@ -124,6 +125,7 @@ def run_streams_reduce(
             application_id="bench",
             processing_guarantee=guarantee,
             commit_interval_ms=commit_interval_ms,
+            batch_execution=batch_execution,
         ),
     )
     app.start(1)
@@ -148,7 +150,9 @@ def run_streams_reduce(
     # records seen, so the driver keeps cycling while output still lands.
     driver = Driver(cluster.clock, tracer=cluster.tracer)
     driver.register(app)
-    driver.register(_SinkDrain(cluster, sink_consumer, tracker))
+    driver.register(
+        _SinkDrain(cluster, sink_consumer, tracker, columnar=batch_execution)
+    )
     telemetry = None
     if trace:
         telemetry = TelemetryReporter(
@@ -161,8 +165,12 @@ def run_streams_reduce(
     start = cluster.clock.now
     deadline = start + duration_ms
     slice_ms = min(commit_interval_ms / 2, 25.0)
+    produce_slice = (
+        generator.produce_for_columnar if batch_execution
+        else generator.produce_for
+    )
     while cluster.clock.now < deadline:
-        generator.produce_for(slice_ms)
+        produce_slice(slice_ms)
         driver.poll_all()
     # Finish the backlog and the final commits; this work is part of the
     # sustained-throughput window. Idle gaps (waiting for the next commit
@@ -172,7 +180,7 @@ def run_streams_reduce(
     # Visibility tail (pure waiting for the last transaction markers):
     # counts toward latency, not throughput.
     cluster.clock.advance(10.0 + output_partitions * 0.5)
-    _drain_outputs(cluster, sink_consumer, tracker)
+    _drain_outputs(cluster, sink_consumer, tracker, columnar=batch_execution)
 
     result = BenchResult(
         label=label or f"{guarantee}/{output_partitions}p",
@@ -195,23 +203,37 @@ def run_streams_reduce(
 class _SinkDrain:
     """Driver actor that drains the output topic into a LatencyTracker."""
 
-    def __init__(self, cluster, consumer, tracker) -> None:
+    def __init__(self, cluster, consumer, tracker, columnar=False) -> None:
         self.cluster = cluster
         self.consumer = consumer
         self.tracker = tracker
+        self.columnar = columnar
 
     def poll(self) -> int:
-        return _drain_outputs(self.cluster, self.consumer, self.tracker)
+        return _drain_outputs(
+            self.cluster, self.consumer, self.tracker, columnar=self.columnar
+        )
 
 
-def _drain_outputs(cluster, consumer, tracker) -> int:
+def _drain_outputs(cluster, consumer, tracker, columnar=False) -> int:
     """Poll the output topic without charging verifier-side latency (the
-    verifier is a separate observer machine in the paper's setup)."""
+    verifier is a separate observer machine in the paper's setup). With
+    ``columnar`` the drain polls ColumnarBatches and feeds the tracker
+    whole header columns — no per-record verifier work."""
     network = cluster.network
     was_charging = network.charge_latency
     network.charge_latency = False
     seen = 0
     try:
+        if columnar:
+            while True:
+                batches = consumer.poll_batches(max_records=100_000)
+                if not batches:
+                    return seen
+                now = cluster.clock.now
+                for batch in batches:
+                    tracker.record_batch_output(batch.headers(), now)
+                    seen += batch.valid_count
         while True:
             records = consumer.poll(max_records=100_000)
             if not records:

@@ -19,7 +19,7 @@ from repro.errors import (
     TopicAlreadyExistsError,
     UnknownTopicOrPartitionError,
 )
-from repro.broker.fetch import FetchResult, fetch
+from repro.broker.fetch import FetchResult, fetch, fetch_columnar
 from repro.broker.group_coordinator import GroupCoordinator
 from repro.broker.partition import (
     CONSUMER_OFFSETS_TOPIC,
@@ -296,6 +296,23 @@ class Cluster:
                 len(result.records)
             )
         return result
+
+    def handle_fetch_columnar(
+        self,
+        tp: TopicPartition,
+        from_offset: int,
+        max_records: int,
+        isolation_level: str,
+    ):
+        """Columnar fetch: returns a ColumnarBatch (slice + validity runs)
+        instead of materialized records."""
+        log = self.partition_state(tp).leader_log()
+        batch = fetch_columnar(log, from_offset, max_records, isolation_level)
+        if batch.valid_count:
+            self.metrics.counter("broker.fetched_records").increment(
+                batch.valid_count
+            )
+        return batch
 
     def end_offset(self, tp: TopicPartition, isolation_level: str) -> int:
         """The offset a new consumer with ``latest`` reset would start from."""

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import List
 
 from repro.config import READ_COMMITTED, READ_SPECULATIVE, READ_UNCOMMITTED
+from repro.log.columnar import ColumnarBatch
 from repro.log.partition_log import PartitionLog
 from repro.log.record import Record
 
@@ -88,3 +89,34 @@ def fetch(
             out.append(record)
         position = chunk[-1].offset + 1
     return result
+
+
+def fetch_columnar(
+    log: PartitionLog,
+    from_offset: int,
+    max_records: int = 500,
+    isolation_level: str = READ_UNCOMMITTED,
+) -> ColumnarBatch:
+    """Columnar twin of :func:`fetch`: same visibility semantics, but the
+    result is a :class:`ColumnarBatch` — a slice of the log plus validity
+    runs — with no per-record scanning or materialization. Control-marker
+    skipping and aborted-span filtering happen as bisected run masking
+    inside :meth:`PartitionLog.read_columnar`."""
+    if isolation_level == READ_COMMITTED:
+        limit = log.last_stable_offset
+    elif isolation_level in (READ_UNCOMMITTED, READ_SPECULATIVE):
+        limit = log.high_watermark
+    else:
+        raise ValueError(f"unknown isolation level: {isolation_level!r}")
+
+    from_offset = max(from_offset, log.log_start_offset)
+    if from_offset >= limit:
+        return ColumnarBatch(
+            [], [], from_offset, log.high_watermark, log.last_stable_offset
+        )
+    return log.read_columnar(
+        from_offset,
+        max_records=max_records,
+        up_to_offset=limit,
+        filter_aborted=isolation_level in (READ_COMMITTED, READ_SPECULATIVE),
+    )

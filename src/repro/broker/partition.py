@@ -196,10 +196,10 @@ class PartitionState:
             # appends); truncate to the leader.
             follower.truncate_to(leader_log.log_end_offset)
         if follower.log_end_offset < leader_log.log_end_offset:
-            missing = leader_log.read(
-                follower.log_end_offset, up_to_offset=leader_log.log_end_offset
-            )
-            follower.replicate_from(missing)
+            # Mirror the leader's records and index state by slice — the
+            # follower is a prefix of the leader at this point (truncated/
+            # reset above), so no per-record metadata walk is needed.
+            follower.replicate_mirror(leader_log)
         follower.high_watermark = leader_log.high_watermark
         follower.log_start_offset = leader_log.log_start_offset
 

@@ -20,6 +20,7 @@ from repro.errors import (
     OffsetOutOfRangeError,
     RetriableError,
 )
+from repro.log.columnar import ColumnarBatch
 from repro.log.record import Record
 from repro.obs.stages import FETCHED_AT_HEADER
 
@@ -68,6 +69,10 @@ class Consumer:
         self.rebalance_callback = None
 
         self.records_consumed = 0
+        # Poll-size telemetry, shared by the scalar and columnar paths.
+        self._records_per_poll = cluster.metrics.histogram(
+            "consumer.records_per_poll"
+        )
 
     # -- subscription / assignment ---------------------------------------------------
 
@@ -233,6 +238,48 @@ class Consumer:
             budget -= len(records)
         self._fetch_cursor += 1
         self.records_consumed += len(out)
+        self._records_per_poll.observe(len(out))
+        return out
+
+    def poll_batches(
+        self, max_records: Optional[int] = None
+    ) -> List[ColumnarBatch]:
+        """Columnar poll: the next visible records as at most one
+        :class:`ColumnarBatch` per assigned partition, round-robin.
+
+        Nothing is materialized — each batch is a slice of the broker log
+        plus validity runs, stamped with its origin ``topic``/``partition``.
+        Scalar ``Record`` views stay available via ``batch.records()``.
+        """
+        if self._closed:
+            raise KafkaError("consumer is closed")
+        if self._member_id is not None and not self._manual_assignment:
+            self.cluster.group_coordinator.heartbeat(
+                self.config.group_id, self._member_id
+            )
+        self._maybe_rejoin()
+        budget = max_records or self.config.max_poll_records
+        out: List[ColumnarBatch] = []
+        active = [tp for tp in self._assignment if tp not in self._paused]
+        if not active:
+            return out
+        total = 0
+        for i in range(len(active)):
+            if budget <= 0:
+                break
+            tp = active[(self._fetch_cursor + i) % len(active)]
+            try:
+                batch = self._fetch_one_columnar(tp, budget)
+            except RetriableError:
+                self._leader_cache.pop(tp, None)
+                continue
+            if batch.valid_count:
+                out.append(batch)
+                budget -= batch.valid_count
+                total += batch.valid_count
+        self._fetch_cursor += 1
+        self.records_consumed += total
+        self._records_per_poll.observe(total)
         return out
 
     def _leader_of(self, tp: TopicPartition) -> int:
@@ -292,6 +339,36 @@ class Consumer:
             )
             for r in result.records
         ]
+
+    def _fetch_one_columnar(
+        self, tp: TopicPartition, budget: int
+    ) -> ColumnarBatch:
+        position = self._positions.get(tp)
+        if position is None:
+            position = self._reset_offset(tp)
+            self._positions[tp] = position
+        leader = self._leader_of(tp)
+        traced = self._tracer.enabled
+        fetch_started = self.cluster.clock.now if traced else 0.0
+        batch = self._network.call(
+            "fetch",
+            leader,
+            lambda: self.cluster.handle_fetch_columnar(
+                tp, position, budget, self.config.isolation_level
+            ),
+            base_cost_ms=self._network.fetch_cost(),
+            src=self.config.client_id,
+        )
+        self._positions[tp] = batch.next_offset
+        # No per-record copies and no per-record stage stamps here: the
+        # batch view is read-only and origin metadata rides on the batch
+        # itself (per-batch span mode; see obs/stages.py).
+        batch.topic, batch.partition = tp
+        if traced:
+            self.cluster.metrics.histogram(
+                "fetch_latency_ms", topic=batch.topic, partition=batch.partition
+            ).observe(self.cluster.clock.now - fetch_started)
+        return batch
 
     # -- positions & commits ---------------------------------------------------------------
 

@@ -28,9 +28,33 @@ from repro.errors import (
     ProducerFencedError,
     RetriableError,
 )
-from repro.log.record import NO_SEQUENCE, Record, RecordBatch
+from repro.log.columnar import ColumnarSlab
+from repro.log.record import NO_SEQUENCE
 from repro.obs.tracer import TRACE_ID_HEADER
 from repro.util import partition_for
+
+
+class _ColumnBuffer:
+    """Per-partition pending sends as parallel columns.
+
+    ``send()`` appends four scalars instead of building an intermediate
+    ``Record``; the flush path hands the columns to the broker as one
+    :class:`~repro.log.columnar.ColumnarSlab`, and the partition log
+    constructs the final offset-stamped records in a single pass."""
+
+    __slots__ = ("keys", "values", "timestamps", "headers")
+
+    def __init__(self) -> None:
+        self.keys: List[Any] = []
+        self.values: List[Any] = []
+        self.timestamps: List[float] = []
+        self.headers: List[Dict[str, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __bool__(self) -> bool:
+        return bool(self.keys)
 
 
 class Producer:
@@ -51,7 +75,7 @@ class Producer:
             self.producer_epoch = 0
 
         self._sequences: Dict[TopicPartition, int] = {}
-        self._pending: Dict[TopicPartition, List[Record]] = {}
+        self._pending: Dict[TopicPartition, _ColumnBuffer] = {}
         # Routing caches, valid for one cluster metadata epoch: topic
         # metadata and partition leadership are looked up once per epoch
         # instead of twice per record on the send hot path.
@@ -282,30 +306,71 @@ class Producer:
         tp = TopicPartition(topic, partition)
         if self._in_transaction and tp not in self._txn_registered_partitions:
             self._txn_unregistered.add(tp)
-        record = Record(
-            key=key,
-            value=value,
-            timestamp=self._clock.now if timestamp is None else timestamp,
-            headers=dict(headers or {}),
-        )
-        if self._tracer.enabled and TRACE_ID_HEADER not in record.headers:
+        record_headers = dict(headers or {})
+        if self._tracer.enabled and TRACE_ID_HEADER not in record_headers:
             # First send of a fresh record: root of its causal chain. Hops
             # (repartition, changelog, sink) keep the inherited id.
-            record.headers[TRACE_ID_HEADER] = self._tracer.new_trace_id()
-        bucket = self._pending.setdefault(tp, [])
-        bucket.append(record)
-        if len(bucket) >= self.config.batch_max_records:
+            record_headers[TRACE_ID_HEADER] = self._tracer.new_trace_id()
+        bucket = self._pending.get(tp)
+        if bucket is None:
+            bucket = self._pending[tp] = _ColumnBuffer()
+        bucket.keys.append(key)
+        bucket.values.append(value)
+        bucket.timestamps.append(
+            self._clock.now if timestamp is None else timestamp
+        )
+        bucket.headers.append(record_headers)
+        if len(bucket.keys) >= self.config.batch_max_records:
             self._register_pending_partitions()
             self._send_batch(tp, bucket)
-            self._pending[tp] = []
+            self._pending[tp] = _ColumnBuffer()
+        return tp
+
+    def send_columns(
+        self,
+        topic: str,
+        partition: int,
+        keys: List[Any],
+        values: List[Any],
+        timestamps: List[float],
+        headers: List[Dict[str, Any]],
+    ) -> TopicPartition:
+        """Bulk-buffer a column chunk for one explicit partition.
+
+        The batch-execution hot path lands here: sink and changelog chunks
+        arrive as parallel columns and are appended by list extension —
+        no per-record ``Record`` (or even per-record method call) exists
+        between the operator and the broker log. Header dicts are taken by
+        reference; callers hand over ownership.
+        """
+        if self._closed:
+            raise KafkaError("producer is closed")
+        if self.transactional and not self._in_transaction:
+            raise InvalidTxnStateError(
+                "transactional producers must send within a transaction"
+            )
+        tp = TopicPartition(topic, partition)
+        if self._in_transaction and tp not in self._txn_registered_partitions:
+            self._txn_unregistered.add(tp)
+        bucket = self._pending.get(tp)
+        if bucket is None:
+            bucket = self._pending[tp] = _ColumnBuffer()
+        bucket.keys.extend(keys)
+        bucket.values.extend(values)
+        bucket.timestamps.extend(timestamps)
+        bucket.headers.extend(headers)
+        if len(bucket.keys) >= self.config.batch_max_records:
+            self._register_pending_partitions()
+            self._send_batch(tp, bucket)
+            self._pending[tp] = _ColumnBuffer()
         return tp
 
     def flush(self) -> None:
         """Send every buffered batch and await acknowledgements."""
         self._register_pending_partitions()
-        for tp, records in list(self._pending.items()):
-            if records:
-                self._send_batch(tp, records)
+        for tp, bucket in list(self._pending.items()):
+            if bucket:
+                self._send_batch(tp, bucket)
         self._pending.clear()
 
     def _register_pending_partitions(self) -> None:
@@ -338,12 +403,19 @@ class Producer:
         )
         self._txn_registered_partitions.update(partitions)
 
-    def _send_batch(self, tp: TopicPartition, records: List[Record]) -> None:
+    def _send_batch(self, tp: TopicPartition, bucket: _ColumnBuffer) -> None:
         base_sequence = NO_SEQUENCE
         if self.producer_id != -1:
             base_sequence = self._sequences.get(tp, 0)
-        batch = RecordBatch(
-            records=list(records),
+        record_count = len(bucket.keys)
+        # The slab takes ownership of the buffer's column lists; callers
+        # replace the buffer after a send. Retries reuse the same slab (and
+        # base sequence), so the broker can de-duplicate.
+        batch = ColumnarSlab(
+            keys=bucket.keys,
+            values=bucket.values,
+            timestamps=bucket.timestamps,
+            headers=bucket.headers,
             producer_id=self.producer_id,
             producer_epoch=self.producer_epoch,
             base_sequence=base_sequence,
@@ -365,7 +437,7 @@ class Producer:
                     "produce",
                     leader,
                     lambda: self.cluster.handle_produce(tp, batch, self.config.acks),
-                    base_cost_ms=self._network.produce_cost(len(records)),
+                    base_cost_ms=self._network.produce_cost(record_count),
                     src=self.config.client_id,
                 )
                 break
@@ -383,14 +455,14 @@ class Producer:
                 self._clock.advance(min(backoff, remaining))
                 backoff = min(backoff * 2, self.config.retry_backoff_max_ms)
         if base_sequence != NO_SEQUENCE:
-            self._sequences[tp] = base_sequence + len(records)
+            self._sequences[tp] = base_sequence + record_count
         if self._tracer.enabled:
             # Acked-produce latency, labeled per partition (includes any
             # retries/backoff this batch rode through).
             self.cluster.metrics.histogram(
                 "produce_latency_ms", topic=tp.topic, partition=tp.partition
             ).observe(self._clock.now - send_started)
-        self.records_sent += len(records)
+        self.records_sent += record_count
         self.batches_sent += 1
 
     def close(self) -> None:

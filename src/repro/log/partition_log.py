@@ -29,6 +29,7 @@ from repro.errors import (
     OffsetOutOfRangeError,
     OutOfOrderSequenceError,
 )
+from repro.log.columnar import ColumnarBatch, ColumnarSlab
 from repro.log.record import (
     ABORT_MARKER,
     NO_PRODUCER_ID,
@@ -129,6 +130,13 @@ class PartitionLog:
         # are serial, so its spans are disjoint and both offset lists are
         # ascending — membership and overlap queries are a bisect away.
         self._aborted_index: Dict[int, Tuple[List[int], List[int], List[AbortedTxn]]] = {}
+        # Columnar-read auxiliaries: sorted offsets of every *data* record
+        # carrying a real producer id, and of every control marker. Aborted
+        # filtering and control skipping then become bisected slices of
+        # these lists — validity runs are built from the gaps, without
+        # touching individual records.
+        self._pid_offsets: Dict[int, List[int]] = {}
+        self._control_offsets: List[int] = []
 
     # -- basic accessors -------------------------------------------------------
 
@@ -277,10 +285,12 @@ class PartitionLog:
         )
         return result
 
-    def _do_append(self, batch: RecordBatch) -> AppendResult:
+    def _do_append(self, batch) -> AppendResult:
         # Offset assignment and producer-metadata stamping fused into one
         # record construction (instead of stamped_records() + with_offset(),
-        # two dataclass copies per record on the produce hot path).
+        # two dataclass copies per record on the produce hot path). For a
+        # ColumnarSlab this is the *only* per-record Record construction on
+        # the whole produce path — the producer ships raw columns.
         base_offset = self._next_offset
         offset = base_offset
         base_sequence = batch.base_sequence
@@ -289,28 +299,66 @@ class PartitionLog:
         transactional = batch.is_transactional
         append_record = self._records.append
         append_offset = self._offsets.append
-        for i, record in enumerate(batch.records):
-            append_record(
-                Record(
-                    key=record.key,
-                    value=record.value,
-                    timestamp=record.timestamp,
-                    headers=record.headers,
-                    offset=offset,
-                    producer_id=pid,
-                    producer_epoch=epoch,
-                    sequence=(
-                        NO_SEQUENCE
-                        if base_sequence == NO_SEQUENCE
-                        else base_sequence + i
-                    ),
-                    is_transactional=transactional,
-                    is_control=record.is_control,
-                    control_type=record.control_type,
+        pid_append = (
+            self._pid_offsets.setdefault(pid, []).append
+            if pid != NO_PRODUCER_ID
+            else None
+        )
+        if isinstance(batch, ColumnarSlab):
+            keys = batch.keys
+            values = batch.values
+            timestamps = batch.timestamps
+            headers = batch.headers
+            # Positional construction: Record is a slots dataclass and the
+            # keyword form measurably slows this, the innermost produce loop.
+            # A slab is all-data, one-producer, contiguous, so the offset
+            # and producer indexes grow by a single range extension.
+            seq = base_sequence
+            seq_step = 0 if base_sequence == NO_SEQUENCE else 1
+            for key, value, timestamp, hdrs in zip(
+                keys, values, timestamps, headers
+            ):
+                append_record(
+                    Record(
+                        key, value, timestamp, hdrs,
+                        offset, pid, epoch, seq, transactional,
+                    )
                 )
-            )
-            append_offset(offset)
-            offset += 1
+                offset += 1
+                seq += seq_step
+            assigned = range(base_offset, offset)
+            self._offsets.extend(assigned)
+            if pid_append is not None:
+                self._pid_offsets[pid].extend(assigned)
+        else:
+            control_append = self._control_offsets.append
+            # Scalar RecordBatch intake, not a columnar read path.
+            for i, record in enumerate(batch.records):  # lint: allow-record-loop
+                append_record(
+                    Record(
+                        key=record.key,
+                        value=record.value,
+                        timestamp=record.timestamp,
+                        headers=record.headers,
+                        offset=offset,
+                        producer_id=pid,
+                        producer_epoch=epoch,
+                        sequence=(
+                            NO_SEQUENCE
+                            if base_sequence == NO_SEQUENCE
+                            else base_sequence + i
+                        ),
+                        is_transactional=transactional,
+                        is_control=record.is_control,
+                        control_type=record.control_type,
+                    )
+                )
+                append_offset(offset)
+                if record.is_control:
+                    control_append(offset)
+                elif pid_append is not None:
+                    pid_append(offset)
+                offset += 1
         self._next_offset = offset
         if transactional and pid not in self._open_txns:
             self._open_txns[pid] = base_offset
@@ -320,6 +368,12 @@ class PartitionLog:
         stamped = record.with_offset(self._next_offset)
         self._records.append(stamped)
         self._offsets.append(self._next_offset)
+        if stamped.is_control:
+            self._control_offsets.append(self._next_offset)
+        elif stamped.producer_id != NO_PRODUCER_ID:
+            self._pid_offsets.setdefault(stamped.producer_id, []).append(
+                self._next_offset
+            )
         self._next_offset += 1
 
     def append_marker(self, marker: Record) -> int:
@@ -345,58 +399,172 @@ class PartitionLog:
 
     def replicate_from(self, records: List[Record]) -> None:
         """Follower path: copy already-offset-stamped records verbatim,
-        reconstructing producer/transaction state from their metadata."""
-        append_record = self._records.append
-        append_offset = self._offsets.append
+        reconstructing producer/transaction state from their metadata.
+
+        The backing record and offset lists grow by C-level extension (the
+        offsets of a valid replication slice are exactly the next ``n``
+        integers, validated up front), and the producer/transaction
+        metadata walk advances run-at-a-time: a replication slice is a
+        concatenation of leader batches, so consecutive data records from
+        one producer with contiguous sequences collapse into a single
+        offset-range extension and one batch-metadata merge."""
+        if not records:
+            return
         next_offset = self._next_offset
-        for record in records:
-            if record.offset != next_offset:
-                self._next_offset = next_offset
-                raise ValueError(
-                    f"{self.name}: replication gap, expected offset "
-                    f"{next_offset}, got {record.offset}"
-                )
-            append_record(record)
-            append_offset(record.offset)
-            next_offset = record.offset + 1
-            self._next_offset = next_offset
+        n = len(records)
+        offsets = [record.offset for record in records]
+        if offsets != list(range(next_offset, next_offset + n)):
+            for i, offset in enumerate(offsets):
+                if offset != next_offset + i:
+                    raise ValueError(
+                        f"{self.name}: replication gap, expected offset "
+                        f"{next_offset + i}, got {offset}"
+                    )
+        self._records.extend(records)
+        self._offsets.extend(offsets)
+        self._next_offset = next_offset + n
+        open_txns = self._open_txns
+        producers = self._producers
+        i = 0
+        while i < n:
+            record = records[i]
             pid = record.producer_id
             if record.is_control:
-                first = self._open_txns.pop(pid, None)
+                self._control_offsets.append(record.offset)
+                first = open_txns.pop(pid, None)
                 if record.control_type == ABORT_MARKER and first is not None:
                     self._index_aborted(AbortedTxn(pid, first, record.offset - 1))
+                i += 1
                 continue
-            if pid != NO_PRODUCER_ID:
-                state = self._producers.get(pid)
-                if state is None or record.producer_epoch > state.epoch:
-                    state = _ProducerIdState(record.producer_epoch)
-                    self._producers[pid] = state
-                if record.sequence != NO_SEQUENCE:
-                    # Merge contiguous (sequence AND offset) records into
-                    # one batch-metadata run. Batches append atomically on
-                    # the leader, so a batch is always offset-contiguous;
-                    # keeping runs merged lets this replica — should it be
-                    # elected leader — recognise a producer's post-failover
-                    # retry as a duplicate instead of an out-of-order send.
-                    run = state.batches[-1] if state.batches else None
-                    if (
-                        run is not None
-                        and run.last_sequence + 1 == record.sequence
-                        and run.last_offset + 1 == record.offset
-                    ):
-                        run.last_sequence = record.sequence
-                        run.last_offset = record.offset
-                    else:
-                        state.batches.append(
-                            _BatchMeta(
-                                record.sequence,
-                                record.sequence,
-                                record.offset,
-                                record.offset,
-                            )
+            if pid == NO_PRODUCER_ID:
+                i += 1
+                continue
+            # Extend the run: same producer (and epoch), non-control, with
+            # sequences advancing in lockstep with offsets — i.e. exactly
+            # what one leader batch (or adjacent batches of one producer)
+            # replicates as.
+            sequence = record.sequence
+            epoch = record.producer_epoch
+            j = i + 1
+            while j < n:
+                peer = records[j]
+                if (
+                    peer.is_control
+                    or peer.producer_id != pid
+                    or peer.producer_epoch != epoch
+                    or peer.is_transactional != record.is_transactional
+                    or peer.sequence
+                    != (
+                        sequence + (j - i)
+                        if sequence != NO_SEQUENCE
+                        else NO_SEQUENCE
+                    )
+                ):
+                    break
+                j += 1
+            run_len = j - i
+            first_offset = record.offset
+            self._pid_offsets.setdefault(pid, []).extend(
+                range(first_offset, first_offset + run_len)
+            )
+            state = producers.get(pid)
+            if state is None or epoch > state.epoch:
+                state = _ProducerIdState(epoch)
+                producers[pid] = state
+            if sequence != NO_SEQUENCE:
+                # Merge contiguous (sequence AND offset) runs into one
+                # batch-metadata entry. Batches append atomically on the
+                # leader, so a batch is always offset-contiguous; keeping
+                # runs merged lets this replica — should it be elected
+                # leader — recognise a producer's post-failover retry as a
+                # duplicate instead of an out-of-order send.
+                last = state.batches[-1] if state.batches else None
+                if (
+                    last is not None
+                    and last.last_sequence + 1 == sequence
+                    and last.last_offset + 1 == first_offset
+                ):
+                    last.last_sequence = sequence + run_len - 1
+                    last.last_offset = first_offset + run_len - 1
+                else:
+                    state.batches.append(
+                        _BatchMeta(
+                            sequence,
+                            sequence + run_len - 1,
+                            first_offset,
+                            first_offset + run_len - 1,
                         )
-                if record.is_transactional and pid not in self._open_txns:
-                    self._open_txns[pid] = record.offset
+                    )
+            if record.is_transactional and pid not in open_txns:
+                open_txns[pid] = first_offset
+            i = j
+
+    def replicate_mirror(self, source: "PartitionLog") -> None:
+        """Follower fetch against a live leader log: copy the missing
+        record suffix by slice and *mirror* the leader's index state
+        instead of re-deriving it record by record.
+
+        Valid only when this log is a prefix of ``source`` (which
+        :meth:`repro.broker.partition.Partition._sync_follower` guarantees
+        by truncating or resetting first) and the sync runs to the
+        leader's log end — afterwards both logs hold the same records, so
+        every index must equal the leader's:
+
+        * record/offset/control/producer-offset lists grow by bisected
+          slice extension (follower lists never hold offsets >= its log
+          end — ``truncate_to``/``reset_to`` maintain that);
+        * producer sequence state and open transactions are snapshots of
+          the leader's (which also heals state left stale by a divergence
+          truncation, where the record walk could only append);
+        * aborted spans whose markers sit in the copied suffix are pushed
+          through :meth:`_index_aborted` in leader order (``_aborted`` is
+          sorted by ``last_offset`` — each abort marker at offset ``m``
+          indexes a span ending at ``m - 1``, and markers append in offset
+          order).
+        """
+        start = self._next_offset
+        if start >= source._next_offset:
+            return
+        if start < source.log_start_offset:
+            raise ValueError(
+                f"{self.name}: cannot mirror from offset {start}; source "
+                f"log starts at {source.log_start_offset}"
+            )
+        idx = bisect.bisect_left(source._offsets, start)
+        self._records.extend(source._records[idx:])
+        self._offsets.extend(source._offsets[idx:])
+        self._next_offset = source._next_offset
+
+        controls = source._control_offsets
+        self._control_offsets.extend(
+            controls[bisect.bisect_left(controls, start):]
+        )
+        for pid, offs in source._pid_offsets.items():
+            tail = offs[bisect.bisect_left(offs, start):]
+            if tail:
+                self._pid_offsets.setdefault(pid, []).extend(tail)
+
+        self._open_txns = dict(source._open_txns)
+        producers: Dict[int, _ProducerIdState] = {}
+        for pid, state in source._producers.items():
+            mirrored = _ProducerIdState(state.epoch)
+            mirrored.batches.extend(
+                _BatchMeta(
+                    m.base_sequence, m.last_sequence,
+                    m.base_offset, m.last_offset,
+                )
+                for m in state.batches
+            )
+            producers[pid] = mirrored
+        self._producers = producers
+
+        # Spans indexed by markers in [start, end) end at >= start - 1;
+        # spans from earlier markers end at <= start - 2.
+        lo = bisect.bisect_left(
+            source._aborted, start - 1, key=lambda s: s.last_offset
+        )
+        for span in source._aborted[lo:]:
+            self._index_aborted(span)
 
     # -- reads -------------------------------------------------------------------
 
@@ -429,6 +597,126 @@ class PartitionLog:
             end = start + max_records
         return self._records[start:end]
 
+    def read_columnar(
+        self,
+        from_offset: int,
+        max_records: int = 1_000_000,
+        up_to_offset: Optional[int] = None,
+        filter_aborted: bool = False,
+    ) -> ColumnarBatch:
+        """Columnar twin of :meth:`read` with fetch filtering built in.
+
+        Returns a :class:`ColumnarBatch` whose validity runs cover exactly
+        the records a scalar fetch would return: control markers are always
+        masked, and with ``filter_aborted`` the aborted spans of the PR 1
+        interval index are masked too. No per-record work happens here —
+        the skipped positions are found by bisecting the control-offset and
+        per-producer offset lists, so the cost is O(skips · log n) plus one
+        C-level slice of the backing list.
+
+        ``next_offset`` follows scalar-fetch semantics: it advances past
+        every *scanned* position (including masked ones), and scanning
+        stops as soon as ``max_records`` valid records are found.
+        """
+        if from_offset < self.log_start_offset or from_offset > self._next_offset:
+            raise OffsetOutOfRangeError(
+                f"{self.name}: offset {from_offset} outside "
+                f"[{self.log_start_offset}, {self._next_offset}]"
+            )
+        limit = self.high_watermark if up_to_offset is None else up_to_offset
+        offsets = self._offsets
+        start = bisect.bisect_left(offsets, from_offset)
+        hard_end = bisect.bisect_left(offsets, limit, start)
+        hw = self.high_watermark
+        lso = self.last_stable_offset
+        if hard_end <= start or max_records <= 0:
+            return ColumnarBatch([], [], from_offset, hw, lso)
+
+        # Offsets inside the window that a scalar fetch would skip. The
+        # harvest is bounded to the prefix the budget can actually consume:
+        # start from a fully-valid window of ``max_records`` positions and
+        # grow it geometrically while masked positions eat into the budget,
+        # so a bounded page against a huge tail never walks the tail's
+        # whole skip index (which would make paging quadratic).
+        window_lo = offsets[start]
+        controls = self._control_offsets
+        span = min(max_records, hard_end - start)
+        while True:
+            scan_end = start + span if start + span < hard_end else hard_end
+            window_hi = offsets[scan_end - 1] + 1
+            invalid_lists: List[List[int]] = []
+            lo = bisect.bisect_left(controls, window_lo)
+            hi = bisect.bisect_left(controls, window_hi, lo)
+            if hi > lo:
+                invalid_lists.append(controls[lo:hi])
+            if filter_aborted:
+                for span_txn in self.aborted_overlapping(window_lo, window_hi):
+                    per_pid = self._pid_offsets.get(span_txn.producer_id)
+                    if per_pid is None:
+                        continue
+                    a = bisect.bisect_left(
+                        per_pid, max(span_txn.first_offset, window_lo)
+                    )
+                    b = bisect.bisect_right(
+                        per_pid, min(span_txn.last_offset, window_hi - 1), a
+                    )
+                    if b > a:
+                        invalid_lists.append(per_pid[a:b])
+            masked = sum(len(chunk) for chunk in invalid_lists)
+            if scan_end == hard_end or (scan_end - start) - masked >= max_records:
+                break
+            span *= 2
+        if not invalid_lists:
+            invalid: List[int] = []
+        elif len(invalid_lists) == 1:
+            invalid = invalid_lists[0]
+        else:
+            # The sources are mutually disjoint sorted lists (control
+            # markers never carry data producer-id entries; aborted spans
+            # partition per-producer offsets), so merging is enough — and
+            # timsort's gallop over concatenated sorted runs beats a
+            # generator-based k-way merge.
+            invalid = [o for chunk in invalid_lists for o in chunk]
+            invalid.sort()
+
+        # Build validity runs between skipped positions, stopping the scan
+        # once the budget of valid records is filled.
+        runs: List[Tuple[int, int]] = []
+        valid = 0
+        cursor = start
+        end_idx = start
+        budget_filled = False
+        for skip_offset in invalid:
+            idx = bisect.bisect_left(offsets, skip_offset, cursor, hard_end)
+            take = idx - cursor
+            if valid + take >= max_records:
+                take = max_records - valid
+                if take:
+                    runs.append((cursor, cursor + take))
+                    valid += take
+                end_idx = cursor + take
+                budget_filled = True
+                break
+            if take:
+                runs.append((cursor, idx))
+                valid += take
+            cursor = idx + 1
+            end_idx = cursor
+        if not budget_filled:
+            take = hard_end - cursor
+            if take > 0:
+                if valid + take > max_records:
+                    take = max_records - valid
+                runs.append((cursor, cursor + take))
+                valid += take
+                end_idx = cursor + take
+
+        next_offset = offsets[end_idx - 1] + 1 if end_idx > start else from_offset
+        backing = self._records[start:end_idx]
+        if start:
+            runs = [(s - start, e - start) for s, e in runs]
+        return ColumnarBatch(backing, runs, next_offset, hw, lso)
+
     def earliest_offset(self) -> int:
         return self.log_start_offset
 
@@ -437,6 +725,11 @@ class PartitionLog:
         keep = bisect.bisect_left(self._offsets, offset)
         del self._records[keep:]
         del self._offsets[keep:]
+        for offs in self._pid_offsets.values():
+            del offs[bisect.bisect_left(offs, offset):]
+        del self._control_offsets[
+            bisect.bisect_left(self._control_offsets, offset):
+        ]
         self._next_offset = offset if not self._offsets else self._offsets[-1] + 1
         self.high_watermark = min(self.high_watermark, self._next_offset)
 
@@ -452,6 +745,8 @@ class PartitionLog:
         self._open_txns.clear()
         self._aborted.clear()
         self._aborted_index.clear()
+        self._pid_offsets.clear()
+        self._control_offsets.clear()
 
     def delete_records_before(self, offset: int) -> int:
         """Advance the log start offset (repartition-topic purge).
@@ -465,6 +760,11 @@ class PartitionLog:
         removed = keep
         del self._records[:keep]
         del self._offsets[:keep]
+        for offs in self._pid_offsets.values():
+            del offs[: bisect.bisect_left(offs, offset)]
+        del self._control_offsets[
+            : bisect.bisect_left(self._control_offsets, offset)
+        ]
         self.log_start_offset = offset
         return removed
 
@@ -477,6 +777,17 @@ class PartitionLog:
             raise ValueError("compacted records must keep ascending offsets")
         self._records = list(records)
         self._offsets = offsets
+        pid_offsets: Dict[int, List[int]] = {}
+        control_offsets: List[int] = []
+        for record in records:
+            if record.is_control:
+                control_offsets.append(record.offset)
+            elif record.producer_id != NO_PRODUCER_ID:
+                pid_offsets.setdefault(record.producer_id, []).append(
+                    record.offset
+                )
+        self._pid_offsets = pid_offsets
+        self._control_offsets = control_offsets
 
     # -- queries used by coordinators ---------------------------------------------
 

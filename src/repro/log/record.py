@@ -82,8 +82,19 @@ class RecordBatch:
 
     def stamped_records(self) -> List[Record]:
         """Records carrying the batch's producer metadata."""
+        if (
+            self.producer_id == NO_PRODUCER_ID
+            and self.producer_epoch == -1
+            and self.base_sequence == NO_SEQUENCE
+            and not self.is_transactional
+        ):
+            # Nothing to stamp: a non-idempotent batch carries no producer
+            # metadata, so the per-record replace() would copy every record
+            # only to write back the defaults it already has.
+            return self.records
         stamped = []
-        for i, record in enumerate(self.records):
+        # Lazy scalar-view helper for batches that carry producer metadata.
+        for i, record in enumerate(self.records):  # lint: allow-record-loop
             seq = NO_SEQUENCE
             if self.base_sequence != NO_SEQUENCE:
                 seq = self.base_sequence + i

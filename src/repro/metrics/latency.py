@@ -28,6 +28,22 @@ class LatencyTracker:
         self.histogram.observe(latency)
         return latency
 
+    def record_batch_output(self, headers_list, received_at_ms: float) -> int:
+        """Columnar twin of :meth:`record_output`: observe the latency of
+        every header dict carrying a creation stamp in one histogram
+        extension. Returns how many observations were made. (Stage
+        decomposition needs per-record stamps, which the per-batch span
+        mode deliberately does not write, so subclasses inherit this
+        plain end-to-end accounting.)"""
+        latencies = [
+            received_at_ms - created
+            for headers in headers_list
+            if (created := headers.get(CREATED_AT_HEADER)) is not None
+        ]
+        if latencies:
+            self.histogram.observe_many(latencies)
+        return len(latencies)
+
     @property
     def count(self) -> int:
         return self.histogram.count

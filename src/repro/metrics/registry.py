@@ -73,6 +73,12 @@ class Histogram:
         self._values.append(value)
         self._sorted = None
 
+    def observe_many(self, values: List[float]) -> None:
+        """Bulk observation for columnar paths: one list extension instead
+        of a method call per sample."""
+        self._values.extend(values)
+        self._sorted = None
+
     @property
     def count(self) -> int:
         return len(self._values)

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.streams.processor import Processor
-from repro.streams.records import Change, StreamRecord
+from repro.streams.records import Change, ColumnChunk, StreamRecord
 from repro.streams.state.cache import StoreCache
 from repro.streams.windows import TimeWindows, Window, Windowed
 
@@ -53,6 +53,10 @@ class StreamAggregateProcessor(Processor):
         self._store = context.state_store(self._store_name)
         if self._cache_entries > 0:
             self._cache = StoreCache(self._cache_entries, self._emit)
+        # Caching consolidates emissions across records, which is a
+        # per-record protocol; only the cache-less processor can take the
+        # grouped column scan.
+        self.batch_aware = self._cache is None
 
     def process(self, record: StreamRecord) -> None:
         self.records_processed += 1
@@ -77,6 +81,48 @@ class StreamAggregateProcessor(Processor):
                     headers=dict(record.headers),
                 )
             )
+
+    def process_batch(self, chunk: ColumnChunk) -> None:
+        """Grouped column scan: one store get per distinct key on first
+        touch, the running aggregate kept in a dict, one store put per key
+        at chunk end. The emitted Change sequence is exactly what the
+        scalar path would forward record by record."""
+        keys = chunk.keys
+        values = chunk.values
+        n = len(keys)
+        self.records_processed += n
+        store = self._store
+        initializer = self._initializer
+        aggregator = self._aggregator
+        pending: dict = {}
+        out_k: list = []
+        out_v: list = []
+        out_t: list = []
+        out_h: list = []
+        append_k = out_k.append
+        append_v = out_v.append
+        append_t = out_t.append
+        append_h = out_h.append
+        for key, value, t, h in zip(
+            keys, values, chunk.timestamps, chunk.headers
+        ):
+            if key is None:
+                continue
+            if key in pending:
+                old = pending[key]
+            else:
+                old = store.get(key)
+            base = old if old is not None else initializer()
+            new = aggregator(key, value, base)
+            pending[key] = new
+            append_k(key)
+            append_v(Change(new, old))
+            append_t(t)
+            append_h(h)
+        if pending:
+            store.put_many(list(pending.items()))
+        if out_k:
+            self.context.forward_chunk(ColumnChunk(out_k, out_v, out_t, out_h))
 
     def _emit(self, key: Any, new: Any, old: Any, timestamp: float, headers=None) -> None:
         self._store.put(key, new)
@@ -128,6 +174,71 @@ class WindowedAggregateProcessor(Processor):
         self._store = context.state_store(self._store_name)
         if self._cache_entries > 0:
             self._cache = StoreCache(self._cache_entries, self._emit_windowed)
+        self.batch_aware = self._cache is None
+
+    def process_batch(self, chunk: ColumnChunk) -> None:
+        """Grouped column scan over windowed updates.
+
+        Stream time advances record by record inside the scan (the task
+        only publishes the chunk's max afterwards), so the per-record
+        expiry bound — and therefore which late records are dropped — is
+        identical to the scalar path. Store writes consolidate to one put
+        per (key, window) at chunk end; the trailing ``expire_before``
+        with the final bound removes the same windows the scalar path's
+        monotonically increasing per-record calls would have.
+        """
+        keys = chunk.keys
+        values = chunk.values
+        ts = chunk.timestamps
+        hdrs = chunk.headers
+        n = len(keys)
+        self.records_processed += n
+        stream_time = self.context.stream_time
+        grace = self._windows.grace_ms
+        store = self._store
+        initializer = self._initializer
+        aggregator = self._aggregator
+        windows_for = self._windows.windows_for
+        pending: dict = {}
+        out_k: list = []
+        out_v: list = []
+        out_t: list = []
+        out_h: list = []
+        # The scalar path garbage-collects while processing keyed records
+        # only; mirror that so store contents match exactly even when a
+        # chunk ends in key-less records.
+        gc_bound: Optional[float] = None
+        for key, value, timestamp, h in zip(keys, values, ts, hdrs):
+            if timestamp > stream_time:
+                stream_time = timestamp
+            if key is None:
+                continue
+            expiry_bound = stream_time - grace
+            gc_bound = expiry_bound
+            for window in windows_for(timestamp):
+                if window.start < expiry_bound:
+                    self.dropped_records += 1
+                    continue
+                cache_key = (key, window.start)
+                if cache_key in pending:
+                    old = pending[cache_key]
+                else:
+                    old = store.fetch(key, window.start)
+                base = old if old is not None else initializer()
+                new = aggregator(key, value, base)
+                if old is not None:
+                    self.revisions_emitted += 1
+                pending[cache_key] = new
+                out_k.append(Windowed(key, window))
+                out_v.append(Change(new, old))
+                out_t.append(timestamp)
+                out_h.append(h)
+        for (key, window_start), value in pending.items():
+            store.put(key, window_start, value)
+        if gc_bound is not None:
+            store.expire_before(gc_bound)
+        if out_k:
+            self.context.forward_chunk(ColumnChunk(out_k, out_v, out_t, out_h))
 
     def process(self, record: StreamRecord) -> None:
         self.records_processed += 1

@@ -18,7 +18,7 @@ from repro.streams.joins import (
     StreamJoinSideProcessor,
     StreamTableJoinProcessor,
 )
-from repro.streams.processor import ForwardingProcessor, Processor
+from repro.streams.processor import FusedStatelessProcessor, Processor
 from repro.streams.records import StreamRecord
 from repro.streams.topology import StateStoreSpec
 
@@ -37,8 +37,13 @@ class _AbsorbProcessor(Processor):
 
 
 class _PassThroughProcessor(Processor):
+    batch_aware = True
+
     def process(self, record: StreamRecord) -> None:
         self.context.forward(record)
+
+    def process_batch(self, chunk) -> None:
+        self.context.forward_chunk(chunk)
 
 
 class _BranchProcessor(Processor):
@@ -88,14 +93,20 @@ class KStream:
     def _stateless(
         self,
         prefix: str,
-        record_fn: Callable[[StreamRecord], Iterable[StreamRecord]],
+        kind: str,
+        fn: Callable,
         key_changed: bool = False,
     ) -> "KStream":
+        """Add one stateless operator node. ``kind`` selects the fused
+        operator semantics; ``fn`` is the user's (key, value)-level
+        function — keeping it at that level (rather than a pre-baked
+        record closure) is what lets the processor run it over whole
+        column chunks without materializing records."""
         topo = self.builder.topology
         name = topo.unique_name(prefix)
         topo.add_processor(
             name,
-            lambda fn=record_fn: ForwardingProcessor(lambda r: list(fn(r))),
+            lambda kind=kind, fn=fn: FusedStatelessProcessor(kind, fn),
             parents=[self.node],
         )
         return self._derive(
@@ -138,60 +149,39 @@ class KStream:
 
     def filter(self, predicate: Callable[[Any, Any], bool]) -> "KStream":
         """Keep records for which ``predicate(key, value)`` is true."""
-        return self._stateless(
-            "KSTREAM-FILTER",
-            lambda r: [r] if predicate(r.key, r.value) else [],
-        )
+        return self._stateless("KSTREAM-FILTER", "filter", predicate)
 
     def filter_not(self, predicate: Callable[[Any, Any], bool]) -> "KStream":
-        return self._stateless(
-            "KSTREAM-FILTER",
-            lambda r: [] if predicate(r.key, r.value) else [r],
-        )
+        return self._stateless("KSTREAM-FILTER", "filter_not", predicate)
 
     def map(self, mapper: Callable[[Any, Any], Tuple[Any, Any]]) -> "KStream":
         """Transform each record to a new (key, value); may change the key,
         so downstream key-based operations will repartition."""
-
-        def apply(r: StreamRecord):
-            key, value = mapper(r.key, r.value)
-            return [r.with_kv(key, value)]
-
-        return self._stateless("KSTREAM-MAP", apply, key_changed=True)
+        return self._stateless("KSTREAM-MAP", "map", mapper, key_changed=True)
 
     def map_values(self, mapper: Callable[[Any], Any]) -> "KStream":
         """Transform values only — key unchanged, no repartition needed."""
-        return self._stateless(
-            "KSTREAM-MAPVALUES", lambda r: [r.with_value(mapper(r.value))]
-        )
+        return self._stateless("KSTREAM-MAPVALUES", "map_values", mapper)
 
     def flat_map(
         self, mapper: Callable[[Any, Any], Iterable[Tuple[Any, Any]]]
     ) -> "KStream":
-        def apply(r: StreamRecord):
-            return [r.with_kv(k, v) for k, v in mapper(r.key, r.value)]
-
-        return self._stateless("KSTREAM-FLATMAP", apply, key_changed=True)
+        return self._stateless(
+            "KSTREAM-FLATMAP", "flat_map", mapper, key_changed=True
+        )
 
     def flat_map_values(self, mapper: Callable[[Any], Iterable[Any]]) -> "KStream":
         return self._stateless(
-            "KSTREAM-FLATMAPVALUES",
-            lambda r: [r.with_value(v) for v in mapper(r.value)],
+            "KSTREAM-FLATMAPVALUES", "flat_map_values", mapper
         )
 
     def select_key(self, selector: Callable[[Any, Any], Any]) -> "KStream":
         return self._stateless(
-            "KSTREAM-KEY-SELECT",
-            lambda r: [r.with_kv(selector(r.key, r.value), r.value)],
-            key_changed=True,
+            "KSTREAM-KEY-SELECT", "select_key", selector, key_changed=True
         )
 
     def peek(self, action: Callable[[Any, Any], None]) -> "KStream":
-        def apply(r: StreamRecord):
-            action(r.key, r.value)
-            return [r]
-
-        return self._stateless("KSTREAM-PEEK", apply)
+        return self._stateless("KSTREAM-PEEK", "peek", action)
 
     def branch(self, *predicates: Callable[[Any, Any], bool]) -> List["KStream"]:
         """Split the stream: each record goes to the first branch whose

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.errors import StateStoreError
-from repro.streams.records import StreamRecord
+from repro.streams.records import ColumnChunk, StreamRecord
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.streams.runtime.task import StreamTask
@@ -61,13 +61,29 @@ class Punctuation:
 
 
 class Processor:
-    """Base class for all processors; subclasses override :meth:`process`."""
+    """Base class for all processors; subclasses override :meth:`process`.
+
+    ``batch_aware`` marks processors that additionally implement
+    :meth:`process_batch` over a whole :class:`ColumnChunk`. A task runs
+    its columnar fast path only when *every* processor in its sub-topology
+    is batch-aware (all-or-nothing); otherwise incoming batches are
+    materialized to scalar records. Processors whose capability depends on
+    runtime configuration (e.g. caching aggregates) may override the class
+    attribute with an instance attribute during :meth:`init`.
+    """
+
+    batch_aware = False
 
     def init(self, context: "ProcessorContext") -> None:
         self.context = context
 
     def process(self, record: StreamRecord) -> None:
         raise NotImplementedError
+
+    def process_batch(self, chunk: ColumnChunk) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} is not batch-aware"
+        )
 
     def on_commit(self) -> None:
         """Hook invoked when the owning task commits (flush caches etc.)."""
@@ -86,6 +102,188 @@ class ForwardingProcessor(Processor):
     def process(self, record: StreamRecord) -> None:
         for out in self._fn(record):
             self.context.forward(out)
+
+
+class FusedStatelessProcessor(Processor):
+    """The DSL's stateless operators (filter / map / flatMap / selectKey /
+    peek and friends) as one processor with both execution modes.
+
+    The scalar path mirrors the per-record semantics the operators always
+    had; the columnar path transforms whole columns in a single pass —
+    list comprehensions over the key/value columns — and forwards a new
+    chunk, sharing untouched columns by reference. Both paths call the
+    same user function with the same (key, value) arguments in the same
+    order, so outputs are identical record-for-record.
+    """
+
+    batch_aware = True
+
+    KINDS = (
+        "filter",
+        "filter_not",
+        "map",
+        "map_values",
+        "flat_map",
+        "flat_map_values",
+        "select_key",
+        "peek",
+    )
+
+    def __init__(self, kind: str, fn: Callable) -> None:
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown stateless operator kind: {kind!r}")
+        self.kind = kind
+        self._fn = fn
+        # Bind the dispatch once; instance attributes shadow the base
+        # methods, so the per-record/per-chunk call is direct.
+        self.process = getattr(self, f"_scalar_{kind}")
+        self.process_batch = getattr(self, f"_batch_{kind}")
+
+    # -- scalar path ----------------------------------------------------------
+
+    def _scalar_filter(self, record: StreamRecord) -> None:
+        if self._fn(record.key, record.value):
+            self.context.forward(record)
+
+    def _scalar_filter_not(self, record: StreamRecord) -> None:
+        if not self._fn(record.key, record.value):
+            self.context.forward(record)
+
+    def _scalar_map(self, record: StreamRecord) -> None:
+        key, value = self._fn(record.key, record.value)
+        self.context.forward(record.with_kv(key, value))
+
+    def _scalar_map_values(self, record: StreamRecord) -> None:
+        self.context.forward(record.with_value(self._fn(record.value)))
+
+    def _scalar_flat_map(self, record: StreamRecord) -> None:
+        for key, value in self._fn(record.key, record.value):
+            self.context.forward(record.with_kv(key, value))
+
+    def _scalar_flat_map_values(self, record: StreamRecord) -> None:
+        for value in self._fn(record.value):
+            self.context.forward(record.with_value(value))
+
+    def _scalar_select_key(self, record: StreamRecord) -> None:
+        self.context.forward(
+            record.with_kv(self._fn(record.key, record.value), record.value)
+        )
+
+    def _scalar_peek(self, record: StreamRecord) -> None:
+        self._fn(record.key, record.value)
+        self.context.forward(record)
+
+    # -- columnar path --------------------------------------------------------
+
+    def _batch_filter(self, chunk: ColumnChunk) -> None:
+        fn = self._fn
+        keys, values = chunk.keys, chunk.values
+        idx = [i for i in range(len(keys)) if fn(keys[i], values[i])]
+        if not idx:
+            return
+        if len(idx) == len(keys):
+            self.context.forward_chunk(chunk)
+            return
+        ts, hdrs = chunk.timestamps, chunk.headers
+        self.context.forward_chunk(
+            ColumnChunk(
+                [keys[i] for i in idx],
+                [values[i] for i in idx],
+                [ts[i] for i in idx],
+                [hdrs[i] for i in idx],
+            )
+        )
+
+    def _batch_filter_not(self, chunk: ColumnChunk) -> None:
+        fn = self._fn
+        keys, values = chunk.keys, chunk.values
+        idx = [i for i in range(len(keys)) if not fn(keys[i], values[i])]
+        if not idx:
+            return
+        if len(idx) == len(keys):
+            self.context.forward_chunk(chunk)
+            return
+        ts, hdrs = chunk.timestamps, chunk.headers
+        self.context.forward_chunk(
+            ColumnChunk(
+                [keys[i] for i in idx],
+                [values[i] for i in idx],
+                [ts[i] for i in idx],
+                [hdrs[i] for i in idx],
+            )
+        )
+
+    def _batch_map(self, chunk: ColumnChunk) -> None:
+        fn = self._fn
+        mapped = [fn(k, v) for k, v in zip(chunk.keys, chunk.values)]
+        self.context.forward_chunk(
+            ColumnChunk(
+                [kv[0] for kv in mapped],
+                [kv[1] for kv in mapped],
+                chunk.timestamps,
+                chunk.headers,
+            )
+        )
+
+    def _batch_map_values(self, chunk: ColumnChunk) -> None:
+        fn = self._fn
+        self.context.forward_chunk(
+            ColumnChunk(
+                chunk.keys,
+                [fn(v) for v in chunk.values],
+                chunk.timestamps,
+                chunk.headers,
+            )
+        )
+
+    def _batch_flat_map(self, chunk: ColumnChunk) -> None:
+        fn = self._fn
+        out_k: list = []
+        out_v: list = []
+        out_t: list = []
+        out_h: list = []
+        ts, hdrs = chunk.timestamps, chunk.headers
+        for i, (k, v) in enumerate(zip(chunk.keys, chunk.values)):
+            for k2, v2 in fn(k, v):
+                out_k.append(k2)
+                out_v.append(v2)
+                out_t.append(ts[i])
+                out_h.append(hdrs[i])
+        if out_k:
+            self.context.forward_chunk(ColumnChunk(out_k, out_v, out_t, out_h))
+
+    def _batch_flat_map_values(self, chunk: ColumnChunk) -> None:
+        fn = self._fn
+        out_k: list = []
+        out_v: list = []
+        out_t: list = []
+        out_h: list = []
+        keys, ts, hdrs = chunk.keys, chunk.timestamps, chunk.headers
+        for i, v in enumerate(chunk.values):
+            for v2 in fn(v):
+                out_k.append(keys[i])
+                out_v.append(v2)
+                out_t.append(ts[i])
+                out_h.append(hdrs[i])
+        if out_k:
+            self.context.forward_chunk(ColumnChunk(out_k, out_v, out_t, out_h))
+
+    def _batch_select_key(self, chunk: ColumnChunk) -> None:
+        fn = self._fn
+        self.context.forward_chunk(
+            ColumnChunk(
+                [fn(k, v) for k, v in zip(chunk.keys, chunk.values)],
+                chunk.values,
+                chunk.timestamps,
+                chunk.headers,
+            )
+        )
+
+    def _batch_peek(self, chunk: ColumnChunk) -> None:
+        fn = self._fn
+        for k, v in zip(chunk.keys, chunk.values):
+            fn(k, v)
+        self.context.forward_chunk(chunk)
 
 
 class ProcessorContext:
@@ -117,6 +315,21 @@ class ProcessorContext:
             return
         for child in self._children:
             self._task.process_at(child, record)
+
+    def forward_chunk(self, chunk: ColumnChunk, to: Optional[str] = None) -> None:
+        """Columnar twin of :meth:`forward`: hand a whole chunk to child
+        node(s). Chunks are immutable between stages, so one chunk may be
+        forwarded to several children without copying."""
+        if to is not None:
+            if to not in self._children:
+                raise ValueError(
+                    f"{self.node_name}: {to!r} is not a child "
+                    f"(children: {self._children})"
+                )
+            self._task.process_chunk_at(to, chunk)
+            return
+        for child in self._children:
+            self._task.process_chunk_at(child, chunk)
 
     # -- state ------------------------------------------------------------------
 

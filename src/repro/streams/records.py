@@ -10,7 +10,7 @@ to retract the effect of the prior result before accumulating the update
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Optional
+from typing import Any, Dict, NamedTuple, Optional
 
 
 @dataclass(slots=True)
@@ -35,13 +35,51 @@ class StreamRecord:
         return replace(self, timestamp=timestamp)
 
 
-@dataclass(frozen=True)
-class Change:
+class ColumnChunk:
+    """A run of records as parallel columns, flowing between batch-aware
+    processors of one sub-topology.
+
+    The columnar twin of a sequence of :class:`StreamRecord`: position
+    ``i`` across the four lists is one record. Batch-aware processors
+    transform whole columns in a single pass and forward a new (or the
+    same) chunk; columns are never mutated in place, so unchanged columns
+    are shared by reference between stages.
+    """
+
+    __slots__ = ("keys", "values", "timestamps", "headers")
+
+    def __init__(
+        self,
+        keys: list,
+        values: list,
+        timestamps: list,
+        headers: list,
+    ) -> None:
+        self.keys = keys
+        self.values = values
+        self.timestamps = timestamps
+        self.headers = headers
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __bool__(self) -> bool:
+        return bool(self.keys)
+
+    def __repr__(self) -> str:
+        return f"ColumnChunk({len(self.keys)} records)"
+
+
+class Change(NamedTuple):
     """A table update: the new result plus the one it replaces.
 
     ``old`` is ``None`` for the first result of a key; a deletion carries
     ``new=None``. Downstream revision-aware processors retract ``old``
     and accumulate ``new``.
+
+    A NamedTuple rather than a frozen dataclass: aggregates construct one
+    per emitted update, which makes construction cost visible on the batch
+    hot path.
     """
 
     new: Any

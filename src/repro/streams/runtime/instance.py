@@ -64,6 +64,10 @@ class StreamsInstance:
             isolation = READ_COMMITTED
         else:
             isolation = READ_UNCOMMITTED
+        # Columnar batch execution: poll ColumnarBatches and push column
+        # chunks through batch-capable tasks. Speculative mode needs
+        # per-record transaction-dependency tracking, so it stays scalar.
+        self._batch_mode = self.config.batch_execution and not self.config.speculative
         self.consumer = Consumer(
             self.cluster,
             ConsumerConfig(
@@ -228,13 +232,19 @@ class StreamsInstance:
         try:
             for global_store in self.global_state.values():
                 global_store.update()
-            records = self.consumer.poll()
+            if self._batch_mode:
+                batches = self.consumer.poll_batches()
+            else:
+                records = self.consumer.poll()
             if self.consumer.take_partitions_lost():
                 # We were kicked from the group (zombie scenario): nothing
                 # processed since the last commit may survive.
                 raise TaskMigratedError("partitions lost: member was kicked")
             self._sync_tasks()
-            self._route(records)
+            if self._batch_mode:
+                self._route_batches(batches)
+            else:
+                self._route(records)
             if self._tracer.enabled:
                 # Post-route queue depths, one labeled gauge per task; the
                 # telemetry reporter turns these into time series.
@@ -249,11 +259,18 @@ class StreamsInstance:
             # finely, as in the real stream thread's loop, so a task with a
             # deep buffer does not starve others (and does not flood
             # repartition topics with long out-of-order timestamp runs).
+            # In batch mode the unit of interleaving is one column chunk
+            # per task per round instead — commit boundaries land on chunk
+            # boundaries, with identical committed output.
+            batch_mode = self._batch_mode
             processed = 0
             while True:
                 round_count = 0
                 for task in self.tasks.values():
-                    round_count += task.process_batch(1)
+                    if batch_mode and task.batch_capable:
+                        round_count += task.process_next_chunk()
+                    else:
+                        round_count += task.process_batch(1)
                 if round_count == 0:
                     break
                 processed += round_count
@@ -467,6 +484,18 @@ class StreamsInstance:
             task = self.tasks.get(task_id)
             if task is not None:
                 task.add_records(tp, batch)
+
+    def _route_batches(self, batches) -> None:
+        """Hand fetched ColumnarBatches to their tasks — already grouped
+        per partition by the fetch, so routing is per batch, not per
+        record. Batches for partitions without a live task are dropped,
+        like scalar records; task creation seeks back to the committed
+        offset, so nothing is lost."""
+        for batch in batches:
+            tp = TopicPartition(batch.topic, batch.partition)
+            task = self.tasks.get(self.app.assignor.task_for(tp))
+            if task is not None:
+                task.add_batch(tp, batch)
 
     def _ensure_transactions(self) -> None:
         if self._thread_producer is not None:

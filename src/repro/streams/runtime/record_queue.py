@@ -5,6 +5,18 @@ FIFO queue; the task always processes the queue whose head record has the
 smallest timestamp. This is the deterministic, timestamp-based incoming
 record choice the paper credits for Kafka Streams' determinism when
 multiple input streams feed one task (Section 7).
+
+Two representations coexist:
+
+* scalar — a deque of :class:`StreamRecord`, one pop per record;
+* columnar — a deque of :class:`ColumnCursor` (parallel key / value /
+  timestamp / header / offset columns plus a read position), from which
+  :meth:`PartitionGroup.next_chunk` slices maximal runs that the scalar
+  choice would have consumed back-to-back from the same queue. Batch
+  tasks enqueue columns; scalar (fallback) tasks enqueue records; one
+  queue never mixes the two, but both kinds pop either way, so a scalar
+  drain of a columnar queue still works (records materialize lazily, one
+  at a time).
 """
 
 from __future__ import annotations
@@ -13,7 +25,24 @@ from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.broker.partition import TopicPartition
-from repro.streams.records import StreamRecord
+from repro.streams.records import ColumnChunk, StreamRecord
+
+
+class ColumnCursor:
+    """One fetched batch as parallel columns plus a read position."""
+
+    __slots__ = ("keys", "values", "timestamps", "headers", "offsets", "pos")
+
+    def __init__(self, keys, values, timestamps, headers, offsets) -> None:
+        self.keys = keys
+        self.values = values
+        self.timestamps = timestamps
+        self.headers = headers
+        self.offsets = offsets
+        self.pos = 0
+
+    def remaining(self) -> int:
+        return len(self.keys) - self.pos
 
 
 class RecordQueue:
@@ -22,41 +51,79 @@ class RecordQueue:
     def __init__(self, tp: TopicPartition) -> None:
         self.tp = tp
         self._queue: Deque[StreamRecord] = deque()
+        self._cursors: Deque[ColumnCursor] = deque()
 
     def push(self, record: StreamRecord) -> None:
         self._queue.append(record)
 
+    def push_columns(self, keys, values, timestamps, headers, offsets) -> None:
+        if keys:
+            self._cursors.append(
+                ColumnCursor(keys, values, timestamps, headers, offsets)
+            )
+
     def head_timestamp(self) -> Optional[float]:
-        if not self._queue:
-            return None
-        return self._queue[0].timestamp
+        if self._queue:
+            return self._queue[0].timestamp
+        if self._cursors:
+            cursor = self._cursors[0]
+            return cursor.timestamps[cursor.pos]
+        return None
 
     def pop(self) -> StreamRecord:
-        return self._queue.popleft()
+        if self._queue:
+            return self._queue.popleft()
+        # Lazy scalar view of a columnar queue: materialize exactly one
+        # record from the head cursor.
+        cursor = self._cursors[0]
+        i = cursor.pos
+        record = StreamRecord(
+            key=cursor.keys[i],
+            value=cursor.values[i],
+            timestamp=cursor.timestamps[i],
+            headers=cursor.headers[i],
+            offset=cursor.offsets[i],
+            topic=self.tp.topic,
+            partition=self.tp.partition,
+        )
+        cursor.pos = i + 1
+        if cursor.pos == len(cursor.keys):
+            self._cursors.popleft()
+        return record
+
+    def head_cursor(self) -> Optional[ColumnCursor]:
+        return self._cursors[0] if self._cursors else None
 
     def __len__(self) -> int:
-        return len(self._queue)
+        return len(self._queue) + sum(c.remaining() for c in self._cursors)
 
 
 class PartitionGroup:
     """All of a task's record queues plus the choosing logic."""
 
     def __init__(self, partitions: List[TopicPartition]) -> None:
+        self._order = sorted(partitions)
         self._queues: Dict[TopicPartition, RecordQueue] = {
-            tp: RecordQueue(tp) for tp in partitions
+            tp: RecordQueue(tp) for tp in self._order
         }
+        self._single = (
+            self._queues[self._order[0]] if len(self._order) == 1 else None
+        )
 
     def add_records(self, tp: TopicPartition, records: List[StreamRecord]) -> None:
         queue = self._queues[tp]
         for record in records:
             queue.push(record)
 
+    def add_columns(self, tp, keys, values, timestamps, headers, offsets) -> None:
+        self._queues[tp].push_columns(keys, values, timestamps, headers, offsets)
+
     def next_record(self) -> Optional[Tuple[TopicPartition, StreamRecord]]:
         """Pop from the non-empty queue with the smallest head timestamp
         (ties broken by partition for determinism)."""
         best: Optional[RecordQueue] = None
         best_ts: Optional[float] = None
-        for tp in sorted(self._queues):
+        for tp in self._order:
             queue = self._queues[tp]
             ts = queue.head_timestamp()
             if ts is None:
@@ -67,8 +134,106 @@ class PartitionGroup:
             return None
         return best.tp, best.pop()
 
+    def next_chunk(self) -> Optional[Tuple[TopicPartition, ColumnChunk, int]]:
+        """Slice the maximal run of records the scalar choice would pop
+        consecutively from one queue, as a column chunk.
+
+        Returns ``(tp, chunk, last_offset)`` or ``None`` when empty. The
+        run extends while the cursor's next timestamp stays below every
+        other queue's head — or equal to it, when this queue wins the
+        sorted-partition tie-break — exactly the condition under which
+        :meth:`next_record` would keep choosing this queue. Queues are
+        static while a chunk is built (intake happens between polls), so
+        the other-queue minimum is computed once. Chunks never span
+        cursors: a fetch batch boundary ends the run.
+        """
+        # Single-input tasks (the common case) have no competing queue:
+        # the whole cursor remainder is one chunk.
+        single = self._single
+        if single is not None:
+            cursor = single.head_cursor()
+            if cursor is None:
+                return None
+            start = cursor.pos
+            if start == 0:
+                chunk = ColumnChunk(
+                    cursor.keys, cursor.values, cursor.timestamps, cursor.headers
+                )
+                last_offset = cursor.offsets[-1]
+            else:
+                chunk = ColumnChunk(
+                    cursor.keys[start:],
+                    cursor.values[start:],
+                    cursor.timestamps[start:],
+                    cursor.headers[start:],
+                )
+                last_offset = cursor.offsets[-1]
+            single._cursors.popleft()
+            return single.tp, chunk, last_offset
+
+        best: Optional[RecordQueue] = None
+        best_ts: Optional[float] = None
+        for tp in self._order:
+            queue = self._queues[tp]
+            ts = queue.head_timestamp()
+            if ts is None:
+                continue
+            if best_ts is None or ts < best_ts:
+                best, best_ts = queue, ts
+        if best is None:
+            return None
+        cursor = best.head_cursor()
+        if cursor is None:
+            return None
+
+        # Minimum head timestamp among the *other* queues, and whether the
+        # chosen queue wins a tie against every holder of that minimum
+        # (i.e. no holder precedes it in sorted-partition order).
+        other_min: Optional[float] = None
+        tie_ok = True
+        passed_best = False
+        for tp in self._order:
+            queue = self._queues[tp]
+            if queue is best:
+                passed_best = True
+                continue
+            ts = queue.head_timestamp()
+            if ts is None:
+                continue
+            if other_min is None or ts < other_min:
+                other_min = ts
+                tie_ok = passed_best
+            elif ts == other_min and not passed_best:
+                tie_ok = False
+
+        timestamps = cursor.timestamps
+        start = cursor.pos
+        n = len(timestamps)
+        if other_min is None:
+            end = n
+        else:
+            end = start
+            while end < n:
+                ts = timestamps[end]
+                if ts < other_min or (ts == other_min and tie_ok):
+                    end += 1
+                else:
+                    break
+        chunk = ColumnChunk(
+            cursor.keys[start:end],
+            cursor.values[start:end],
+            timestamps[start:end],
+            cursor.headers[start:end],
+        )
+        last_offset = cursor.offsets[end - 1]
+        if end == n:
+            best._cursors.popleft()
+        else:
+            cursor.pos = end
+        return best.tp, chunk, last_offset
+
     def buffered(self) -> int:
         return sum(len(q) for q in self._queues.values())
 
     def partitions(self) -> List[TopicPartition]:
-        return sorted(self._queues)
+        return list(self._order)

@@ -26,7 +26,7 @@ from repro.streams.processor import (
     Processor,
     ProcessorContext,
 )
-from repro.streams.records import StreamRecord
+from repro.streams.records import ColumnChunk, StreamRecord
 from repro.streams.runtime.record_queue import PartitionGroup
 from repro.streams.runtime.restore import restore_store
 from repro.streams.state.kv_store import InMemoryKeyValueStore
@@ -123,12 +123,27 @@ class StreamTask:
         # topic, valid for one cluster metadata epoch.
         self._sink_routes: Dict[str, tuple] = {}
         self._sink_routes_epoch = -1
+        # Default-partitioner memo per (topic, partition count): key -> partition.
+        self._sink_partition_cache: Dict[tuple, Dict[Any, int]] = {}
 
         self._stores: Dict[str, Any] = {}
         self._build_stores()
         self._punctuations: List[Any] = []
         self._processors: Dict[str, Processor] = {}
         self._build_processors()
+        # Columnar eligibility is all-or-nothing per task: every processor
+        # must take whole chunks, no punctuator may need per-record stream
+        # time, and speculation tracking needs per-record producer ids.
+        # Decided once, after processors initialized (a caching aggregate
+        # only knows its capability post-init).
+        self.batch_capable = (
+            not self._track_speculation
+            and not self._punctuations
+            and all(p.batch_aware for p in self._processors.values())
+        )
+        metrics = cluster.metrics
+        self._batch_fastpath = metrics.counter("streams.batch_fastpath_total")
+        self._batch_fallback = metrics.counter("streams.batch_fallback_total")
 
     # -- construction ---------------------------------------------------------------
 
@@ -151,6 +166,8 @@ class StreamTask:
                 )
                 self.restored_records += applied
                 store.set_update_hook(self._changelog_hook(spec))
+                if hasattr(store, "set_bulk_update_hook"):
+                    store.set_bulk_update_hook(self._changelog_bulk_hook(spec))
                 if self._restore_listener is not None:
                     self._restore_listener(
                         self.task_id,
@@ -209,6 +226,34 @@ class StreamTask:
 
         return on_update
 
+    def _changelog_bulk_hook(self, spec: StateStoreSpec):
+        """Columnar twin of :meth:`_changelog_hook`: one chunk's worth of
+        store puts becomes a single column slab on the changelog topic.
+        Traced runs fall back to the scalar hook so per-put store events
+        and trace propagation stay intact."""
+        topic = spec.changelog_topic(self.application_id)
+        partition = self.task_id.partition
+        scalar_hook = self._changelog_hook(spec)
+
+        def on_update_many(items) -> None:
+            if self._tracer.enabled:
+                for key, value in items:
+                    scalar_hook(key, value)
+                return
+            timestamp = self.stream_time
+            if timestamp < 0.0:
+                timestamp = 0.0
+            self.producer.send_columns(
+                topic,
+                partition,
+                [key for key, _ in items],
+                [value for _, value in items],
+                [timestamp] * len(items),
+                [{} for _ in items],
+            )
+
+        return on_update_many
+
     def _build_processors(self) -> None:
         for name, node in self.sub.nodes.items():
             if not isinstance(node, ProcessorNode):
@@ -234,6 +279,8 @@ class StreamTask:
                     )
                     span[0] = min(span[0], r.offset)
                     span[1] = max(span[1], r.offset)
+        topic = tp.topic
+        partition = tp.partition
         stream_records = [
             StreamRecord(
                 key=r.key,
@@ -243,12 +290,60 @@ class StreamTask:
                 # headers dict is never shared with the log's record.
                 headers=dict(r.headers) if r.headers else {},
                 offset=r.offset,
-                topic=tp.topic,
-                partition=tp.partition,
+                topic=topic,
+                partition=partition,
             )
             for r in records
         ]
         self._queues.add_records(tp, stream_records)
+
+    def add_batch(self, tp: TopicPartition, batch) -> None:
+        """Intake a :class:`~repro.log.columnar.ColumnarBatch`.
+
+        On the fast path the batch's columns are enqueued as-is (plus the
+        ``__topic`` / ``__partition`` routing headers the scalar consumer
+        injects, merged per record — the only per-record allocation).
+        Non-batch-capable tasks materialize scalar records instead, so a
+        mixed topology runs each task in its best mode.
+        """
+        count = batch.valid_count
+        if count == 0:
+            return
+        topic = tp.topic
+        partition = tp.partition
+        if not self.batch_capable:
+            self._batch_fallback.increment(count)
+            stream_records = [
+                StreamRecord(
+                    key=r.key,
+                    value=r.value,
+                    timestamp=r.timestamp,
+                    headers={
+                        **r.headers,
+                        "__topic": topic,
+                        "__partition": partition,
+                    },
+                    offset=r.offset,
+                    topic=topic,
+                    partition=partition,
+                )
+                for r in batch.iter_records()
+            ]
+            self._queues.add_records(tp, stream_records)
+            return
+        self._batch_fastpath.increment(count)
+        headers = [
+            {**h, "__topic": topic, "__partition": partition}
+            for h in batch.headers()
+        ]
+        self._queues.add_columns(
+            tp,
+            batch.keys(),
+            batch.values(),
+            batch.timestamps(),
+            headers,
+            batch.offsets(),
+        )
 
     def buffered(self) -> int:
         return self._queues.buffered()
@@ -296,6 +391,105 @@ class StreamTask:
                 listener()
             self._punctuate(PUNCTUATION_STREAM_TIME, self.stream_time)
         return processed
+
+    def process_next_chunk(self) -> int:
+        """Process one column chunk through the fused graph (batch mode).
+
+        Returns the number of records processed. One tracing span covers
+        the whole chunk (per-batch span mode); stream time is published to
+        the task only after the chunk is dispatched — batch-aware
+        processors that need finer-grained stream time (windowed
+        aggregates) track it internally from the pre-chunk value, exactly
+        replaying the scalar per-record advance.
+        """
+        item = self._queues.next_chunk()
+        if item is None:
+            return 0
+        tp, chunk, last_offset = item
+        count = len(chunk)
+        children = self._children_by_tp.get(tp)
+        if children is None:
+            children = self._source_children[tp.topic]
+            self._children_by_tp[tp] = children
+        if self._tracer.enabled:
+            with self._tracer.begin(
+                "task.process_chunk",
+                self._trace_pid,
+                self._trace_tid,
+                category="task",
+                topic=tp.topic,
+                records=count,
+            ):
+                for child in children:
+                    self.process_chunk_at(child, chunk)
+        else:
+            for child in children:
+                self.process_chunk_at(child, chunk)
+        max_ts = max(chunk.timestamps)
+        if max_ts > self.stream_time:
+            self.stream_time = max_ts
+        self._consumed[tp] = last_offset + 1
+        self.records_processed += count
+        if self.first_process_listener is not None:
+            listener, self.first_process_listener = (
+                self.first_process_listener, None
+            )
+            listener()
+        return count
+
+    def process_chunk_at(self, node_name: str, chunk: ColumnChunk) -> None:
+        """Columnar twin of :meth:`process_at`: deliver a whole chunk to a
+        node (batch-aware processor or sink)."""
+        node = self.sub.nodes[node_name]
+        if isinstance(node, SinkNode):
+            self._send_chunk_to_sink(node, chunk)
+            return
+        self._processors[node_name].process_batch(chunk)
+
+    def _send_chunk_to_sink(self, node: SinkNode, chunk: ColumnChunk) -> None:
+        """Partition a chunk and hand the column slabs straight to the
+        producer — per-partition record order is preserved, and no Record
+        objects exist until the broker appends the slab to its log."""
+        topic, num_partitions = self._sink_route(node)
+        keys = chunk.keys
+        partitioner = node.partitioner
+        if num_partitions == 1 and partitioner is None:
+            self.producer.send_columns(
+                topic, 0, keys, chunk.values, chunk.timestamps, chunk.headers
+            )
+            return
+        buckets: Dict[int, List[int]] = {}
+        if partitioner is None:
+            # Keys repeat heavily under any keyed workload; memoize the
+            # default partitioner per (topic, partition-count) so the hash
+            # runs once per distinct key, not once per record.
+            cache = self._sink_partition_cache.get((topic, num_partitions))
+            if cache is None:
+                cache = self._sink_partition_cache[(topic, num_partitions)] = {}
+            cache_get = cache.get
+            for i, key in enumerate(keys):
+                partition = cache_get(key)
+                if partition is None:
+                    partition = cache[key] = partition_for(key, num_partitions)
+                buckets.setdefault(partition, []).append(i)
+        else:
+            values = chunk.values
+            for i, key in enumerate(keys):
+                buckets.setdefault(
+                    partitioner(key, values[i], num_partitions), []
+                ).append(i)
+        values = chunk.values
+        timestamps = chunk.timestamps
+        headers = chunk.headers
+        for partition, idx in buckets.items():
+            self.producer.send_columns(
+                topic,
+                partition,
+                [keys[i] for i in idx],
+                [values[i] for i in idx],
+                [timestamps[i] for i in idx],
+                [headers[i] for i in idx],
+            )
 
     def punctuate_wall_clock(self, now_ms: float) -> None:
         """Fire wall-clock punctuators (called by the instance's loop)."""

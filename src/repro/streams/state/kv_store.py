@@ -9,9 +9,10 @@ changelog (see :mod:`repro.streams.runtime.restore`).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 UpdateHook = Callable[[Any, Any], None]
+BulkUpdateHook = Callable[[List[Tuple[Any, Any]]], None]
 
 
 class KeyValueStore:
@@ -24,6 +25,13 @@ class KeyValueStore:
 
     def put(self, key: Any, value: Any) -> None:
         raise NotImplementedError
+
+    def put_many(self, items: List[Tuple[Any, Any]]) -> None:
+        """Apply many puts at once. The default just loops; bulk-aware
+        stores override this to batch the dict update and the changelog
+        mirror (the batch-execution hot path lands here once per chunk)."""
+        for key, value in items:
+            self.put(key, value)
 
     def delete(self, key: Any) -> None:
         raise NotImplementedError
@@ -45,11 +53,17 @@ class InMemoryKeyValueStore(KeyValueStore):
         self.name = name
         self._data: Dict[Any, Any] = {}
         self._on_update = on_update
+        self._on_update_many: Optional[BulkUpdateHook] = None
         self.puts = 0
         self.gets = 0
 
     def set_update_hook(self, on_update: Optional[UpdateHook]) -> None:
         self._on_update = on_update
+
+    def set_bulk_update_hook(
+        self, on_update_many: Optional[BulkUpdateHook]
+    ) -> None:
+        self._on_update_many = on_update_many
 
     def get(self, key: Any) -> Any:
         self.gets += 1
@@ -60,6 +74,17 @@ class InMemoryKeyValueStore(KeyValueStore):
         self._data[key] = value
         if self._on_update is not None:
             self._on_update(key, value)
+
+    def put_many(self, items: List[Tuple[Any, Any]]) -> None:
+        if not items:
+            return
+        self.puts += len(items)
+        self._data.update(items)
+        if self._on_update_many is not None:
+            self._on_update_many(items)
+        elif self._on_update is not None:
+            for key, value in items:
+                self._on_update(key, value)
 
     def delete(self, key: Any) -> None:
         self.puts += 1

@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.streams.processor import Processor
-from repro.streams.records import Change, StreamRecord
+from repro.streams.records import Change, ColumnChunk, StreamRecord
 
 
 class TableSourceProcessor(Processor):
@@ -89,9 +89,21 @@ class TableMapValuesProcessor(Processor):
 class TableToStreamProcessor(Processor):
     """Unwrap Changes into plain new-value records (KTable#toStream)."""
 
+    batch_aware = True
+
     def process(self, record: StreamRecord) -> None:
         change: Change = record.value
         self.context.forward(record.with_value(change.new))
+
+    def process_batch(self, chunk: ColumnChunk) -> None:
+        self.context.forward_chunk(
+            ColumnChunk(
+                chunk.keys,
+                [change.new for change in chunk.values],
+                chunk.timestamps,
+                chunk.headers,
+            )
+        )
 
 
 class TableMaterializeProcessor(Processor):

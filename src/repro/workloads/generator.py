@@ -17,6 +17,7 @@ from repro.broker.cluster import Cluster
 from repro.clients.producer import Producer
 from repro.config import ProducerConfig
 from repro.metrics.latency import CREATED_AT_HEADER
+from repro.util import partition_for
 
 
 @dataclass(frozen=True)
@@ -70,6 +71,13 @@ class WorkloadGenerator:
         )
         self.records_produced = 0
         self._sequence = 0
+        # Columnar-path memos: the key-string table (keys are drawn in one
+        # bulk rng call) and the key -> partition map, invalidated when the
+        # topic's partition count changes.
+        self._key_strings = [
+            f"{key_prefix}-{i}" for i in range(key_space)
+        ]
+        self._partition_cache: tuple = (-1, {})
 
     @property
     def interarrival_ms(self) -> float:
@@ -114,3 +122,74 @@ class WorkloadGenerator:
         if flush:
             self.producer.flush()
         return produced
+
+    def produce_for_columnar(self, duration_ms: float, flush: bool = True) -> int:
+        """Columnar twin of :meth:`produce_for`: the same record stream
+        (key distribution, rate, lateness model, creation stamps), built as
+        whole columns and handed to :meth:`Producer.send_columns` — one
+        bulk rng draw for the keys, one memoized partition hash per
+        distinct key, and one clock advance per slice instead of one per
+        record. (The rng consumption differs from the scalar path, so a
+        given seed yields different — equally distributed — keys.)
+        """
+        clock = self.cluster.clock
+        now = clock.now
+        deadline = now + duration_ms
+        step = self.interarrival_ms
+        rng = self.rng
+
+        times: list = []
+        t = now
+        while t < deadline:
+            times.append(t)
+            t += step
+        n = len(times)
+        if n == 0:
+            if flush:
+                self.producer.flush()
+            return 0
+
+        keys = rng.choices(self._key_strings, k=n)
+        if self.lateness.late_fraction > 0:
+            sample = self.lateness.sample
+            event_times = []
+            for created in times:
+                late = sample(rng)
+                event_times.append(created - late if late < created else 0.0)
+        else:
+            event_times = times
+        value_fn = self.value_fn
+        sequence = self._sequence
+        values = [value_fn(rng, sequence + i) for i in range(n)]
+        headers = [{CREATED_AT_HEADER: created} for created in times]
+
+        num_partitions = self.cluster.topic_metadata(self.topic).num_partitions
+        pcache_partitions, pcache = self._partition_cache
+        if pcache_partitions != num_partitions:
+            pcache = {}
+            self._partition_cache = (num_partitions, pcache)
+        pcache_get = pcache.get
+        buckets: dict = {}
+        buckets_get = buckets.get
+        for key, value, event_time, hdrs in zip(
+            keys, values, event_times, headers
+        ):
+            partition = pcache_get(key)
+            if partition is None:
+                partition = pcache[key] = partition_for(key, num_partitions)
+            bucket = buckets_get(partition)
+            if bucket is None:
+                bucket = buckets[partition] = ([], [], [], [])
+            bucket[0].append(key)
+            bucket[1].append(value)
+            bucket[2].append(event_time)
+            bucket[3].append(hdrs)
+
+        self._sequence = sequence + n
+        self.records_produced += n
+        for partition, columns in buckets.items():
+            self.producer.send_columns(self.topic, partition, *columns)
+        clock.advance(t - now)
+        if flush:
+            self.producer.flush()
+        return n

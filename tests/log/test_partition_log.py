@@ -201,6 +201,76 @@ class TestReplication:
         assert follower.open_transactions() == {}
         assert len(follower.aborted_transactions()) == 1
 
+    def test_replicate_mirror_copies_records_and_state(self):
+        leader = PartitionLog("leader")
+        follower = PartitionLog("follower")
+        leader.append_batch(txn_batch(1, 0, 0, "a"))
+        leader.append_marker(control_marker(ABORT_MARKER, 1, 0))
+        leader.append_batch(plain_batch(1, 2, 3))
+        follower.replicate_mirror(leader)
+        assert follower.log_end_offset == leader.log_end_offset
+        assert follower.records() == leader.records()
+        assert follower.open_transactions() == leader.open_transactions()
+        assert follower.aborted_transactions() == leader.aborted_transactions()
+        # Idempotent when already caught up.
+        follower.replicate_mirror(leader)
+        assert follower.log_end_offset == leader.log_end_offset
+
+    def test_replicate_mirror_incremental_aborted_spans(self):
+        leader = PartitionLog()
+        follower = PartitionLog()
+        leader.append_batch(txn_batch(1, 0, 0, "a"))
+        leader.append_marker(control_marker(ABORT_MARKER, 1, 0))
+        follower.replicate_mirror(leader)
+        leader.append_batch(txn_batch(1, 1, 0, "b"))
+        leader.append_marker(control_marker(ABORT_MARKER, 1, 0))
+        follower.replicate_mirror(leader)
+        assert follower.aborted_transactions() == leader.aborted_transactions()
+        assert len(follower.aborted_transactions()) == 2
+        assert follower.is_offset_aborted(1, 2)
+
+    def test_replicate_mirror_snapshots_producer_sequences(self):
+        leader = PartitionLog()
+        follower = PartitionLog()
+        leader.append_batch(
+            RecordBatch(
+                [Record(key="k", value="v")],
+                producer_id=7,
+                producer_epoch=0,
+                base_sequence=0,
+            )
+        )
+        follower.replicate_mirror(leader)
+        # The mirrored state must be a copy, not shared with the leader.
+        leader.append_batch(
+            RecordBatch(
+                [Record(key="k", value="v2")],
+                producer_id=7,
+                producer_epoch=0,
+                base_sequence=1,
+            )
+        )
+        assert follower.log_end_offset == 1
+        # A follower elected leader recognises a retried batch.
+        dup = follower.append_batch(
+            RecordBatch(
+                [Record(key="k", value="v")],
+                producer_id=7,
+                producer_epoch=0,
+                base_sequence=0,
+            )
+        )
+        assert dup.duplicate
+
+    def test_replicate_mirror_rejects_purged_source(self):
+        leader = PartitionLog()
+        follower = PartitionLog()
+        leader.append_batch(plain_batch(1, 2, 3))
+        leader.high_watermark = leader.log_end_offset
+        leader.delete_records_before(2)
+        with pytest.raises(ValueError):
+            follower.replicate_mirror(leader)
+
     def test_truncate_to(self):
         log = PartitionLog()
         log.append_batch(plain_batch(*range(5)))

@@ -11,7 +11,7 @@ arbitrary ``from_offset`` / ``max_records`` combinations.
 
 from hypothesis import given, settings, strategies as st
 
-from repro.broker.fetch import FetchResult, fetch
+from repro.broker.fetch import FetchResult, fetch, fetch_columnar
 from repro.config import READ_COMMITTED, READ_SPECULATIVE, READ_UNCOMMITTED
 from repro.log.partition_log import PartitionLog
 from repro.log.record import (
@@ -166,6 +166,58 @@ def test_paged_fetch_equals_one_shot_fetch(steps, page_size):
                 break
             position = result.next_offset
         assert paged == whole.records, isolation
+        assert position == whole.next_offset, isolation
+
+
+@given(
+    log_scripts(),
+    st.integers(min_value=0, max_value=120),
+    st.integers(min_value=1, max_value=50),
+)
+@settings(max_examples=120, deadline=None)
+def test_columnar_fetch_matches_scalar_fetch(steps, from_offset, max_records):
+    """fetch_columnar() — validity runs over a log slice — must agree with
+    the record-by-record scalar fetch on every observable: the materialized
+    records, every column accessor, the resume position, and the
+    watermarks. Run masking and per-record scanning are two encodings of
+    one visibility rule."""
+    log = build_log(steps)
+    from_offset = min(from_offset, log.log_end_offset)
+    for isolation in ISOLATION_LEVELS:
+        want = fetch(log, from_offset, max_records, isolation)
+        got = fetch_columnar(log, from_offset, max_records, isolation)
+        assert got.records() == want.records, isolation
+        assert got.next_offset == want.next_offset, isolation
+        assert got.high_watermark == want.high_watermark
+        assert got.last_stable_offset == want.last_stable_offset
+        assert got.valid_count == len(want.records)
+        assert got.keys() == [r.key for r in want.records]
+        assert got.values() == [r.value for r in want.records]
+        assert got.timestamps() == [r.timestamp for r in want.records]
+        assert got.offsets() == [r.offset for r in want.records]
+        assert got.headers() == [r.headers for r in want.records]
+        assert list(got.iter_records()) == want.records
+        assert sum(got.validity_bitmap()) == got.valid_count
+
+
+@given(log_scripts(), st.integers(min_value=1, max_value=7))
+@settings(max_examples=80, deadline=None)
+def test_paged_columnar_fetch_equals_one_shot(steps, page_size):
+    """Chaining next_offset across bounded columnar fetches walks exactly
+    the records of one unbounded columnar fetch — budget clamping never
+    loses or duplicates a record at a page boundary."""
+    log = build_log(steps)
+    for isolation in ISOLATION_LEVELS:
+        whole = fetch_columnar(log, 0, 10**9, isolation)
+        paged = []
+        position = 0
+        while True:
+            batch = fetch_columnar(log, position, page_size, isolation)
+            paged.extend(batch.records())
+            if batch.next_offset == position:
+                break
+            position = batch.next_offset
+        assert paged == whole.records(), isolation
         assert position == whole.next_offset, isolation
 
 

@@ -35,7 +35,7 @@ from tests.streams.harness import drain_topic, latest_by_key, make_cluster
 CATEGORIES = ["a", "b", "c", "d", "e"]
 
 
-def make_app(cluster, protocol=EAGER, standbys=0):
+def make_app(cluster, protocol=EAGER, standbys=0, batch=False):
     builder = StreamsBuilder()
     (
         builder.stream("in")
@@ -55,6 +55,7 @@ def make_app(cluster, protocol=EAGER, standbys=0):
             transaction_timeout_ms=300.0,
             rebalance_protocol=protocol,
             num_standby_replicas=standbys,
+            batch_execution=batch,
         ),
     )
 
@@ -91,12 +92,12 @@ def drain(cluster, app):
 
 def run_chaos(
     seed, golden, config=None, n=120, trace=False,
-    protocol=EAGER, standbys=0,
+    protocol=EAGER, standbys=0, batch=False,
 ):
     cluster = make_cluster(**{"in": 2, "out": 2})
     if trace:
         cluster.enable_tracing()
-    app = make_app(cluster, protocol=protocol, standbys=standbys)
+    app = make_app(cluster, protocol=protocol, standbys=standbys, batch=batch)
     app.start(2)
     produce_workload(cluster, n)
 
@@ -159,6 +160,24 @@ def test_chaos_matrix_invariants_hold(seed, protocol, golden):
         category = CATEGORIES[i % len(CATEGORIES)]
         expected[category] = expected.get(category, 0) + 1
     assert final == expected, f"seed {seed} violated exactly-once"
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", list(range(10)))
+def test_chaos_matrix_batch_execution(seed, golden):
+    """The same ten-seed chaos matrix with columnar batch execution on:
+    the committed output must equal the *scalar* fault-free golden run —
+    the batch path changes how records move, never what is committed."""
+    cluster, app, chaos, suite = run_chaos(seed=seed, golden=golden, batch=True)
+    assert chaos.faults_injected > 0
+    fastpath = cluster.metrics.counter("streams.batch_fastpath_total").value
+    assert fastpath > 0, "batch mode never took the columnar fast path"
+    final = latest_by_key(drain_topic(cluster, "out"))
+    expected = {}
+    for i in range(120):
+        category = CATEGORIES[i % len(CATEGORIES)]
+        expected[category] = expected.get(category, 0) + 1
+    assert final == expected, f"seed {seed} violated exactly-once under batching"
 
 
 @pytest.mark.chaos
