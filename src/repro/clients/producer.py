@@ -31,7 +31,7 @@ from repro.errors import (
 from repro.log.columnar import ColumnarSlab
 from repro.log.record import NO_SEQUENCE
 from repro.obs.tracer import TRACE_ID_HEADER
-from repro.util import partition_for
+from repro.util import ExponentialBackoff, partition_for
 
 
 class _ColumnBuffer:
@@ -114,7 +114,9 @@ class Producer:
         another retriable error.
         """
         deadline = self._clock.now + self.config.max_block_ms
-        backoff = self.config.retry_backoff_ms
+        backoff = ExponentialBackoff(
+            self.config.retry_backoff_ms, self.config.retry_backoff_max_ms
+        )
         while True:
             try:
                 return self._network.call(
@@ -133,8 +135,7 @@ class Producer:
                         f"{api} for {self.config.transactional_id!r} blocked "
                         f"longer than max_block_ms={self.config.max_block_ms}"
                     ) from exc
-                self._clock.advance(min(backoff, remaining))
-                backoff = min(backoff * 2, self.config.retry_backoff_max_ms)
+                self._clock.advance(min(backoff.next_delay_ms(), remaining))
 
     def init_transactions(self) -> None:
         """Register the transactional id with the coordinator (Figure 4.b)."""
@@ -427,7 +428,9 @@ class Producer:
         # virtual clock, so recovery scheduled on timers — a broker
         # restart, a fault rule expiring — happens *during* the wait.
         deadline = self._clock.now + self.config.delivery_timeout_ms
-        backoff = self.config.retry_backoff_ms
+        backoff = ExponentialBackoff(
+            self.config.retry_backoff_ms, self.config.retry_backoff_max_ms
+        )
         attempts = 0
         send_started = self._clock.now if self._tracer.enabled else 0.0
         while True:
@@ -452,8 +455,7 @@ class Producer:
                 # Metadata refresh + backoff before the retry: the cached
                 # route is suspect even if the cluster epoch is unchanged.
                 self._leader_cache.pop(tp, None)
-                self._clock.advance(min(backoff, remaining))
-                backoff = min(backoff * 2, self.config.retry_backoff_max_ms)
+                self._clock.advance(min(backoff.next_delay_ms(), remaining))
         if base_sequence != NO_SEQUENCE:
             self._sequences[tp] = base_sequence + record_count
         if self._tracer.enabled:

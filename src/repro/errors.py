@@ -143,5 +143,59 @@ class StateStoreError(StreamsError):
     """A state store operation failed."""
 
 
+# --- interactive queries ----------------------------------------------------
+
+
+class QueryError(StreamsError):
+    """Base class for interactive-query failures."""
+
+    retriable = False
+
+
+class NotOwnedError(QueryError):
+    """The addressed instance does not (or no longer) host the task the
+    query needs — e.g. it is mid-migration during a cooperative rebalance.
+    Retriable: ``hint`` carries fresh routing metadata so the caller can
+    re-route instead of blocking on the rebalance."""
+
+    retriable = True
+
+    def __init__(self, message: str, hint=None) -> None:
+        super().__init__(message)
+        self.hint = hint
+
+
+class StaleEpochError(QueryError):
+    """The query was routed with a stale routing epoch (the group has
+    rebalanced since the metadata was cached). Retriable after a metadata
+    refresh — the same re-route idiom the clients use for stale
+    leadership caches. ``epoch`` is the coordinator's current epoch."""
+
+    retriable = True
+
+    def __init__(self, message: str, epoch: int = -1) -> None:
+        super().__init__(message)
+        self.epoch = epoch
+
+
+class StaleStoreError(QueryError):
+    """A bounded-staleness read found every eligible replica further
+    behind the committed changelog than the caller's ``max_staleness``
+    bound allows. ``staleness`` is the best (smallest) lag observed."""
+
+    retriable = True
+
+    def __init__(self, message: str, staleness: float = float("inf")) -> None:
+        super().__init__(message)
+        self.staleness = staleness
+
+
+class QueryUnavailableError(QueryError):
+    """The router exhausted its capped retry budget without finding a
+    servable replica — the availability failure the IQ benchmarks count."""
+
+    retriable = False
+
+
 class SerializationError(StreamsError):
     """A record key or value could not be (de)serialized."""

@@ -1,0 +1,29 @@
+"""Interactive queries: queryable state, routing metadata, and consistency.
+
+The read path of the reproduction, layered the way Kafka Streams layers it:
+
+* :mod:`repro.iq.view` — ``QueryableStoreView``, the read-only store facade
+  with an explicit ``position()`` staleness watermark.
+* :mod:`repro.iq.server` — ``QueryServer``, the per-instance endpoint
+  serving strong (committed-offset-gated) and bounded-staleness reads.
+* :mod:`repro.iq.metadata` — ``MetadataService``, epoch-stamped
+  (store, key) → owner/standby routing built on assignment snapshots.
+* :mod:`repro.iq.router` — ``QueryRouter``, the retrying, scatter-gathering
+  client.
+"""
+
+from repro.iq.metadata import KeyQueryMetadata, MetadataService
+from repro.iq.router import QueryRouter
+from repro.iq.server import BOUNDED, STRONG, QueryResult, QueryServer
+from repro.iq.view import QueryableStoreView
+
+__all__ = [
+    "BOUNDED",
+    "STRONG",
+    "KeyQueryMetadata",
+    "MetadataService",
+    "QueryResult",
+    "QueryRouter",
+    "QueryServer",
+    "QueryableStoreView",
+]

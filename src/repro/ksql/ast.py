@@ -94,6 +94,10 @@ class SelectQuery:
     window: Optional[WindowSpec] = None
     join: Optional[JoinClause] = None
     partition_by: Optional[ColumnRef] = None
+    # A bare SELECT is a statement of its own: without EMIT CHANGES it is
+    # a *pull* query (one-shot lookup against a materialized table);
+    # with EMIT CHANGES it is a *push* query (a standing subscription).
+    emit_changes: bool = False
 
 
 @dataclass(frozen=True)

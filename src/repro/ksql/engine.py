@@ -13,8 +13,17 @@ from typing import Any, Dict, List, Optional
 
 from repro.broker.cluster import Cluster
 from repro.config import EXACTLY_ONCE, StreamsConfig
-from repro.ksql.ast import CreateAsSelect, CreateSource, DropStatement
+from repro.ksql.ast import (
+    BinaryOp,
+    ColumnRef,
+    CreateAsSelect,
+    CreateSource,
+    DropStatement,
+    Literal,
+    SelectQuery,
+)
 from repro.ksql.compiler import CompiledQuery, Compiler, SourceInfo
+from repro.ksql.evaluator import evaluate
 from repro.ksql.parser import KsqlParseError, parse
 from repro.sim.scheduler import Driver
 from repro.streams import KafkaStreams
@@ -50,6 +59,144 @@ class QueryHandle:
         return {key: finalize(key, state) for key, state in raw.items()}
 
 
+# --- pull/push query plumbing --------------------------------------------------
+
+
+def _analyze_where(where, group_column: Optional[str]):
+    """Split a pull-query WHERE into (key equality, WINDOWSTART bounds,
+    residual predicates). Key equality against ROWKEY or the query's GROUP
+    BY column routes the lookup; WINDOWSTART >=/<=/= bounds the window
+    scan; everything else is evaluated row by row after the read."""
+    key_values: List[Any] = []
+    lo = None
+    hi = None
+    residual: List[Any] = []
+
+    def walk(node) -> None:
+        nonlocal lo, hi
+        if isinstance(node, BinaryOp) and node.op == "AND":
+            walk(node.left)
+            walk(node.right)
+            return
+        if isinstance(node, BinaryOp):
+            left, right, op = node.left, node.right, node.op
+            if isinstance(left, Literal) and isinstance(right, ColumnRef):
+                left, right = right, left
+                op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+            if isinstance(left, ColumnRef) and isinstance(right, Literal):
+                name = left.name.upper()
+                if name == "WINDOWSTART" and op in ("=", ">=", "<="):
+                    if op in ("=", ">="):
+                        lo = right.value if lo is None else max(lo, right.value)
+                    if op in ("=", "<="):
+                        hi = right.value if hi is None else min(hi, right.value)
+                    return
+                if op == "=" and (
+                    name == "ROWKEY"
+                    or (group_column is not None and name == group_column.upper())
+                ):
+                    key_values.append(right.value)
+                    return
+        residual.append(node)
+
+    if where is not None:
+        walk(where)
+    if len(key_values) > 1 and len(set(map(repr, key_values))) > 1:
+        return None, lo, hi, residual + [Literal(False)]
+    return (key_values[0] if key_values else None), lo, hi, residual
+
+
+def _project_row(
+    statement: SelectQuery,
+    key: Any,
+    state: Any,
+    handle: "QueryHandle",
+    window_start: Optional[float],
+    residual: Optional[List[Any]] = None,
+) -> Optional[Dict[str, Any]]:
+    """Finalize raw aggregation state and apply projections; None when a
+    residual predicate rejects the row."""
+    window = handle.statement.query.window
+    if window is not None and window.kind == "SESSION":
+        _last_ts, state = state
+    finalize = handle.compiled.finalizer
+    row = finalize(key, state) if finalize is not None else state
+    full: Dict[str, Any] = {"ROWKEY": key}
+    if window_start is not None:
+        full["WINDOWSTART"] = window_start
+    if isinstance(row, dict):
+        full.update(row)
+    else:
+        full["VALUE"] = row
+    for condition in residual or ():
+        if not bool(evaluate(condition, key, full)):
+            return None
+    projections = statement.projections
+    if len(projections) == 1 and (
+        isinstance(projections[0].expression, ColumnRef)
+        and projections[0].expression.name == "*"
+    ):
+        return full
+    return {
+        p.output_name(): evaluate(p.expression, key, full)
+        for p in projections
+    }
+
+
+class PushQuerySubscription:
+    """A standing EMIT CHANGES query: every store update that passes the
+    WHERE clause lands in the subscription's buffer, already finalized and
+    projected. Updates arrive as the aggregation applies them, *before*
+    the enclosing transaction commits — push queries trade the committed
+    guarantee for immediacy (read-uncommitted semantics); a later abort is
+    never retracted here."""
+
+    def __init__(self, handle: "QueryHandle", statement: SelectQuery) -> None:
+        self.name = handle.name
+        self.statement = statement
+        self._handle = handle
+        window = handle.statement.query.window
+        self._windowed = window is not None
+        self._residual = (
+            [statement.where] if statement.where is not None else []
+        )
+        self._rows: List[Dict[str, Any]] = []
+        self.emitted = 0
+        self.active = True
+        handle.app.add_store_listener(
+            handle.compiled.table_store, self._on_update
+        )
+
+    def _on_update(self, key: Any, value: Any) -> None:
+        if not self.active or value is None:
+            return
+        window_start = None
+        if self._windowed and isinstance(key, tuple):
+            key, window_start = key
+        row = _project_row(
+            self.statement,
+            key,
+            value,
+            self._handle,
+            window_start,
+            residual=self._residual,
+        )
+        if row is not None:
+            self._rows.append(row)
+            self.emitted += 1
+
+    def poll(self) -> List[Dict[str, Any]]:
+        """Drain the rows emitted since the last poll."""
+        rows, self._rows = self._rows, []
+        return rows
+
+    def close(self) -> None:
+        self.active = False
+        self._handle.app.remove_store_listener(
+            self._handle.compiled.table_store, self._on_update
+        )
+
+
 class KsqlEngine:
     """Executes ksql statements against a simulated cluster."""
 
@@ -83,6 +230,11 @@ class KsqlEngine:
                 results.append(self._create_query(statement))
             elif isinstance(statement, DropStatement):
                 results.append(self._drop_query(statement.name))
+            elif isinstance(statement, SelectQuery):
+                if statement.emit_changes:
+                    results.append(self._push(statement))
+                else:
+                    results.append(self._pull(statement))
             else:  # pragma: no cover - parser only emits the above
                 raise KsqlParseError(f"unsupported statement: {statement}")
         return results
@@ -145,6 +297,123 @@ class KsqlEngine:
         handle.app.close()
         self.catalog.pop(key, None)
         return name
+
+    # -- pull / push queries -----------------------------------------------------------
+
+    def pull_query(
+        self,
+        sql: str,
+        consistency: Optional[str] = None,
+        max_staleness: float = float("inf"),
+    ) -> List[Dict[str, Any]]:
+        """One-shot lookup against a CTAS query's materialized state.
+
+        ``consistency`` is the interactive-query menu: ``"strong"``
+        (committed-changelog reads from the owner only) or the default
+        ``"bounded_staleness"`` (active store, or any standby within
+        ``max_staleness`` changelog records)."""
+        statement = self._single_select(sql, emit=False)
+        return self._pull(
+            statement, consistency=consistency, max_staleness=max_staleness
+        )
+
+    def push_query(self, sql: str) -> PushQuerySubscription:
+        """Open an EMIT CHANGES subscription; close() it when done."""
+        statement = self._single_select(sql, emit=True)
+        return self._push(statement)
+
+    def _single_select(self, sql: str, emit: bool) -> SelectQuery:
+        statements = parse(sql)
+        if len(statements) != 1 or not isinstance(statements[0], SelectQuery):
+            raise KsqlParseError("expected a single SELECT statement")
+        statement = statements[0]
+        if emit and not statement.emit_changes:
+            raise KsqlParseError("push queries require EMIT CHANGES")
+        if not emit and statement.emit_changes:
+            raise KsqlParseError(
+                "EMIT CHANGES opens a push query: use push_query()"
+            )
+        return statement
+
+    def _pull_target(self, statement: SelectQuery) -> QueryHandle:
+        handle = self.queries.get(statement.source.lower())
+        if handle is None or handle.compiled.table_store is None:
+            raise KsqlParseError(
+                f"{statement.source} is not a materialized table "
+                f"(pull/push queries read CREATE TABLE ... AS state)"
+            )
+        if statement.group_by or statement.join or statement.window:
+            raise KsqlParseError(
+                "pull/push queries cannot aggregate, join, or window — "
+                "they read the persistent query's materialized state"
+            )
+        return handle
+
+    def _pull(
+        self,
+        statement: SelectQuery,
+        consistency: Optional[str] = None,
+        max_staleness: float = float("inf"),
+    ) -> List[Dict[str, Any]]:
+        from repro.iq.server import BOUNDED
+
+        consistency = consistency or BOUNDED
+        handle = self._pull_target(statement)
+        store = handle.compiled.table_store
+        router = handle.app.query_router()
+        group_by = handle.statement.query.group_by
+        key, lo, hi, residual = _analyze_where(
+            statement.where, group_by.name if group_by else None
+        )
+        windowed = handle.statement.query.window is not None
+        rows: List[Dict[str, Any]] = []
+
+        def emit(entry_key: Any, state: Any, start: Optional[float]) -> None:
+            if start is not None and (
+                (lo is not None and start < lo)
+                or (hi is not None and start > hi)
+            ):
+                return
+            row = _project_row(
+                statement, entry_key, state, handle, start, residual=residual
+            )
+            if row is not None:
+                rows.append(row)
+
+        if key is None:
+            # No key predicate: scatter-gather over every partition.
+            for entry_key, state in router.all(
+                store, consistency=consistency, max_staleness=max_staleness
+            ):
+                if windowed and isinstance(entry_key, tuple):
+                    entry_key, start = entry_key
+                    emit(entry_key, state, start)
+                else:
+                    emit(entry_key, state, None)
+        elif windowed:
+            result = router.window_fetch(
+                store,
+                key,
+                from_start=lo,
+                to_start=hi,
+                consistency=consistency,
+                max_staleness=max_staleness,
+            )
+            for start, state in result.value:
+                emit(key, state, start)
+        else:
+            result = router.get(
+                store,
+                key,
+                consistency=consistency,
+                max_staleness=max_staleness,
+            )
+            if result.value is not None:
+                emit(key, result.value, None)
+        return rows
+
+    def _push(self, statement: SelectQuery) -> PushQuerySubscription:
+        return PushQuerySubscription(self._pull_target(statement), statement)
 
     # -- driving ---------------------------------------------------------------------------
 

@@ -22,8 +22,11 @@ Supported grammar (case-insensitive keywords; `--` line comments):
 
     DROP QUERY name ;
 
-Projections: column, ROWKEY, literals, arithmetic (+ - * /), AS aliases,
-aggregates COUNT(*) / COUNT(col) / SUM / AVG / MIN / MAX.
+    SELECT proj [, proj ...] FROM query_name
+        [WHERE condition] [EMIT CHANGES] ;     -- pull / push query
+
+Projections: column, ROWKEY, `*`, literals, arithmetic (+ - * /), AS
+aliases, aggregates COUNT(*) / COUNT(col) / SUM / AVG / MIN / MAX.
 Conditions: comparisons (= != <> < <= > >=) combined with AND / OR / NOT.
 """
 
@@ -142,6 +145,12 @@ class _Parser:
         keyword = self.peek_upper()
         if keyword == "CREATE":
             return self._create()
+        if keyword == "SELECT":
+            # A bare SELECT is a pull query (or, with EMIT CHANGES, a push
+            # query) against a running persistent query's state.
+            query = self._select()
+            self.accept(";")
+            return query
         if keyword == "DROP":
             self.advance()
             self.expect("QUERY")
@@ -239,8 +248,10 @@ class _Parser:
         if self.accept("PARTITION"):
             self.expect("BY")
             partition_by = ColumnRef(self.identifier())
+        emit_changes = False
         if self.accept("EMIT"):
             self.expect("CHANGES")
+            emit_changes = True
         return SelectQuery(
             projections=projections,
             source=source,
@@ -249,6 +260,7 @@ class _Parser:
             window=window,
             join=join,
             partition_by=partition_by,
+            emit_changes=emit_changes,
         )
 
     def _make_join(self, table, a, b, left) -> JoinClause:
@@ -264,6 +276,10 @@ class _Parser:
         )
 
     def _projection(self) -> Projection:
+        if self.peek() == "*":
+            # SELECT *: every column of the source row (pull/push queries).
+            self.advance()
+            return Projection(expression=ColumnRef("*"))
         expression = self._expression()
         alias = None
         if self.accept("AS"):

@@ -48,6 +48,13 @@ class KafkaStreams:
         # record the task processes after reopening; the gap lands in the
         # rebalance_unavailability_ms histogram.
         self._task_unavailable_since: Dict[TaskId, float] = {}
+        # Interactive queries: routing metadata, the client router, and the
+        # live store-update listener registry (push queries subscribe here;
+        # the shared dict means stores rebuilt after a migration re-attach
+        # the same listeners).
+        self._metadata_service = None
+        self._query_router = None
+        self._store_listeners: Dict[str, List[Any]] = {}
 
         self._sub_topologies: Dict[int, SubTopology] = {
             sub.sub_id: sub for sub in topology.sub_topologies()
@@ -265,15 +272,79 @@ class KafkaStreams:
 
     # -- interactive queries ----------------------------------------------------------------------
 
-    def store_contents(self, store_name: str) -> Dict[Any, Any]:
-        """Merge a store's entries across all tasks hosting it (the
-        interactive-query surface used by state catalogs, Section 6.1)."""
-        merged: Dict[Any, Any] = {}
+    def sub_id_for_store(self, store_name: str) -> Optional[int]:
+        """The sub-topology owning ``store_name``, or None if unknown."""
+        for sub in self._sub_topologies.values():
+            if any(spec.name == store_name for spec in sub.stores):
+                return sub.sub_id
+        return None
+
+    def store_partition_count(self, store_name: str) -> int:
+        """How many task partitions ``store_name`` is sharded across."""
+        sub_id = self.sub_id_for_store(store_name)
+        if sub_id is None:
+            raise KeyError(f"unknown store: {store_name!r}")
+        return self._task_counts[sub_id]
+
+    @property
+    def metadata_service(self):
+        """(store, key) -> owner/standby routing with epochs (lazy)."""
+        if self._metadata_service is None:
+            from repro.iq.metadata import MetadataService
+
+            self._metadata_service = MetadataService(self)
+        return self._metadata_service
+
+    def query_router(self, **kwargs: Any):
+        """The app-local interactive-query client (lazy singleton). Extra
+        kwargs (retry/backoff tuning) only apply on first construction."""
+        if self._query_router is None:
+            from repro.iq.router import QueryRouter
+
+            self._query_router = QueryRouter(self, **kwargs)
+        return self._query_router
+
+    @property
+    def store_listeners(self) -> Dict[str, List[Any]]:
+        """Live registry handed to every StreamTask at construction."""
+        return self._store_listeners
+
+    def add_store_listener(self, store_name: str, listener) -> None:
+        """Subscribe ``listener(key, value)`` to every update of
+        ``store_name`` — on stores alive now *and* on any rebuilt later
+        (push queries survive task migrations). Changelog-restore replays
+        do not fire listeners; only live writes do."""
+        self._store_listeners.setdefault(store_name, []).append(listener)
         for instance in self.instances:
             for task in instance.tasks.values():
-                stores = task.stores()
-                if store_name in stores:
-                    merged.update(dict(stores[store_name].all()))
+                store = task.stores().get(store_name)
+                if store is not None and hasattr(store, "add_listener"):
+                    store.add_listener(listener)
+
+    def remove_store_listener(self, store_name: str, listener) -> None:
+        """Unsubscribe ``listener`` from registry and live stores (a push
+        query closing)."""
+        listeners = self._store_listeners.get(store_name)
+        if listeners is not None and listener in listeners:
+            listeners.remove(listener)
+        for instance in self.instances:
+            for task in instance.tasks.values():
+                store = task.stores().get(store_name)
+                if store is not None and hasattr(store, "remove_listener"):
+                    store.remove_listener(listener)
+
+    def store_contents(self, store_name: str) -> Dict[Any, Any]:
+        """Merge a store's entries across all tasks hosting it (the
+        interactive-query surface used by state catalogs, Section 6.1),
+        read through the read-only queryable-state facade."""
+        merged: Dict[Any, Any] = {}
+        sub_id = self.sub_id_for_store(store_name)
+        for instance in self.instances:
+            for task_id, task in instance.tasks.items():
+                if task_id.sub_id != sub_id:
+                    continue
+                view = task.queryable_store(store_name)
+                merged.update(dict(view.all()))
         return merged
 
     def metric_total(self, attr: str) -> int:

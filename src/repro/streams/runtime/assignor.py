@@ -62,6 +62,13 @@ class StreamsAssignor:
             return set()
         return set(self._warmups.get(member_id, ()))
 
+    def intended_member(self, task: TaskId) -> Optional[str]:
+        """The member this task is headed to per the last assignment —
+        including tasks mid-handover that currently have no owner. The
+        metadata service uses this as the fresh routing hint for queries
+        that land on a migrating task."""
+        return self._intended.get(task)
+
     def has_warmups(self) -> bool:
         return any(self._warmups.values())
 

@@ -133,6 +133,11 @@ class StreamsInstance:
             self.consumer.member_id,
             self._on_rebalance_revoke,
         )
+        # Interactive-query endpoint (the modelled REST handler); lazily
+        # imported so repro.streams does not depend on repro.iq at import.
+        from repro.iq.server import QueryServer
+
+        self.query_server = QueryServer(self)
 
     def _on_rebalance_revoke(self) -> None:
         if not self.alive or not self.tasks:
@@ -385,6 +390,7 @@ class StreamsInstance:
                 },
                 track_speculation=self.config.speculative,
                 restore_listener=self._notify_restore,
+                store_listeners=self.app.store_listeners,
             )
             task.first_process_listener = self.app.first_process_listener_for(
                 task_id

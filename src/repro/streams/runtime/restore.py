@@ -70,6 +70,13 @@ def _replay(cluster: "Cluster", store, tp: TopicPartition, from_offset: int):
     for record in result.records:
         store.restore_put(record.key, record.value)
         applied += 1
+    # The replay pins the store's position watermark to the exact next
+    # offset of the committed prefix — the staleness bound every
+    # interactive-query read from this store (standby or restored active)
+    # reports.
+    rebase = getattr(store, "rebase_position", None)
+    if rebase is not None:
+        rebase(result.next_offset)
     if applied and cluster.network.charge_latency:
         cluster.clock.advance(
             cluster.network.fetch_cost()

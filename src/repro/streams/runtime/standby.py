@@ -73,6 +73,17 @@ class StandbyTask:
         self.records_applied += applied
         return applied
 
+    def queryable_store(self, name: str):
+        """Read-only view over a shadow store, or None when this standby
+        does not replicate it. The view's position() is the changelog
+        watermark bounded-staleness reads are judged against."""
+        from repro.iq.view import QueryableStoreView
+
+        store = self.stores.get(name)
+        if store is None:
+            return None
+        return QueryableStoreView(store)
+
     def handoff(self) -> Dict[str, Tuple[Any, int]]:
         """Release the shadow stores (store, position) for promotion to an
         active task; the standby must not be used afterwards."""

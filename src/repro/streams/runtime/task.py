@@ -64,6 +64,7 @@ class StreamTask:
         global_stores: Optional[Dict[str, Any]] = None,
         track_speculation: bool = False,
         restore_listener: Optional[Callable] = None,
+        store_listeners: Optional[Dict[str, List[Callable]]] = None,
     ) -> None:
         # (tp, producer_id) -> [min offset, max offset] consumed from that
         # producer's (possibly still open) transaction — the commit
@@ -85,6 +86,10 @@ class StreamTask:
         self.records_processed = 0
         self.restored_records = 0
         self._restore_listener = restore_listener
+        # Live registry of store update listeners (push-query
+        # subscriptions), shared with the app: stores built later — e.g.
+        # after a task migration — attach the same subscriptions.
+        self._store_listeners = store_listeners or {}
         # One-shot hook fired when this task processes its first record —
         # set by the instance only for tasks reopening after a revocation,
         # so per-task unavailability windows close at the exact virtual
@@ -155,6 +160,10 @@ class StreamTask:
             else:
                 store, from_offset = self._create_store(spec), 0
             self._stores[spec.name] = store
+            listeners = self._store_listeners.get(spec.name)
+            if listeners and hasattr(store, "add_listener"):
+                for listener in listeners:
+                    store.add_listener(listener)
             if spec.changelog:
                 changelog = spec.changelog_topic(self.application_id)
                 applied, next_offset = restore_store(
@@ -608,6 +617,13 @@ class StreamTask:
 
     def stores(self) -> Dict[str, Any]:
         return dict(self._stores)
+
+    def queryable_store(self, name: str):
+        """Read-only interactive-query facade over one of this task's
+        stores (the only sanctioned read path from outside the runtime)."""
+        from repro.iq.view import QueryableStoreView
+
+        return QueryableStoreView(self.state_store(name))
 
     def processors(self) -> Dict[str, Processor]:
         """Public view of the task's live processor nodes (metrics, tests)."""

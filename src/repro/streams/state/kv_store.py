@@ -5,6 +5,13 @@ hook the owning task installs (Section 3.2: "writes to the state stores are
 also replicated to Kafka as changelog topics"). The store itself is a
 disposable materialized view — it can always be rebuilt by replaying the
 changelog (see :mod:`repro.streams.runtime.restore`).
+
+Every store also carries a **position**: the changelog offset watermark its
+contents reflect. A changelog replay rebases the watermark to the exact
+next offset of the replayed prefix; the active write path advances it by
+one per mirrored write. Interactive queries attach the position to every
+read so callers get an explicit staleness bound
+(see :mod:`repro.iq.view`).
 """
 
 from __future__ import annotations
@@ -19,6 +26,9 @@ class KeyValueStore:
     """Interface for key-value stores (users may supply custom ones)."""
 
     name: str
+    # Changelog offset watermark (class default lets minimal custom stores
+    # inherit position bookkeeping without defining __init__).
+    _position: int = 0
 
     def get(self, key: Any) -> Any:
         raise NotImplementedError
@@ -27,9 +37,15 @@ class KeyValueStore:
         raise NotImplementedError
 
     def put_many(self, items: List[Tuple[Any, Any]]) -> None:
-        """Apply many puts at once. The default just loops; bulk-aware
-        stores override this to batch the dict update and the changelog
-        mirror (the batch-execution hot path lands here once per chunk)."""
+        """Apply many puts at once.
+
+        The default routes every item through :meth:`put` — the single
+        overridable write hook — so a store that overrides only ``put``
+        keeps its position/watermark updates, changelog mirroring, and any
+        custom behaviour consistent between the scalar and bulk paths.
+        Bulk-aware stores may override this, but must preserve those
+        semantics (see :class:`InMemoryKeyValueStore`).
+        """
         for key, value in items:
             self.put(key, value)
 
@@ -45,6 +61,22 @@ class KeyValueStore:
     def flush(self) -> None:
         """Flush any buffered writes (no-op for unbuffered stores)."""
 
+    # -- changelog position (staleness watermark) ------------------------------
+
+    def position(self) -> int:
+        """Changelog offset watermark: this store's contents reflect the
+        changelog up to (but not including) this offset. Exact after a
+        changelog replay; advanced per write on the active path."""
+        return self._position
+
+    def advance_position(self, n: int = 1) -> None:
+        self._position += n
+
+    def rebase_position(self, next_offset: int) -> None:
+        """Set the watermark after a changelog replay (the restore path
+        knows the exact next offset of the replayed prefix)."""
+        self._position = next_offset
+
 
 class InMemoryKeyValueStore(KeyValueStore):
     """Dict-backed store with a changelog hook."""
@@ -54,6 +86,10 @@ class InMemoryKeyValueStore(KeyValueStore):
         self._data: Dict[Any, Any] = {}
         self._on_update = on_update
         self._on_update_many: Optional[BulkUpdateHook] = None
+        # Push-query subscriptions: called after every applied write
+        # (including bulk ones), never during restore.
+        self._listeners: List[UpdateHook] = []
+        self._position = 0
         self.puts = 0
         self.gets = 0
 
@@ -65,36 +101,70 @@ class InMemoryKeyValueStore(KeyValueStore):
     ) -> None:
         self._on_update_many = on_update_many
 
+    def add_listener(self, listener: UpdateHook) -> None:
+        """Subscribe to live updates (ksql EMIT CHANGES push queries)."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: UpdateHook) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
     def get(self, key: Any) -> Any:
         self.gets += 1
         return self._data.get(key)
 
+    def _apply_put(self, key: Any, value: Any) -> None:
+        """The single application hook both write paths route through; a
+        subclass overriding it changes scalar and bulk writes alike."""
+        self._data[key] = value
+
     def put(self, key: Any, value: Any) -> None:
         self.puts += 1
-        self._data[key] = value
+        self._apply_put(key, value)
+        self._position += 1
         if self._on_update is not None:
             self._on_update(key, value)
+        if self._listeners:
+            for listener in self._listeners:
+                listener(key, value)
 
     def put_many(self, items: List[Tuple[Any, Any]]) -> None:
         if not items:
             return
         self.puts += len(items)
-        self._data.update(items)
+        if type(self)._apply_put is InMemoryKeyValueStore._apply_put:
+            # Bulk fast path: nothing overrides the application hook, so
+            # one dict.update replaces the per-item calls.
+            self._data.update(items)
+        else:
+            apply_put = self._apply_put
+            for key, value in items:
+                apply_put(key, value)
+        self._position += len(items)
         if self._on_update_many is not None:
             self._on_update_many(items)
         elif self._on_update is not None:
             for key, value in items:
                 self._on_update(key, value)
+        if self._listeners:
+            for key, value in items:
+                for listener in self._listeners:
+                    listener(key, value)
 
     def delete(self, key: Any) -> None:
         self.puts += 1
         self._data.pop(key, None)
+        self._position += 1
         if self._on_update is not None:
             self._on_update(key, None)   # tombstone
+        if self._listeners:
+            for listener in self._listeners:
+                listener(key, None)
 
     def restore_put(self, key: Any, value: Any) -> None:
         """Apply a changelog record during restoration (no hook — the
-        update is already in the changelog)."""
+        update is already in the changelog; the restore rebases the
+        position to the replayed prefix's next offset afterwards)."""
         if value is None:
             self._data.pop(key, None)
         else:

@@ -4,6 +4,9 @@ Entries are keyed by (record key, window start) and garbage-collected once
 the window falls out of the retention period (window size + grace): in
 Figure 6.d the window [10, 15) is collected when stream time passes its
 grace bound, after which late records for it are dropped.
+
+Like the key-value stores, window stores track a changelog **position**
+watermark so interactive-query reads carry an explicit staleness bound.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ class WindowStore:
     """Interface for window stores."""
 
     name: str
+    _position: int = 0
 
     def fetch(self, key: Any, window_start: float) -> Any:
         raise NotImplementedError
@@ -26,6 +30,20 @@ class WindowStore:
 
     def flush(self) -> None:
         """Flush any buffered writes."""
+
+    # -- changelog position (staleness watermark) ------------------------------
+
+    def position(self) -> int:
+        """Changelog offset watermark: contents reflect the changelog up
+        to (but not including) this offset."""
+        return self._position
+
+    def advance_position(self, n: int = 1) -> None:
+        self._position += n
+
+    def rebase_position(self, next_offset: int) -> None:
+        """Set the watermark after a changelog replay."""
+        self._position = next_offset
 
 
 class InMemoryWindowStore(WindowStore):
@@ -43,10 +61,21 @@ class InMemoryWindowStore(WindowStore):
         self.retention_ms = retention_ms
         self._data: Dict[Tuple[Any, float], Any] = {}
         self._on_update = on_update
+        self._listeners: List[UpdateHook] = []
+        self._position = 0
         self.expired_entries = 0
 
     def set_update_hook(self, on_update: Optional[UpdateHook]) -> None:
         self._on_update = on_update
+
+    def add_listener(self, listener: UpdateHook) -> None:
+        """Subscribe to live updates; called with the (key, window start)
+        composite key (ksql EMIT CHANGES push queries)."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: UpdateHook) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
 
     def fetch(self, key: Any, window_start: float) -> Any:
         return self._data.get((key, window_start))
@@ -57,8 +86,12 @@ class InMemoryWindowStore(WindowStore):
             self._data.pop(composite, None)
         else:
             self._data[composite] = value
+        self._position += 1
         if self._on_update is not None:
             self._on_update(composite, value)
+        if self._listeners:
+            for listener in self._listeners:
+                listener(composite, value)
 
     def restore_put(self, composite_key: Tuple[Any, float], value: Any) -> None:
         """Apply a changelog record during restoration."""

@@ -31,3 +31,41 @@ def partition_for(key: Any, num_partitions: int) -> int:
     if key is None:
         return 0
     return stable_hash(key) % num_partitions
+
+
+class ExponentialBackoff:
+    """Capped exponential backoff schedule.
+
+    The retry idiom every Kafka client RPC uses: delays start at
+    ``initial_ms`` and double per attempt up to ``max_ms``. The schedule is
+    pure bookkeeping — callers decide how to spend the delay (advance the
+    virtual clock, or just account it as modelled latency), so the same
+    helper serves the producer's coordinator RPCs and the interactive-query
+    router's re-route loop.
+    """
+
+    def __init__(
+        self, initial_ms: float, max_ms: float, factor: float = 2.0
+    ) -> None:
+        if initial_ms <= 0:
+            raise ValueError("initial_ms must be > 0")
+        if max_ms < initial_ms:
+            raise ValueError("max_ms must be >= initial_ms")
+        if factor < 1.0:
+            raise ValueError("factor must be >= 1.0")
+        self.initial_ms = initial_ms
+        self.max_ms = max_ms
+        self.factor = factor
+        self._next = initial_ms
+        self.attempts = 0
+
+    def next_delay_ms(self) -> float:
+        """The delay to wait before the next retry; grows the schedule."""
+        delay = self._next
+        self._next = min(self._next * self.factor, self.max_ms)
+        self.attempts += 1
+        return delay
+
+    def reset(self) -> None:
+        self._next = self.initial_ms
+        self.attempts = 0

@@ -4,6 +4,7 @@ from repro.workloads.generator import LatenessModel, WorkloadGenerator
 from repro.workloads.pageviews import PageViewGenerator
 from repro.workloads.market_data import MarketDataGenerator
 from repro.workloads.conversations import ConversationGenerator
+from repro.workloads.queries import QueryWorkload, zipfian_cdf
 
 __all__ = [
     "WorkloadGenerator",
@@ -11,4 +12,6 @@ __all__ = [
     "PageViewGenerator",
     "MarketDataGenerator",
     "ConversationGenerator",
+    "QueryWorkload",
+    "zipfian_cdf",
 ]

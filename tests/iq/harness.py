@@ -1,0 +1,78 @@
+"""Shared helpers for interactive-query tests: a small counting app with
+standby replicas, plus the committed-changelog oracle strong reads are
+checked against."""
+
+from typing import Dict
+
+from repro.broker.partition import changelog_topic
+from repro.clients.producer import Producer
+from repro.config import COOPERATIVE, EXACTLY_ONCE, StreamsConfig
+from repro.streams import KafkaStreams, StreamsBuilder
+from repro.streams.windows import TimeWindows
+
+from tests.streams.harness import drain_topic, latest_by_key, make_cluster
+
+STORE = "counts"
+WINDOW_STORE = "hits"
+WINDOW_MS = 100.0
+
+
+def make_iq_app(
+    partitions=2,
+    instances=2,
+    standbys=1,
+    protocol=COOPERATIVE,
+    commit_interval_ms=20.0,
+    windowed=False,
+    **overrides,
+):
+    """(cluster, app): per-key counts in ``counts`` (or windowed counts in
+    ``hits``), running with standby replicas so bounded-staleness reads
+    have somewhere to fall back to."""
+    cluster = make_cluster(**{"in": partitions, "out": partitions})
+    builder = StreamsBuilder()
+    grouped = builder.stream("in").group_by_key()
+    if windowed:
+        (
+            grouped.windowed_by(TimeWindows.of(WINDOW_MS))
+            .count(WINDOW_STORE)
+            .to_stream()
+            .to("out")
+        )
+    else:
+        grouped.count(store_name=STORE).to_stream().to("out")
+    app = KafkaStreams(
+        builder.build(),
+        cluster,
+        StreamsConfig(
+            application_id="iq-app",
+            processing_guarantee=EXACTLY_ONCE,
+            commit_interval_ms=commit_interval_ms,
+            transaction_timeout_ms=500.0,
+            rebalance_protocol=protocol,
+            num_standby_replicas=standbys,
+            **overrides,
+        ),
+    )
+    app.start(instances)
+    return cluster, app
+
+
+def produce_counts(cluster, n=40, key_space=5, start=0) -> Dict[str, int]:
+    """n records over ``key_space`` keys; returns the per-key count delta."""
+    producer = Producer(cluster)
+    expected: Dict[str, int] = {}
+    for i in range(start, start + n):
+        key = f"k-{i % key_space}"
+        expected[key] = expected.get(key, 0) + 1
+        producer.send("in", key=key, value=1, timestamp=float(i * 10))
+    producer.flush()
+    return expected
+
+
+def committed_store_state(cluster, app, store=STORE) -> Dict:
+    """Replay the store's changelog with read-committed isolation — the
+    independent oracle every strong read must be byte-identical to."""
+    topic = changelog_topic(app.config.application_id, store)
+    state = latest_by_key(drain_topic(cluster, topic, read_committed=True))
+    return {key: value for key, value in state.items() if value is not None}

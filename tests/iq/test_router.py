@@ -1,0 +1,95 @@
+"""QueryRouter: routing, scatter-gather, retry, and the IQ metrics."""
+
+import pytest
+
+from repro.errors import QueryUnavailableError
+from repro.iq.server import BOUNDED, STRONG
+
+from tests.iq.harness import (
+    STORE,
+    committed_store_state,
+    make_iq_app,
+    produce_counts,
+)
+
+
+class TestRouting:
+    def test_point_reads_for_every_key(self):
+        cluster, app = make_iq_app()
+        expected = produce_counts(cluster)
+        app.run_until_idle(max_steps=50_000)
+        router = app.query_router()
+        for consistency in (BOUNDED, STRONG):
+            for key, value in expected.items():
+                assert router.get(STORE, key, consistency=consistency).value == value
+        app.close()
+
+    def test_scatter_gather_scans(self):
+        cluster, app = make_iq_app()
+        expected = produce_counts(cluster)
+        app.run_until_idle(max_steps=50_000)
+        router = app.query_router()
+        rows = router.all(STORE)
+        assert dict(rows) == expected
+        # Deterministic merge order across partitions.
+        assert [key for key, _ in rows] == sorted(expected, key=repr)
+        bounded = router.range_query(STORE, from_key="k-1", to_key="k-3")
+        assert [key for key, _ in bounded] == ["k-1", "k-2", "k-3"]
+        app.close()
+
+    def test_metrics_observed_per_query(self):
+        cluster, app = make_iq_app()
+        expected = produce_counts(cluster)
+        app.run_until_idle(max_steps=50_000)
+        router = app.query_router()
+        queries = cluster.metrics.counter("iq.queries")
+        before = queries.value
+        histogram = cluster.metrics.histogram("iq_query_latency_ms")
+        count_before = histogram.snapshot()["count"]
+        for key in expected:
+            router.get(STORE, key)
+        assert queries.value == before + len(expected)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == count_before + len(expected)
+        # Modelled cost: at least one hop plus the local service cost.
+        assert snapshot["p50"] > 0.0
+        # Everything was served fresh from active stores.
+        assert cluster.metrics.gauge("freshness_lag").value == 0.0
+        app.close()
+
+
+class TestAvailability:
+    def test_bounded_reads_ride_through_an_instance_loss(self):
+        cluster, app = make_iq_app()
+        expected = produce_counts(cluster)
+        app.run_until_idle(max_steps=50_000)
+        oracle = committed_store_state(cluster, app)
+        app.remove_instance(app.instances[0])
+        # No healing pump: at this instant some tasks are mid-handover,
+        # but every bounded read still finds the survivor or a standby.
+        router = app.query_router()
+        for key, value in expected.items():
+            result = router.get(STORE, key, consistency=BOUNDED)
+            assert result.value == oracle[key] == value
+        # After the group heals, strong reads work again everywhere.
+        app.run_for(500.0)
+        app.run_until_idle(max_steps=50_000)
+        for key, value in expected.items():
+            assert router.get(STORE, key, consistency=STRONG).value == value
+        app.close()
+
+    def test_exhausted_retries_surface_unavailable(self):
+        cluster, app = make_iq_app()
+        produce_counts(cluster)
+        app.run_until_idle(max_steps=50_000)
+        router = app.query_router(max_attempts=3)
+        failures = cluster.metrics.counter("iq.failures")
+        retries = cluster.metrics.counter("iq.retries")
+        for instance in list(app.instances):
+            app.remove_instance(instance)
+        with pytest.raises(QueryUnavailableError):
+            router.get(STORE, "k-0")
+        assert failures.value == 1
+        # The router swept its full (capped) retry budget first.
+        assert retries.value >= 2
+        app.close()

@@ -1,0 +1,189 @@
+"""QueryServer: per-instance pull-query endpoint — the consistency menu,
+ownership rejections, epoch validation, and staleness bounds."""
+
+import pytest
+
+from repro.errors import (
+    NotOwnedError,
+    StaleEpochError,
+    StaleStoreError,
+    StateStoreError,
+)
+from repro.iq.server import BOUNDED, STRONG
+
+from tests.iq.harness import (
+    STORE,
+    WINDOW_STORE,
+    committed_store_state,
+    make_iq_app,
+    produce_counts,
+)
+
+
+def partition_meta(app, partition, store=STORE):
+    return app.metadata_service.partition_metadata(store, partition)
+
+
+def key_in_partition(app, partition, store=STORE):
+    """A produced key that routes to ``partition``."""
+    service = app.metadata_service
+    for i in range(20):
+        key = f"k-{i}"
+        if service.partition_for_key(store, key) == partition:
+            return key
+    raise AssertionError("no key found for partition")
+
+
+class TestConsistencyMenu:
+    def test_bounded_read_from_the_active_store(self):
+        cluster, app = make_iq_app()
+        expected = produce_counts(cluster)
+        app.run_until_idle(max_steps=50_000)
+        meta = partition_meta(app, 0)
+        key = key_in_partition(app, 0)
+        result = meta.owner.query_server.get(STORE, key, 0)
+        assert result.value == expected[key]
+        assert result.source == "active"
+        assert result.staleness == 0.0
+        assert result.partition == 0
+        assert result.epoch == meta.epoch
+        app.close()
+
+    def test_strong_reads_equal_the_committed_changelog(self):
+        cluster, app = make_iq_app()
+        expected = produce_counts(cluster)
+        app.run_until_idle(max_steps=50_000)
+        oracle = committed_store_state(cluster, app)
+        assert oracle == expected
+        router = app.query_router()
+        for key, value in oracle.items():
+            result = router.get(STORE, key, consistency=STRONG)
+            assert result.value == value
+            assert repr(result.value) == repr(value)   # byte-identical
+            assert result.source == "committed"
+        app.close()
+
+    def test_strong_reads_never_see_open_transactions(self):
+        # A huge commit interval leaves every transaction open: the active
+        # store has the counts, the committed changelog does not. Strong
+        # reads are bounded by the last stable offset (KIP-447's gate) so
+        # they see nothing until the commit lands.
+        cluster, app = make_iq_app(commit_interval_ms=1e9)
+        expected = produce_counts(cluster)
+        # Explicit step cycles: run_until_idle would jump the clock to the
+        # armed commit timer and land the transactions.
+        for _ in range(5_000):
+            if not app.step():
+                break
+        router = app.query_router()
+        key = next(iter(expected))
+        bounded = router.get(STORE, key, consistency=BOUNDED)
+        assert bounded.value == expected[key]   # read-uncommitted immediacy
+        strong = router.get(STORE, key, consistency=STRONG)
+        assert strong.value is None
+        app.commit_all()
+        strong_after = router.get(STORE, key, consistency=STRONG)
+        assert strong_after.value == expected[key]
+        assert strong_after.position > strong.position
+        app.close()
+
+    def test_standby_staleness_is_bounded(self):
+        cluster, app = make_iq_app()
+        first = produce_counts(cluster, n=40)
+        app.run_until_idle(max_steps=50_000)
+        meta = partition_meta(app, 0)
+        owner, standby = meta.owner, meta.standbys[0]
+        key = key_in_partition(app, 0)
+
+        # Second batch processed and committed by the owner only: the
+        # standby instance never polls, so its replica lags the committed
+        # changelog end.
+        second = produce_counts(cluster, n=40, start=40)
+        for _ in range(5_000):
+            if not owner.step():
+                break
+        owner.commit()
+
+        fresh = owner.query_server.get(STORE, key, 0)
+        assert fresh.value == first[key] + second[key]
+        stale = standby.query_server.get(
+            STORE, key, 0, max_staleness=float("inf")
+        )
+        assert stale.source == "standby"
+        assert stale.staleness > 0
+        assert stale.value == first[key]   # behind, but never ahead
+        with pytest.raises(StaleStoreError) as exc_info:
+            standby.query_server.get(STORE, key, 0, max_staleness=0.0)
+        assert exc_info.value.staleness == stale.staleness
+        app.close()
+
+
+class TestOwnershipAndEpochs:
+    def test_strong_read_on_non_owner_is_retriable_with_hint(self):
+        cluster, app = make_iq_app()
+        produce_counts(cluster)
+        app.run_until_idle(max_steps=50_000)
+        meta = partition_meta(app, 0)
+        non_owner = next(i for i in app.instances if i is not meta.owner)
+        key = key_in_partition(app, 0)
+        with pytest.raises(NotOwnedError) as exc_info:
+            non_owner.query_server.get(STORE, key, 0, consistency=STRONG)
+        hint = exc_info.value.hint
+        assert exc_info.value.retriable
+        assert hint is not None
+        assert hint.owner is meta.owner
+        assert hint.partition == 0
+        app.close()
+
+    def test_dead_instance_rejects_queries(self):
+        cluster, app = make_iq_app()
+        produce_counts(cluster)
+        app.run_until_idle(max_steps=50_000)
+        meta = partition_meta(app, 0)
+        owner = meta.owner
+        app.crash_instance(owner)
+        with pytest.raises(NotOwnedError):
+            owner.query_server.get(STORE, key_in_partition(app, 0), 0)
+        app.close()
+
+    def test_stale_routing_epoch_rejected(self):
+        cluster, app = make_iq_app()
+        produce_counts(cluster)
+        app.run_until_idle(max_steps=50_000)
+        meta = partition_meta(app, 0)
+        key = key_in_partition(app, 0)
+        server = meta.owner.query_server
+        assert server.get(STORE, key, 0, epoch=meta.epoch).value is not None
+        with pytest.raises(StaleEpochError) as exc_info:
+            server.get(STORE, key, 0, epoch=meta.epoch + 7)
+        assert exc_info.value.epoch == meta.epoch
+        app.close()
+
+    def test_unknown_store_and_consistency_level(self):
+        cluster, app = make_iq_app()
+        produce_counts(cluster)
+        app.run_until_idle(max_steps=50_000)
+        server = app.instances[0].query_server
+        with pytest.raises(StateStoreError):
+            server.get("ghost", "k-0", 0)
+        with pytest.raises(StateStoreError):
+            server.get(STORE, "k-0", 0, consistency="linearizable")
+        app.close()
+
+
+class TestWindowQueries:
+    def test_window_fetch_with_and_without_bounds(self):
+        cluster, app = make_iq_app(windowed=True)
+        produce_counts(cluster, n=40)   # timestamps 0..390, 100ms windows
+        app.run_until_idle(max_steps=50_000)
+        router = app.query_router()
+        key = "k-0"
+        full = router.window_fetch(WINDOW_STORE, key)
+        assert [start for start, _ in full.value] == [0.0, 100.0, 200.0, 300.0]
+        assert sum(count for _, count in full.value) == 8   # 40 / 5 keys
+        bounded = router.window_fetch(
+            WINDOW_STORE, key, from_start=100.0, to_start=200.0
+        )
+        assert [start for start, _ in bounded.value] == [100.0, 200.0]
+        assert bounded.value == full.value[1:3]
+        app.close()

@@ -1,0 +1,86 @@
+"""QueryWorkload: the read-heavy driver actor firing Zipfian pull queries."""
+
+from repro.workloads import QueryWorkload, zipfian_cdf
+
+from tests.iq.harness import STORE, make_iq_app, produce_counts
+
+
+class TestZipfianDraws:
+    def test_cdf_shape(self):
+        cdf = zipfian_cdf(10, exponent=1.1)
+        assert len(cdf) == 10
+        assert cdf == sorted(cdf)
+        assert cdf[-1] == 1.0
+        # Zipf: the head rank carries the largest probability mass.
+        head = cdf[0]
+        tail = cdf[-1] - cdf[-2]
+        assert head > tail
+
+    def test_draws_are_seeded_and_skewed(self):
+        cluster, app = make_iq_app()
+        produce_counts(cluster)
+        app.run_until_idle(max_steps=50_000)
+
+        def draws(seed):
+            workload = QueryWorkload(
+                app, STORE, key_space=5, key_prefix="k", seed=seed
+            )
+            return [workload.next_key() for _ in range(200)]
+
+        assert draws(seed=3) == draws(seed=3)
+        assert draws(seed=3) != draws(seed=4)
+        sample = draws(seed=3)
+        assert sample.count("k-0") > sample.count("k-4")
+        app.close()
+
+
+class TestWorkloadActor:
+    def test_burst_serves_and_tallies(self):
+        cluster, app = make_iq_app()
+        produce_counts(cluster)
+        app.run_until_idle(max_steps=50_000)
+        workload = QueryWorkload(
+            app, STORE, key_space=5, key_prefix="k", seed=7
+        )
+        served = workload.run_burst(50)
+        assert served == workload.served == 50
+        assert workload.errors == {}
+        assert cluster.metrics.counter("iq.workload.served").value == 50
+        app.close()
+
+    def test_poll_issues_at_rate_and_sheds_the_excess(self):
+        cluster, app = make_iq_app()
+        produce_counts(cluster)
+        app.run_until_idle(max_steps=50_000)
+        workload = QueryWorkload(
+            app,
+            STORE,
+            rate_per_sec=1_000_000.0,
+            key_space=5,
+            key_prefix="k",
+            max_queries_per_poll=100,
+            seed=7,
+        )
+        cluster.clock.advance(10.0)   # 10ms at 10^6 q/s = 10_000 due
+        workload.poll()
+        assert workload.served == 100
+        assert workload.shed == 9_900
+        # Shed queries are dropped, not queued: an idle stretch does not
+        # replay the backlog.
+        workload.poll()
+        assert workload.served == 100
+        app.close()
+
+    def test_errors_are_tallied_per_class(self):
+        cluster, app = make_iq_app()
+        produce_counts(cluster)
+        app.run_until_idle(max_steps=50_000)
+        workload = QueryWorkload(
+            app, STORE, key_space=5, key_prefix="k", seed=7
+        )
+        for instance in list(app.instances):
+            app.remove_instance(instance)
+        assert workload.run_burst(5) == 0
+        assert workload.errors == {"QueryUnavailableError": 5}
+        assert cluster.metrics.counter("iq.workload.errors").value == 5
+        app.close()

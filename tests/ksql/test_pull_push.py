@@ -1,0 +1,222 @@
+"""ksql pull and push queries over materialized CTAS state.
+
+Pull queries are one-shot lookups compiled onto the interactive-query
+layer (key-equality pushdown routes to the owning partition, WINDOWSTART
+bounds the window scan, residual predicates filter row by row). Push
+queries (EMIT CHANGES) are standing subscriptions fed by store update
+callbacks."""
+
+import pytest
+
+from repro.clients.producer import Producer
+from repro.iq.server import STRONG
+from repro.ksql import KsqlEngine, KsqlParseError
+from repro.ksql.ast import ColumnRef, SelectQuery
+from repro.ksql.parser import parse
+
+from tests.streams.harness import make_cluster
+
+
+@pytest.fixture
+def engine():
+    cluster = make_cluster()
+    return KsqlEngine(cluster), cluster
+
+
+def produce(cluster, topic, rows, key_field, t0=0):
+    producer = Producer(cluster)
+    for i, row in enumerate(rows):
+        producer.send(
+            topic, key=row[key_field], value=row, timestamp=float(t0 + i * 10)
+        )
+    producer.flush()
+
+
+def clicks(users):
+    return [{"user": user} for user in users]
+
+
+def setup_counts(ksql, cluster):
+    ksql.execute(
+        "CREATE STREAM clicks WITH (KAFKA_TOPIC='clicks', PARTITIONS=2);"
+        "CREATE TABLE hits AS SELECT user, COUNT(*) AS n "
+        "FROM clicks GROUP BY user;"
+    )
+    produce(cluster, "clicks", clicks(["a", "b", "a", "c", "a", "b"]), "user")
+    ksql.run_until_idle()
+
+
+class TestParser:
+    def test_bare_select_parses(self):
+        (statement,) = parse("SELECT * FROM hits;")
+        assert isinstance(statement, SelectQuery)
+        assert statement.emit_changes is False
+        assert isinstance(statement.projections[0].expression, ColumnRef)
+        assert statement.projections[0].expression.name == "*"
+
+    def test_emit_changes_flag(self):
+        (statement,) = parse("SELECT ROWKEY, n FROM hits EMIT CHANGES;")
+        assert statement.emit_changes is True
+        (statement,) = parse(
+            "SELECT * FROM hits WHERE n > 2 EMIT CHANGES;"
+        )
+        assert statement.emit_changes is True
+        assert statement.where is not None
+
+
+class TestPullQueries:
+    def test_point_lookup_by_key(self, engine):
+        ksql, cluster = engine
+        setup_counts(ksql, cluster)
+        rows = ksql.pull_query("SELECT * FROM hits WHERE user = 'a';")
+        assert rows == [{"ROWKEY": "a", "n": 3}]
+        assert ksql.pull_query("SELECT * FROM hits WHERE ROWKEY = 'b';") == [
+            {"ROWKEY": "b", "n": 2}
+        ]
+        assert ksql.pull_query("SELECT * FROM hits WHERE user = 'nope';") == []
+
+    def test_projection(self, engine):
+        ksql, cluster = engine
+        setup_counts(ksql, cluster)
+        rows = ksql.pull_query(
+            "SELECT ROWKEY AS user, n * 10 AS scaled FROM hits "
+            "WHERE user = 'a';"
+        )
+        assert rows == [{"user": "a", "scaled": 30}]
+
+    def test_full_scan_without_key_predicate(self, engine):
+        ksql, cluster = engine
+        setup_counts(ksql, cluster)
+        rows = ksql.pull_query("SELECT * FROM hits;")
+        assert sorted(rows, key=lambda r: r["ROWKEY"]) == [
+            {"ROWKEY": "a", "n": 3},
+            {"ROWKEY": "b", "n": 2},
+            {"ROWKEY": "c", "n": 1},
+        ]
+
+    def test_residual_predicate_filters_rows(self, engine):
+        ksql, cluster = engine
+        setup_counts(ksql, cluster)
+        rows = ksql.pull_query("SELECT * FROM hits WHERE n >= 2;")
+        assert sorted(r["ROWKEY"] for r in rows) == ["a", "b"]
+        # Key pushdown and residual combine.
+        assert ksql.pull_query(
+            "SELECT * FROM hits WHERE user = 'c' AND n >= 2;"
+        ) == []
+
+    def test_contradictory_key_equalities(self, engine):
+        ksql, cluster = engine
+        setup_counts(ksql, cluster)
+        rows = ksql.pull_query(
+            "SELECT * FROM hits WHERE user = 'a' AND user = 'b';"
+        )
+        assert rows == []
+
+    def test_strong_consistency_pull(self, engine):
+        ksql, cluster = engine
+        setup_counts(ksql, cluster)
+        rows = ksql.pull_query(
+            "SELECT * FROM hits WHERE user = 'a';", consistency=STRONG
+        )
+        assert rows == [{"ROWKEY": "a", "n": 3}]
+
+    def test_windowed_pull_with_windowstart_bounds(self, engine):
+        ksql, cluster = engine
+        ksql.execute(
+            "CREATE STREAM clicks WITH (KAFKA_TOPIC='clicks', PARTITIONS=1);"
+            "CREATE TABLE wc AS SELECT user, COUNT(*) AS n FROM clicks "
+            "WINDOW TUMBLING (SIZE 50 MILLISECONDS, GRACE 1 SECONDS) "
+            "GROUP BY user;"
+        )
+        # timestamps 0,10,...,50: windows [0,50) gets 5, [50,100) gets 1.
+        produce(cluster, "clicks", clicks(["u"] * 6), "user")
+        ksql.run_until_idle()
+        rows = ksql.pull_query("SELECT * FROM wc WHERE user = 'u';")
+        assert rows == [
+            {"ROWKEY": "u", "WINDOWSTART": 0.0, "n": 5},
+            {"ROWKEY": "u", "WINDOWSTART": 50.0, "n": 1},
+        ]
+        bounded = ksql.pull_query(
+            "SELECT * FROM wc WHERE user = 'u' AND WINDOWSTART >= 50;"
+        )
+        assert bounded == [{"ROWKEY": "u", "WINDOWSTART": 50.0, "n": 1}]
+        # Scatter-gather scan honours the bounds too.
+        scan = ksql.pull_query("SELECT * FROM wc WHERE WINDOWSTART <= 0;")
+        assert scan == [{"ROWKEY": "u", "WINDOWSTART": 0.0, "n": 5}]
+
+    def test_pull_rejects_non_table_sources_and_reshaping(self, engine):
+        ksql, cluster = engine
+        ksql.execute(
+            "CREATE STREAM s WITH (KAFKA_TOPIC='t', PARTITIONS=1);"
+            "CREATE STREAM derived AS SELECT k FROM s;"
+        )
+        with pytest.raises(KsqlParseError):
+            ksql.pull_query("SELECT * FROM derived WHERE k = 'a';")
+        with pytest.raises(KsqlParseError):
+            ksql.pull_query("SELECT * FROM ghost;")
+
+    def test_pull_and_push_require_matching_emit(self, engine):
+        ksql, cluster = engine
+        setup_counts(ksql, cluster)
+        with pytest.raises(KsqlParseError):
+            ksql.pull_query("SELECT * FROM hits EMIT CHANGES;")
+        with pytest.raises(KsqlParseError):
+            ksql.push_query("SELECT * FROM hits;")
+
+
+class TestPushQueries:
+    def test_subscription_streams_updates(self, engine):
+        ksql, cluster = engine
+        setup_counts(ksql, cluster)
+        subscription = ksql.push_query(
+            "SELECT ROWKEY AS user, n FROM hits EMIT CHANGES;"
+        )
+        assert subscription.poll() == []   # no updates since subscribing
+        produce(cluster, "clicks", clicks(["a", "c"]), "user", t0=1000)
+        ksql.run_until_idle()
+        rows = subscription.poll()
+        assert {(r["user"], r["n"]) for r in rows} == {("a", 4), ("c", 2)}
+        assert subscription.poll() == []   # drained
+        assert subscription.emitted == 2
+        subscription.close()
+
+    def test_push_where_filters_the_stream(self, engine):
+        ksql, cluster = engine
+        setup_counts(ksql, cluster)
+        subscription = ksql.push_query(
+            "SELECT * FROM hits WHERE n >= 4 EMIT CHANGES;"
+        )
+        produce(cluster, "clicks", clicks(["a", "b"]), "user", t0=1000)
+        ksql.run_until_idle()
+        rows = subscription.poll()
+        # Only 'a' crossed the threshold (4); 'b' is at 3.
+        assert rows == [{"ROWKEY": "a", "n": 4}]
+        subscription.close()
+
+    def test_closed_subscription_stops_receiving(self, engine):
+        ksql, cluster = engine
+        setup_counts(ksql, cluster)
+        subscription = ksql.push_query("SELECT * FROM hits EMIT CHANGES;")
+        produce(cluster, "clicks", clicks(["a"]), "user", t0=1000)
+        ksql.run_until_idle()
+        assert subscription.poll()
+        subscription.close()
+        produce(cluster, "clicks", clicks(["a"]), "user", t0=2000)
+        ksql.run_until_idle()
+        assert subscription.poll() == []
+
+    def test_subscription_survives_a_scale_out(self, engine):
+        # The listener registry lives on the app, so stores created on a
+        # new instance after a rebalance keep feeding the subscription.
+        ksql, cluster = engine
+        setup_counts(ksql, cluster)
+        subscription = ksql.push_query("SELECT * FROM hits EMIT CHANGES;")
+        handle = ksql.query("hits")
+        handle.app.add_instance()
+        ksql.run_until_idle()
+        subscription.poll()   # discard any restore-time noise
+        produce(cluster, "clicks", clicks(["a", "b", "c"]), "user", t0=1000)
+        ksql.run_until_idle()
+        rows = subscription.poll()
+        assert {r["ROWKEY"] for r in rows} == {"a", "b", "c"}
+        subscription.close()
