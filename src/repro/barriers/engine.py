@@ -89,6 +89,10 @@ class BarrierEngine:
 
         self.state: Dict[Any, Any] = {}
         self._dirty: set = set()
+        # False between crash() and recover(): a crashed job's process is
+        # gone, so step()/flush() are no-ops until a supervisor (e.g. the
+        # chaos scenario harness) restarts it.
+        self.alive = True
         self._checkpoint_seq = 0
         self._next_checkpoint_at = self.clock.now + checkpoint_interval_ms
         self.completed_checkpoints: List[CheckpointMetadata] = []
@@ -110,6 +114,8 @@ class BarrierEngine:
     def step(self) -> int:
         """One cycle: poll, process, output inside the open transaction,
         checkpoint when the interval elapses."""
+        if not self.alive:
+            return 0
         records = self.consumer.poll()
         if records and not self.producer._in_transaction:
             self.producer.begin_transaction()
@@ -144,6 +150,8 @@ class BarrierEngine:
         pending — the transactional sink's data is invisible until the
         checkpoint's commit, but an empty checkpoint would just burn
         object-store PUTs."""
+        if not self.alive:
+            return
         if self._dirty or self.producer._in_transaction:
             self.checkpoint()
 
@@ -226,17 +234,29 @@ class BarrierEngine:
         be aborted on restart registration or by timeout)."""
         self.state = {}
         self._dirty = set()
+        self.alive = False
 
     def recover(self) -> Optional[int]:
         """Restore from the last completed checkpoint: reload state from
         the object store, rewind the source, re-register the sink's
         transactional id (fencing/aborting the dangling transaction)."""
+        rec = self.cluster.recovery
+        if rec is not None:
+            # The supervisor noticing the dead job and handing it back its
+            # slot is both the detection and the realignment for a
+            # single-job engine.
+            rec.note_detection("barrier_supervisor", job=self.job_name)
+            rec.note_realign("barrier_recover", job=self.job_name)
         self.producer.init_transactions()
+        self.alive = True
         if not self.completed_checkpoints:
             self.state = {}
             self._dirty = set()
             for tp in self.consumer.assignment():
                 self.consumer.seek_to_beginning(tp)
+            if rec is not None:
+                rec.note_restore("barrier", records=0, complete=True,
+                                 job=self.job_name)
             return None
         latest = self.completed_checkpoints[-1]
         self.state = dict(self.store.get(latest.state_path))
@@ -246,4 +266,7 @@ class BarrierEngine:
         self._next_checkpoint_at = self.clock.now + self.checkpoint_interval_ms
         self._checkpoint_due = False
         self._arm_checkpoint_timer()
+        if rec is not None:
+            rec.note_restore("barrier", records=len(self.state), complete=True,
+                             job=self.job_name)
         return latest.checkpoint_id

@@ -16,6 +16,7 @@ from repro.config import READ_COMMITTED, BrokerConfig
 from repro.errors import (
     BrokerUnavailableError,
     NotEnoughReplicasError,
+    NotLeaderError,
     TopicAlreadyExistsError,
     UnknownTopicOrPartitionError,
 )
@@ -93,6 +94,10 @@ class Cluster:
         # Bumped whenever routing facts change (leadership, partition
         # counts); clients key their metadata/leader caches on it.
         self._metadata_epoch = 0
+        # Optional RecoveryTracker (repro.obs.recovery). Components feed
+        # it recovery milestones with the same cheap guarded idiom as the
+        # tracer: ``rec = cluster.recovery; if rec is not None: ...``.
+        self.recovery = None
 
         self.group_coordinator = GroupCoordinator(self)
         self.txn_coordinator = TransactionCoordinator(self)
@@ -295,6 +300,37 @@ class Cluster:
             self.metrics.counter("broker.fetched_records").increment(
                 len(result.records)
             )
+        return result
+
+    def handle_fetch_replica(
+        self,
+        tp: TopicPartition,
+        broker_id: int,
+        from_offset: int,
+        max_records: int,
+        isolation_level: str,
+    ) -> FetchResult:
+        """Fetch from a *specific* in-sync replica (KIP-392-style follower
+        read), used by the gray-failure hedge when the leader is demoted.
+
+        Only ISR members serve: their logs hold every acked record and —
+        since followers mirror the leader's index state — the same
+        high-watermark/LSO bounds, so a follower read never returns
+        uncommitted or unreplicated data."""
+        state = self.partition_state(tp)
+        if not self.brokers[broker_id].alive:
+            raise BrokerUnavailableError(f"broker {broker_id} is down (fetch)")
+        if broker_id not in state.isr:
+            raise NotLeaderError(
+                f"{tp}: broker {broker_id} is not in the ISR; cannot serve reads"
+            )
+        result = fetch(state.replicas[broker_id], from_offset, max_records,
+                       isolation_level)
+        if result.records:
+            self.metrics.counter("broker.fetched_records").increment(
+                len(result.records)
+            )
+            self.metrics.counter("broker.follower_reads").increment()
         return result
 
     def handle_fetch_columnar(

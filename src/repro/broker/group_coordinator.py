@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.config import COOPERATIVE, EAGER, READ_COMMITTED
 from repro.errors import (
+    CommitFailedError,
     IllegalGenerationError,
     UnknownMemberError,
 )
@@ -304,6 +305,11 @@ class GroupCoordinator:
                     "group.session_expired", "group-coordinator", group_id,
                     category="group", member=member_id,
                 )
+            rec = self._cluster.recovery
+            if rec is not None:
+                rec.note_detection(
+                    "session_expired", group=group_id, member=member_id
+                )
         for group in affected.values():
             if group.members:
                 self._rebalance(group)
@@ -424,8 +430,20 @@ class GroupCoordinator:
                     protocol=group.protocol,
                     deferred=len(group.unreleased),
                 )
+            self._note_realigned(group)
             return
         self._do_rebalance(group)
+        self._note_realigned(group)
+
+    def _note_realigned(self, group: GroupState) -> None:
+        rec = self._cluster.recovery
+        if rec is not None:
+            rec.note_realign(
+                "rebalance",
+                group=group.group_id,
+                generation=group.generation,
+                protocol=group.protocol,
+            )
 
     def _do_rebalance(self, group: GroupState) -> None:
         group.protocol = (
@@ -554,6 +572,8 @@ class GroupCoordinator:
                     f"group {group_id}: commit with stale generation "
                     f"{generation} (current {group.generation})"
                 )
+            if generation is not None:
+                self._check_ownership(group, member_id, offsets)
         tp = self.offsets_partition(group_id)
         records = [
             Record(
@@ -570,6 +590,39 @@ class GroupCoordinator:
             is_transactional=transactional,
         )
         self._cluster.partition_state(tp).append(batch, acks="all")
+
+    def _check_ownership(
+        self,
+        group: GroupState,
+        member_id: str,
+        offsets: Dict[TopicPartition, int],
+    ) -> None:
+        """Reject commits for partitions owned by *another* member.
+
+        The generation check alone cannot fence a zombie window: the real
+        protocol only completes a rebalance once every member has rejoined
+        (having committed revoked work first), but this coordinator
+        completes rebalances instantly and runs revocation barriers on the
+        members' behalf. A member that kept processing already-fetched
+        records for a partition it lost would pass the generation check
+        after its next (generation-refreshing) rejoin and commit work the
+        partition's new owner is about to redo — duplicated output under
+        exactly-once. Ownership is checked against the current assignment;
+        a cooperative handover still in flight (``unreleased``) keeps the
+        old owner commit-eligible until it acks.
+        """
+        owned = set(group.members[member_id].assignment)
+        foreign = sorted(
+            str(tp)
+            for tp in offsets
+            if tp not in owned and group.unreleased.get(tp) != member_id
+        )
+        if foreign:
+            raise CommitFailedError(
+                f"group {group.group_id}: member {member_id} committed "
+                f"offsets for partitions it does not own in generation "
+                f"{group.generation}: {foreign}"
+            )
 
     def fetch_committed(
         self, group_id: str, partitions: List[TopicPartition]

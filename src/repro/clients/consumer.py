@@ -13,6 +13,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.broker.cluster import Cluster
 from repro.broker.partition import TopicPartition
+from repro.clients.gray import GrayFailureDetector
 from repro.config import COOPERATIVE, ConsumerConfig
 from repro.errors import (
     IllegalGenerationError,
@@ -23,6 +24,7 @@ from repro.errors import (
 from repro.log.columnar import ColumnarBatch
 from repro.log.record import Record
 from repro.obs.stages import FETCHED_AT_HEADER
+from repro.util import ExponentialBackoff
 
 
 class Consumer:
@@ -73,6 +75,15 @@ class Consumer:
         self._records_per_poll = cluster.metrics.histogram(
             "consumer.records_per_poll"
         )
+        # Gray-failure detection (config.hedged_fetch): per-broker latency
+        # EWMA over fetch round trips; while the leader is demoted, scalar
+        # fetches hedge to another in-sync replica.
+        self._gray = (
+            GrayFailureDetector(cluster.clock, metrics=cluster.metrics)
+            if self.config.hedged_fetch
+            else None
+        )
+        self.hedged_fetches = 0
 
     # -- subscription / assignment ---------------------------------------------------
 
@@ -233,6 +244,7 @@ class Consumer:
                 # with refreshed routing. Positions are untouched, so
                 # nothing is lost or re-read.
                 self._leader_cache.pop(tp, None)
+                self._note_fetch_error(tp)
                 continue
             out.extend(records)
             budget -= len(records)
@@ -272,6 +284,7 @@ class Consumer:
                 batch = self._fetch_one_columnar(tp, budget)
             except RetriableError:
                 self._leader_cache.pop(tp, None)
+                self._note_fetch_error(tp)
                 continue
             if batch.valid_count:
                 out.append(batch)
@@ -293,6 +306,28 @@ class Consumer:
             self._leader_cache[tp] = leader
         return leader
 
+    def _note_fetch_error(self, tp: TopicPartition) -> None:
+        rec = self.cluster.recovery
+        if rec is not None:
+            rec.note_detection(
+                "fetch_error", client=self.config.client_id, partition=str(tp)
+            )
+
+    def _alternate_replica(
+        self, tp: TopicPartition, leader: int, gray: GrayFailureDetector
+    ) -> Optional[int]:
+        """A live, non-demoted ISR member other than the leader, for the
+        gray-failure hedge. Deterministic: lowest eligible broker id."""
+        state = self.cluster.partition_state(tp)
+        for broker in sorted(state.isr):
+            if (
+                broker != leader
+                and not gray.is_demoted(broker)
+                and self.cluster.is_broker_alive(broker)
+            ):
+                return broker
+        return None
+
     def _fetch_one(self, tp: TopicPartition, budget: int) -> List[Record]:
         position = self._positions.get(tp)
         if position is None:
@@ -300,16 +335,41 @@ class Consumer:
             self._positions[tp] = position
         leader = self._leader_of(tp)
         traced = self._tracer.enabled
-        fetch_started = self.cluster.clock.now if traced else 0.0
+        gray = self._gray
+        target = leader
+        if gray is not None and gray.is_demoted(leader):
+            alt = self._alternate_replica(tp, leader, gray)
+            if alt is not None:
+                target = alt
+        if target is leader:
+            fn = lambda: self.cluster.handle_fetch(  # noqa: E731
+                tp, position, budget, self.config.isolation_level
+            )
+        else:
+            fn = lambda: self.cluster.handle_fetch_replica(  # noqa: E731
+                tp, target, position, budget, self.config.isolation_level
+            )
+        fetch_started = self.cluster.clock.now if (traced or gray) else 0.0
         result = self._network.call(
             "fetch",
-            leader,
-            lambda: self.cluster.handle_fetch(
-                tp, position, budget, self.config.isolation_level
-            ),
+            target,
+            fn,
             base_cost_ms=self._network.fetch_cost(),
             src=self.config.client_id,
         )
+        if gray is not None:
+            gray.observe(target, self.cluster.clock.now - fetch_started)
+            if gray.check(target):
+                rec = self.cluster.recovery
+                if rec is not None:
+                    rec.note_detection(
+                        "gray_demotion",
+                        client=self.config.client_id,
+                        broker=target,
+                    )
+            if target != leader:
+                self.hedged_fetches += 1
+                self.cluster.metrics.counter("consumer.hedged_fetches").increment()
         self._positions[tp] = result.next_offset
         # Return copies: the log's record objects are shared, and the
         # origin headers must reflect *this* fetch, not any upstream hop.
@@ -407,21 +467,54 @@ class Consumer:
             return
         coordinator = self.cluster.group_coordinator
         offsets_tp = coordinator.offsets_partition(self.config.group_id)
-        leader = self.cluster.leader_of(offsets_tp)
         # A plain offset commit is an append to the offsets topic — it
         # costs a produce round trip, not a coordinator metadata update.
-        self._network.call(
+        self._call_coordinator(
             "offset_commit",
-            leader,
+            lambda: self.cluster.leader_of(offsets_tp),
             lambda: coordinator.commit_offsets(
                 self.config.group_id,
                 offsets,
                 member_id=self._member_id,
                 generation=self._generation if self._member_id else None,
             ),
-            base_cost_ms=self._network.produce_cost(len(offsets)),
-            src=self.config.client_id,
+            self._network.produce_cost(len(offsets)),
         )
+
+    def _call_coordinator(self, api: str, resolve_leader, fn, cost: float):
+        """Coordinator-RPC retry loop — the consumer twin of
+        ``Producer._call_coordinator``: retriable failures (leaderless
+        offsets partition, dead broker, dropped request) are retried with
+        capped exponential backoff, re-resolving the leader each attempt,
+        until ``default_api_timeout_ms`` elapses; the last retriable error
+        is then re-raised for the caller's degradation handling.
+        Non-retriable rejections (stale generation) pass through."""
+        clock = self.cluster.clock
+        deadline = clock.now + self.config.default_api_timeout_ms
+        backoff = ExponentialBackoff(
+            self.config.retry_backoff_ms, self.config.retry_backoff_max_ms
+        )
+        while True:
+            try:
+                return self._network.call(
+                    api,
+                    resolve_leader(),
+                    fn,
+                    base_cost_ms=cost,
+                    src=self.config.client_id,
+                )
+            except RetriableError:
+                rec = self.cluster.recovery
+                if rec is not None:
+                    rec.note_detection(
+                        "coordinator_retry",
+                        client=self.config.client_id,
+                        api=api,
+                    )
+                remaining = deadline - clock.now
+                if remaining <= 0:
+                    raise
+                clock.advance(min(backoff.next_delay_ms(), remaining))
 
     def committed(self, tp: TopicPartition) -> Optional[int]:
         if self.config.group_id is None:

@@ -129,6 +129,13 @@ class Producer:
             except ProducerFencedError:
                 raise
             except RetriableError as exc:
+                rec = self.cluster.recovery
+                if rec is not None:
+                    rec.note_detection(
+                        "coordinator_retry",
+                        client=self.config.client_id,
+                        api=api,
+                    )
                 remaining = deadline - self._clock.now
                 if remaining <= 0:
                     raise MaxBlockTimeoutError(
@@ -449,6 +456,11 @@ class Producer:
             except RetriableError:
                 attempts += 1
                 self.retries_performed += 1
+                rec = self.cluster.recovery
+                if rec is not None:
+                    rec.note_detection(
+                        "send_retry", client=self.config.client_id, tp=str(tp)
+                    )
                 remaining = deadline - self._clock.now
                 if attempts > self.config.retries or remaining <= 0:
                     raise

@@ -126,6 +126,17 @@ class ConsumerConfig:
     # Protocol this member offers at join_group. The group coordinator
     # negotiates down to EAGER unless *every* member offers COOPERATIVE.
     rebalance_protocol: str = EAGER
+    # Coordinator-RPC retry policy (offset commits): retriable failures
+    # are retried with exponential backoff until default_api_timeout_ms
+    # elapses, mirroring the producer's _call_coordinator loop.
+    retry_backoff_ms: float = 0.5
+    retry_backoff_max_ms: float = 50.0
+    default_api_timeout_ms: float = 60_000.0
+    # Gray-failure hedging: keep a per-broker latency EWMA over fetch
+    # round trips and, while a leader is demoted as gray, hedge fetches
+    # to another in-sync replica (KIP-392-style follower read). Off by
+    # default — steady-state fetch routing is leader-only.
+    hedged_fetch: bool = False
 
     def validate(self) -> None:
         if self.isolation_level not in (
@@ -144,6 +155,12 @@ class ConsumerConfig:
             raise InvalidConfigError(
                 f"unknown rebalance_protocol: {self.rebalance_protocol!r}"
             )
+        if not 0 < self.retry_backoff_ms <= self.retry_backoff_max_ms:
+            raise InvalidConfigError(
+                "retry_backoff_ms must be in (0, retry_backoff_max_ms]"
+            )
+        if self.default_api_timeout_ms <= 0:
+            raise InvalidConfigError("default_api_timeout_ms must be > 0")
 
 
 @dataclass
@@ -198,6 +215,29 @@ class StreamsConfig:
     # ``speculative`` is set — speculation needs per-record dependency
     # tracking.
     batch_execution: bool = False
+    # Restore throttling: >0 caps how many changelog records one instance
+    # replays per poll cycle, spread across its restoring tasks
+    # (smallest-lag-first), so a mass restore after instance loss cannot
+    # starve live tasks on the same instance. 0 restores unthrottled at
+    # task (re)creation, blocking that poll — the classic behaviour.
+    restore_max_records_per_poll: int = 0
+    # Graceful degradation under sustained coordinator loss: when a
+    # commit exhausts its blocking budget (MaxBlockTimeoutError from the
+    # producer, or a retriable coordinator error that outlived the
+    # consumer's retry deadline), the instance pauses for a bounded,
+    # exponentially growing window instead of retrying unboundedly; shed
+    # polls are accounted in streams.degraded_* metrics.
+    degraded_pause_ms: float = 50.0
+    degraded_pause_max_ms: float = 2_000.0
+    # max_block_ms handed to the instances' producers — how long one
+    # commit may block on an unavailable coordinator before the instance
+    # degrades.
+    producer_max_block_ms: float = 60_000.0
+    # Gray-failure hardening for the instances' consumers: track per-broker
+    # fetch latency and hedge fetches to another in-sync replica while a
+    # broker is demoted (see repro.clients.gray). Only observable when the
+    # network charges latency.
+    hedged_fetch: bool = False
 
     def validate(self) -> None:
         if self.processing_guarantee not in (
@@ -229,6 +269,14 @@ class StreamsConfig:
             raise InvalidConfigError("acceptable_recovery_lag must be >= 0")
         if self.probing_rebalance_interval_ms <= 0:
             raise InvalidConfigError("probing_rebalance_interval_ms must be > 0")
+        if self.restore_max_records_per_poll < 0:
+            raise InvalidConfigError("restore_max_records_per_poll must be >= 0")
+        if not 0 < self.degraded_pause_ms <= self.degraded_pause_max_ms:
+            raise InvalidConfigError(
+                "degraded_pause_ms must be in (0, degraded_pause_max_ms]"
+            )
+        if self.producer_max_block_ms <= 0:
+            raise InvalidConfigError("producer_max_block_ms must be > 0")
 
     @property
     def eos_enabled(self) -> bool:

@@ -246,6 +246,7 @@ class QueryServer:
             spec.changelog_topic(self.app.config.application_id),
             task_id.partition,
             from_offset=shadow.position(),
+            kind="standby",
         )
         return shadow
 

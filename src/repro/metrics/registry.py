@@ -10,7 +10,8 @@ name, so existing call sites are untouched.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Optional
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
 
 
 def labeled_name(name: str, labels: Dict[str, Any]) -> str:
@@ -153,22 +154,52 @@ class MetricsRegistry:
         key = labeled_name(name, labels)
         return self._histograms.setdefault(key, Histogram(key))
 
-    def counters(self) -> Dict[str, int]:
-        return {name: c.value for name, c in sorted(self._counters.items())}
+    def counters(self, prefix: str = "") -> Dict[str, int]:
+        return {
+            name: c.value for name, c in sorted(self._counters.items())
+            if name.startswith(prefix)
+        }
 
-    def gauges(self) -> Dict[str, float]:
-        return {name: g.value for name, g in sorted(self._gauges.items())}
+    def gauges(self, prefix: str = "") -> Dict[str, float]:
+        return {
+            name: g.value for name, g in sorted(self._gauges.items())
+            if name.startswith(prefix)
+        }
 
-    def histograms(self) -> Dict[str, Dict[str, float]]:
-        """Snapshot of every histogram, keyed by name."""
-        return {name: h.snapshot() for name, h in sorted(self._histograms.items())}
+    def histograms(self, prefix: str = "") -> Dict[str, Dict[str, float]]:
+        """Snapshot of every matching histogram, keyed by name."""
+        return {
+            name: h.snapshot() for name, h in sorted(self._histograms.items())
+            if name.startswith(prefix)
+        }
 
-    def reset(self) -> None:
-        """Zero every counter/gauge and clear every histogram (keeps the
-        names registered, so held references stay valid)."""
-        for counter in self._counters.values():
-            counter.reset()
-        for gauge in self._gauges.values():
-            gauge.reset()
-        for histogram in self._histograms.values():
-            histogram.reset()
+    def snapshot(self, prefix: str = "") -> Dict[str, Dict[str, Any]]:
+        """Point-in-time view of every metric whose name starts with
+        ``prefix`` (empty prefix = everything)."""
+        return {
+            "counters": self.counters(prefix),
+            "gauges": self.gauges(prefix),
+            "histograms": self.histograms(prefix),
+        }
+
+    def reset(self, prefix: str = "") -> None:
+        """Zero matching counters/gauges and clear matching histograms
+        (keeps the names registered, so held references stay valid). An
+        empty prefix resets everything."""
+        for name, counter in self._counters.items():
+            if name.startswith(prefix):
+                counter.reset()
+        for name, gauge in self._gauges.items():
+            if name.startswith(prefix):
+                gauge.reset()
+        for name, histogram in self._histograms.items():
+            if name.startswith(prefix):
+                histogram.reset()
+
+    @contextmanager
+    def scoped(self, prefix: str = "") -> Iterator["MetricsRegistry"]:
+        """Reset metrics under ``prefix`` on entry so readings taken inside
+        the block reflect only work done there — one grid cell's counters
+        don't bleed into the next when many cells share a process."""
+        self.reset(prefix)
+        yield self

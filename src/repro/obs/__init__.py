@@ -8,6 +8,7 @@ debug bundles.
 """
 
 from repro.obs.debug import dump_debug_bundle
+from repro.obs.recovery import PHASES as RECOVERY_PHASES, RecoveryTracker
 from repro.obs.export import (
     chrome_trace,
     run_summary,
@@ -39,6 +40,8 @@ __all__ = [
     "FETCHED_AT_HEADER",
     "PROCESSED_AT_HEADER",
     "STAGES",
+    "RECOVERY_PHASES",
+    "RecoveryTracker",
     "StageLatencyTracker",
     "TelemetryReporter",
     "dump_debug_bundle",

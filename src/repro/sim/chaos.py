@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.broker.partition import (
     CONSUMER_OFFSETS_TOPIC,
@@ -80,6 +80,49 @@ class ChaosConfig:
     # Evaluate the invariant suite at most once per this much virtual time.
     invariant_check_interval_ms: float = 100.0
     kinds: Tuple[str, ...] = ALL_KINDS
+    # Optional per-kind draw weights for schedule(); kinds absent from the
+    # mapping draw with weight 1.0. Keys must name members of ``kinds``.
+    kind_weights: Optional[Dict[str, float]] = None
+
+    def __post_init__(self) -> None:
+        # Eager validation, mirroring Network.add_fault: a typo'd scenario
+        # fails at construction, not hundreds of virtual milliseconds into
+        # a run when the mistyped kind is finally drawn.
+        validate_kinds(self.kinds)
+        if self.kind_weights is not None:
+            unknown = sorted(set(self.kind_weights) - set(self.kinds))
+            if unknown:
+                raise ValueError(
+                    f"kind_weights for kinds not in this config's repertoire: "
+                    f"{unknown} (kinds: {tuple(self.kinds)})"
+                )
+            bad = {k: w for k, w in self.kind_weights.items() if not w > 0}
+            if bad:
+                raise ValueError(f"kind_weights must be > 0, got {bad}")
+        if self.mean_fault_interval_ms <= 0:
+            raise ValueError("mean_fault_interval_ms must be > 0")
+        if self.horizon_ms <= 0:
+            raise ValueError("horizon_ms must be > 0")
+        if not 0 < self.broker_recovery_min_ms <= self.broker_recovery_max_ms:
+            raise ValueError(
+                "broker recovery delays must satisfy "
+                "0 < broker_recovery_min_ms <= broker_recovery_max_ms"
+            )
+        if self.max_dead_brokers < 1:
+            raise ValueError("max_dead_brokers must be >= 1")
+
+
+def validate_kinds(kinds: Iterable[str]) -> Tuple[str, ...]:
+    """Reject unknown or empty fault-kind lists up front; returns a tuple."""
+    kinds = tuple(kinds)
+    if not kinds:
+        raise ValueError("at least one fault kind is required")
+    unknown = sorted(set(kinds) - set(ALL_KINDS))
+    if unknown:
+        raise ValueError(
+            f"unknown fault kind(s): {unknown} (expected members of {ALL_KINDS})"
+        )
+    return kinds
 
 
 class ChaosController:
@@ -150,13 +193,43 @@ class ChaosController:
         cfg = self.config
         t = 0.0
         count = 0
+        weights = None
+        if cfg.kind_weights is not None:
+            weights = [cfg.kind_weights.get(k, 1.0) for k in cfg.kinds]
         while True:
             t += self.rng.expovariate(1.0 / cfg.mean_fault_interval_ms)
             if t >= cfg.horizon_ms:
                 break
-            kind = self.rng.choice(cfg.kinds)
+            if weights is None:
+                kind = self.rng.choice(cfg.kinds)
+            else:
+                kind = self.rng.choices(cfg.kinds, weights=weights, k=1)[0]
             # The callback only enqueues; poll() applies at a safe point.
             timer = clock.schedule(t, lambda k=kind: self._pending.append(k))
+            self._event_timers.append(timer)
+            count += 1
+        return count
+
+    def schedule_script(self, events: Iterable[Tuple[float, str]]) -> int:
+        """Arm an explicit ``(delay_ms, kind)`` fault script instead of
+        (or in addition to) a random timeline — the substrate of the
+        declarative scenario grid (:mod:`repro.sim.scenarios`).
+
+        Delays are relative to now. *When* each fault fires is fully
+        scripted; *what* it targets is still drawn from the seeded RNG at
+        apply time, so a scenario stays deterministic per seed while
+        varying its victims across seeds. Scripted events ride the same
+        enqueue-then-apply-at-safe-point machinery as random ones
+        (timeline, repair timers, quiesce)."""
+        clock = self.cluster.clock
+        count = 0
+        for delay_ms, kind in sorted(events):
+            validate_kinds((kind,))
+            if delay_ms < 0:
+                raise ValueError(f"script delays must be >= 0, got {delay_ms}")
+            timer = clock.schedule(
+                delay_ms, lambda k=kind: self._pending.append(k)
+            )
             self._event_timers.append(timer)
             count += 1
         return count
@@ -214,6 +287,9 @@ class ChaosController:
                 "chaos.fault", "chaos", "faults", category="chaos",
                 description=description,
             )
+        rec = self.cluster.recovery
+        if rec is not None:
+            rec.note_fault(description)
 
     def _record_repair(self, description: str) -> None:
         self.timeline.append((self.cluster.clock.now, description))
@@ -348,6 +424,12 @@ class ChaosController:
     def _client_ids(self) -> List[str]:
         ids = []
         for app in self.apps:
+            # Non-streams actors wrapped as chaos apps (e.g. the barrier
+            # engine adapter) report their own client ids.
+            custom = getattr(app, "client_ids", None)
+            if custom is not None:
+                ids.extend(custom())
+                continue
             for instance in app.instances:
                 if instance.alive:
                     ids.append(

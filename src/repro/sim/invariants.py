@@ -408,6 +408,54 @@ class CommittedOutputEquality(Invariant):
             )
 
 
+class FinalStateEquality(Invariant):
+    """At-least-once convergence: latest committed value per (partition,
+    key) equals the golden run's.
+
+    ALOS legitimately *duplicates* effects under crashes (Figure 1's
+    window between flushed outputs and the offset commit), so multiset
+    equality is the wrong bar — but it must never *lose* acknowledged
+    updates, and for an idempotent aggregation (e.g. a running max) the
+    re-derived value per key converges to the fault-free one despite the
+    replays. Final-only, like the multiset checker.
+    """
+
+    name = "final-state-equality"
+    final_only = True
+
+    def __init__(self, golden: Dict[str, List[Tuple[int, Any, Any]]]) -> None:
+        self.golden = golden
+
+    @staticmethod
+    def _latest(rows: List[Tuple[int, Any, Any]]) -> Dict[Tuple[int, Any], Any]:
+        """Last value per (partition, key) — rows are in offset order per
+        partition, so a plain overwrite fold is the changelog collapse."""
+        view: Dict[Tuple[int, Any], Any] = {}
+        for partition, key, value in rows:
+            view[(partition, key)] = value
+        return view
+
+    def check(self, cluster, final: bool = False) -> None:
+        if not final:
+            return
+        actual = committed_records(cluster, sorted(self.golden))
+        for topic in sorted(self.golden):
+            want = self._latest(self.golden[topic])
+            got = self._latest(actual.get(topic, []))
+            if want == got:
+                continue
+            missing = sorted(
+                (k for k in want if got.get(k) != want[k]), key=repr
+            )
+            extra = sorted((k for k in got if k not in want), key=repr)
+            self._fail(
+                f"{topic}: final per-key state differs from the fault-free "
+                f"run — {len(missing)} keys wrong/missing "
+                f"(e.g. {missing[:3]}), {len(extra)} unexpected "
+                f"(e.g. {extra[:3]})"
+            )
+
+
 def _multiset_diff(left: List[Any], right: List[Any]) -> List[Any]:
     """Elements of ``left`` beyond their multiplicity in ``right``."""
     remaining = list(right)

@@ -27,13 +27,16 @@ from repro.config import (
 from repro.errors import (
     CommitFailedError,
     IllegalGenerationError,
+    MaxBlockTimeoutError,
     ProducerFencedError,
+    RetriableError,
     TaskMigratedError,
     UnknownMemberError,
 )
 # (ProducerFencedError is both caught around commits — wrapped as
 # TaskMigratedError — and around the processing loop directly.)
 from repro.streams.runtime.task import StreamTask, TaskId
+from repro.util import ExponentialBackoff
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.streams.runtime.app import KafkaStreams
@@ -57,6 +60,15 @@ class StreamsInstance:
         self.commits_deferred = 0      # speculative commits awaiting upstream
         self.speculation_rollbacks = 0
         self.records_processed = 0
+        # Graceful degradation under sustained coordinator loss: when a
+        # blocking client call burns its whole timeout budget, this
+        # instance sheds polls for a bounded, exponentially growing pause
+        # instead of immediately re-blocking (see _enter_degraded).
+        self._degraded_until: Optional[float] = None
+        self._degraded_backoff = ExponentialBackoff(
+            app.config.degraded_pause_ms, app.config.degraded_pause_max_ms
+        )
+        self.degraded_pauses = 0
 
         if self.config.speculative:
             isolation = READ_SPECULATIVE
@@ -78,6 +90,7 @@ class StreamsInstance:
                 max_poll_records=self.config.max_poll_records,
                 session_timeout_ms=self.config.session_timeout_ms,
                 rebalance_protocol=self.config.rebalance_protocol,
+                hedged_fetch=self.config.hedged_fetch,
             ),
         )
         # The pipeline's own consumer stamps `__t_fetched` on records (when
@@ -197,6 +210,7 @@ class StreamsInstance:
                 client_id=f"{self.config.application_id}-producer-{self.instance_id}",
                 transactional_id=transactional_id,
                 transaction_timeout_ms=self.config.transaction_timeout_ms,
+                max_block_ms=self.config.producer_max_block_ms,
             ),
         )
         if transactional_id is not None:
@@ -234,6 +248,14 @@ class StreamsInstance:
         """
         if not self.alive:
             return 0
+        if self._degraded_until is not None:
+            if self.cluster.clock.now < self._degraded_until:
+                self.cluster.metrics.counter(
+                    "streams.degraded_shed_polls",
+                    app=self.config.application_id,
+                ).increment()
+                return 0
+            self._degraded_until = None
         try:
             for global_store in self.global_state.values():
                 global_store.update()
@@ -250,6 +272,7 @@ class StreamsInstance:
                 self._route_batches(batches)
             else:
                 self._route(records)
+            restored = self._drive_restores()
             if self._tracer.enabled:
                 # Post-route queue depths, one labeled gauge per task; the
                 # telemetry reporter turns these into time series.
@@ -300,7 +323,7 @@ class StreamsInstance:
             if self._commit_interval_elapsed():
                 self.commit()
             self._arm_timers()
-            return processed
+            return processed + restored
         except TaskMigratedError:
             self._handle_migration()
             return 0
@@ -308,6 +331,13 @@ class StreamsInstance:
             # A newer incarnation (or the transaction reaper) fenced this
             # instance's producer mid-processing.
             self._handle_migration()
+            return 0
+        except (MaxBlockTimeoutError, RetriableError):
+            # Sustained coordinator/broker loss: a blocking call burned its
+            # whole timeout budget. Degrade gracefully — shed polls for a
+            # bounded pause — instead of spinning straight back into
+            # another full-length block.
+            self._enter_degraded()
             return 0
 
     def _sync_tasks(self) -> None:
@@ -391,6 +421,7 @@ class StreamsInstance:
                 track_speculation=self.config.speculative,
                 restore_listener=self._notify_restore,
                 store_listeners=self.app.store_listeners,
+                restore_budget_per_poll=self.config.restore_max_records_per_poll,
             )
             task.first_process_listener = self.app.first_process_listener_for(
                 task_id
@@ -452,6 +483,50 @@ class StreamsInstance:
                     application_id=self.config.application_id,
                     cluster=self.cluster,
                 )
+
+    def _drive_restores(self) -> int:
+        """Throttled changelog replay: spread one poll's restore budget
+        across restoring tasks, smallest lag first, so tasks close to
+        completion come online soonest and a mass restore after instance
+        loss cannot monopolize the thread (live tasks keep processing
+        between rounds). Returns records applied this round."""
+        restoring = [t for t in self.tasks.values() if t.is_restoring]
+        if not restoring:
+            return 0
+        budget = self.config.restore_max_records_per_poll
+        restoring.sort(key=lambda t: t.restore_remaining())
+        applied = 0
+        for task in restoring:
+            if budget <= 0:
+                break
+            step = task.restore_step(budget)
+            budget -= step
+            applied += step
+        if applied == 0 and any(t.is_restoring for t in restoring):
+            # Changelog leaders unavailable (mid-failover): wake shortly
+            # to retry instead of letting an idle driver stall forever.
+            self.cluster.clock.schedule(10.0, lambda: None)
+        return applied
+
+    def _enter_degraded(self) -> None:
+        """Bounded pause after a blocking client call exhausted its
+        timeout budget (sustained coordinator loss). Each consecutive
+        entry grows the pause up to ``degraded_pause_max_ms``; the first
+        successful commit resets it. Shed polls are accounted in metrics
+        so the degradation is observable rather than silent."""
+        pause = self._degraded_backoff.next_delay_ms()
+        self._degraded_until = self.cluster.clock.now + pause
+        self.degraded_pauses += 1
+        self.cluster.metrics.counter(
+            "streams.degraded_pauses", app=self.config.application_id
+        ).increment()
+        rec = self.cluster.recovery
+        if rec is not None:
+            rec.note_detection(
+                "degraded_pause", instance=self.instance_id, pause_ms=pause
+            )
+        # Wake timer: an idle driver jumps to the end of the pause.
+        self.cluster.clock.schedule(pause, lambda: None)
 
     def _notify_restore(
         self,
@@ -631,6 +706,7 @@ class StreamsInstance:
         ) as exc:
             raise TaskMigratedError(str(exc)) from exc
         self.commits_performed += 1
+        self._degraded_backoff.reset()
         self._last_commit_ms = self.cluster.clock.now
         self._commit_due = False
 

@@ -6,6 +6,12 @@ by replaying the corresponding changelog topic partition with a
 read-committed view, so uncommitted or aborted transactional writes never
 enter the restored state — the restored store is exactly the state at the
 last committed transaction.
+
+Restores can be *throttled*: ``max_records`` caps one replay round so a
+mass restore after instance loss is spread across polls instead of
+monopolising the instance (see ``StreamsConfig.restore_max_records_per_poll``).
+The caller tracks the returned ``next_offset`` and calls again until the
+replay reports completion.
 """
 
 from __future__ import annotations
@@ -26,6 +32,8 @@ if TYPE_CHECKING:  # pragma: no cover
 # lag-aware task placement (KIP-441) exists to minimise.
 RESTORE_APPLY_COST_MS_PER_RECORD = 0.02
 
+_UNBOUNDED = 2**31
+
 
 def restore_store(
     cluster: "Cluster",
@@ -33,18 +41,25 @@ def restore_store(
     changelog_topic: str,
     partition: int,
     from_offset: int = 0,
+    max_records: int = 0,
+    kind: str = "task",
 ):
     """Replay committed changelog records into ``store`` starting at
-    ``from_offset``; returns (records_applied, next_offset).
+    ``from_offset``; returns (records_applied, next_offset, complete).
 
     Passing a standby task's position as ``from_offset`` turns a full
-    rebuild into an incremental catch-up. The store must expose
+    rebuild into an incremental catch-up. ``max_records > 0`` bounds one
+    round (restore throttling); ``complete`` reports whether the store
+    reached the committed end of the changelog. ``kind`` labels the
+    replay for recovery-phase tracking: active-task rebuilds ("task")
+    and checkpoint reloads count toward the restore phase, steady-state
+    standby catch-up ("standby") does not. The store must expose
     ``restore_put(key, value)``.
     """
     tp = TopicPartition(changelog_topic, partition)
     tracer = cluster.tracer
     if not tracer.enabled:
-        return _replay(cluster, store, tp, from_offset)
+        return _replay(cluster, store, tp, from_offset, max_records, kind)
     with tracer.begin(
         "restore",
         "restore",
@@ -52,18 +67,28 @@ def restore_store(
         category="restore",
         store=store.name,
         from_offset=from_offset,
+        kind=kind,
     ) as span:
-        applied, next_offset = _replay(cluster, store, tp, from_offset)
-        span.add(applied=applied, next_offset=next_offset)
-    return applied, next_offset
+        applied, next_offset, complete = _replay(
+            cluster, store, tp, from_offset, max_records, kind
+        )
+        span.add(applied=applied, next_offset=next_offset, complete=complete)
+    return applied, next_offset, complete
 
 
-def _replay(cluster: "Cluster", store, tp: TopicPartition, from_offset: int):
+def _replay(
+    cluster: "Cluster",
+    store,
+    tp: TopicPartition,
+    from_offset: int,
+    max_records: int,
+    kind: str,
+):
     log = cluster.partition_state(tp).leader_log()
     result = fetch(
         log,
         max(from_offset, log.log_start_offset),
-        max_records=2**31,
+        max_records=max_records if max_records > 0 else _UNBOUNDED,
         isolation_level=READ_COMMITTED,
     )
     applied = 0
@@ -82,4 +107,8 @@ def _replay(cluster: "Cluster", store, tp: TopicPartition, from_offset: int):
             cluster.network.fetch_cost()
             + applied * RESTORE_APPLY_COST_MS_PER_RECORD
         )
-    return applied, result.next_offset
+    complete = result.next_offset >= log.last_stable_offset
+    rec = cluster.recovery
+    if rec is not None and kind != "standby":
+        rec.note_restore(kind, records=applied, complete=complete, store=store.name)
+    return applied, result.next_offset, complete

@@ -61,12 +61,13 @@ class StandbyTask:
         """Replay newly committed changelog records into the shadows."""
         applied = 0
         for spec in self._specs:
-            count, next_offset = restore_store(
+            count, next_offset, _complete = restore_store(
                 self.cluster,
                 self.stores[spec.name],
                 spec.changelog_topic(self.application_id),
                 self.task_id.partition,
                 from_offset=self.positions[spec.name],
+                kind="standby",
             )
             applied += count
             self.positions[spec.name] = next_offset

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, NamedTuple, Optional
 
 from repro.broker.partition import TopicPartition
-from repro.errors import TopologyError
+from repro.errors import RetriableError, TopologyError
 from repro.log.record import Record
 from repro.obs.stages import EMITTED_AT_HEADER, PROCESSED_AT_HEADER
 from repro.obs.tracer import TRACE_ID_HEADER
@@ -65,6 +65,7 @@ class StreamTask:
         track_speculation: bool = False,
         restore_listener: Optional[Callable] = None,
         store_listeners: Optional[Dict[str, List[Callable]]] = None,
+        restore_budget_per_poll: int = 0,
     ) -> None:
         # (tp, producer_id) -> [min offset, max offset] consumed from that
         # producer's (possibly still open) transaction — the commit
@@ -86,6 +87,12 @@ class StreamTask:
         self.records_processed = 0
         self.restored_records = 0
         self._restore_listener = restore_listener
+        # Throttled restoration: with a positive budget, changelog replay
+        # is deferred and spread across polls (restore_step) instead of
+        # blocking task construction, so a mass restore after instance
+        # loss cannot starve live tasks on the same instance.
+        self._restore_budget = restore_budget_per_poll
+        self._pending_restores: List[Dict[str, Any]] = []
         # Live registry of store update listeners (push-query
         # subscriptions), shared with the app: stores built later — e.g.
         # after a task migration — attach the same subscriptions.
@@ -166,7 +173,18 @@ class StreamTask:
                     store.add_listener(listener)
             if spec.changelog:
                 changelog = spec.changelog_topic(self.application_id)
-                applied, next_offset = restore_store(
+                if self._restore_budget > 0:
+                    # Deferred: restore_step replays in bounded rounds;
+                    # hooks/listeners attach when the replay completes.
+                    self._pending_restores.append({
+                        "spec": spec,
+                        "store": store,
+                        "changelog": changelog,
+                        "from_offset": from_offset,
+                        "next_offset": from_offset,
+                    })
+                    continue
+                applied, next_offset, _complete = restore_store(
                     self.cluster,
                     store,
                     changelog,
@@ -174,19 +192,87 @@ class StreamTask:
                     from_offset=from_offset,
                 )
                 self.restored_records += applied
-                store.set_update_hook(self._changelog_hook(spec))
-                if hasattr(store, "set_bulk_update_hook"):
-                    store.set_bulk_update_hook(self._changelog_bulk_hook(spec))
-                if self._restore_listener is not None:
-                    self._restore_listener(
-                        self.task_id,
-                        spec.name,
-                        store,
-                        changelog,
-                        self.task_id.partition,
-                        next_offset,
-                        from_offset,
-                    )
+                self._finish_restore_setup(spec, store, changelog,
+                                           next_offset, from_offset)
+
+    def _finish_restore_setup(
+        self, spec: StateStoreSpec, store, changelog: str,
+        next_offset: int, from_offset: int,
+    ) -> None:
+        store.set_update_hook(self._changelog_hook(spec))
+        if hasattr(store, "set_bulk_update_hook"):
+            store.set_bulk_update_hook(self._changelog_bulk_hook(spec))
+        if self._restore_listener is not None:
+            self._restore_listener(
+                self.task_id,
+                spec.name,
+                store,
+                changelog,
+                self.task_id.partition,
+                next_offset,
+                from_offset,
+            )
+
+    # -- throttled restoration ---------------------------------------------------
+
+    @property
+    def is_restoring(self) -> bool:
+        """True while throttled changelog replays are outstanding; the
+        task buffers input but does not process until they complete."""
+        return bool(self._pending_restores)
+
+    def restore_remaining(self) -> int:
+        """Committed changelog records still to replay (the restore lag).
+        Leaderless changelog partitions count as unknown-large so they
+        sort last in smallest-lag-first prioritization."""
+        total = 0
+        for item in self._pending_restores:
+            tp = TopicPartition(item["changelog"], self.task_id.partition)
+            try:
+                log = self.cluster.partition_state(tp).leader_log()
+            except RetriableError:
+                total += 2**31
+                continue
+            total += max(0, log.last_stable_offset - item["next_offset"])
+        return total
+
+    def restore_step(self, budget: int) -> int:
+        """Replay up to ``budget`` changelog records across this task's
+        pending restores; returns records applied. Completed stores get
+        their changelog hooks and fire the restore listener, exactly as
+        an unthrottled build would."""
+        applied_total = 0
+        still: List[Dict[str, Any]] = []
+        for item in self._pending_restores:
+            if budget <= 0:
+                still.append(item)
+                continue
+            try:
+                applied, next_offset, complete = restore_store(
+                    self.cluster,
+                    item["store"],
+                    item["changelog"],
+                    self.task_id.partition,
+                    from_offset=item["next_offset"],
+                    max_records=budget,
+                )
+            except RetriableError:
+                # Changelog leaderless mid-crash; retry on a later poll.
+                still.append(item)
+                continue
+            item["next_offset"] = next_offset
+            applied_total += applied
+            budget -= applied
+            self.restored_records += applied
+            if complete:
+                self._finish_restore_setup(
+                    item["spec"], item["store"], item["changelog"],
+                    next_offset, item["from_offset"],
+                )
+            else:
+                still.append(item)
+        self._pending_restores = still
+        return applied_total
 
     def _create_store(self, spec: StateStoreSpec):
         if spec.kind == "kv":
@@ -361,6 +447,8 @@ class StreamTask:
 
     def process_batch(self, max_records: int = 2**31) -> int:
         """Process up to ``max_records`` buffered records in timestamp order."""
+        if self._pending_restores:
+            return 0
         processed = 0
         while processed < max_records:
             item = self._queues.next_record()
@@ -411,6 +499,8 @@ class StreamTask:
         aggregates) track it internally from the pre-chunk value, exactly
         replaying the scalar per-record advance.
         """
+        if self._pending_restores:
+            return 0
         item = self._queues.next_chunk()
         if item is None:
             return 0
@@ -508,6 +598,8 @@ class StreamTask:
         self._punctuations.append(punctuation)
 
     def _punctuate(self, punctuation_type: str, now: float) -> None:
+        if self._pending_restores:
+            return
         for punctuation in self._punctuations:
             if punctuation.punctuation_type == punctuation_type:
                 punctuation.maybe_fire(now)

@@ -3,7 +3,11 @@
 import pytest
 
 from repro.broker.partition import TopicPartition
-from repro.errors import IllegalGenerationError, UnknownMemberError
+from repro.errors import (
+    CommitFailedError,
+    IllegalGenerationError,
+    UnknownMemberError,
+)
 
 
 @pytest.fixture
@@ -101,6 +105,38 @@ class TestOffsets:
             coordinator.commit_offsets(
                 "g", {TopicPartition("t", 0): 1}, member_id=m1, generation=gen1
             )
+
+    def test_zombie_commit_for_foreign_partition_fenced(self, coordinator):
+        """The generation check alone cannot fence a member that rejoined
+        (refreshing its generation) but kept processing buffered records
+        for a partition it lost: ownership is checked per partition."""
+        m1, gen = coordinator.join_group("g", ("t",))
+        m2, gen = coordinator.join_group("g", ("t",))
+        owned_by_m2 = coordinator.assignment("g", m2, gen)
+        with pytest.raises(CommitFailedError, match="does not own"):
+            coordinator.commit_offsets(
+                "g", {owned_by_m2[0]: 10}, member_id=m1, generation=gen
+            )
+        # The same commit for the member's own partitions is fine.
+        owned_by_m1 = coordinator.assignment("g", m1, gen)
+        coordinator.commit_offsets(
+            "g", {owned_by_m1[0]: 10}, member_id=m1, generation=gen
+        )
+        assert coordinator.fetch_committed(
+            "g", [owned_by_m1[0]]
+        )[owned_by_m1[0]] == 10
+
+    def test_memberless_commit_skips_ownership_check(self, coordinator):
+        # Simple (non-group-managed) commits carry no member identity and
+        # are not fenced — matching assign()-style consumers.
+        coordinator.join_group("g", ("t",))
+        coordinator.commit_offsets("g", {TopicPartition("t", 0): 3})
+        assert (
+            coordinator.fetch_committed("g", [TopicPartition("t", 0)])[
+                TopicPartition("t", 0)
+            ]
+            == 3
+        )
 
     def test_transactional_offsets_invisible_until_commit(self, fast_cluster, coordinator):
         """Offsets written inside a transaction only count once the txn
@@ -212,6 +248,21 @@ class TestCooperativeProtocol:
         assert coordinator.unreleased_partitions("g") == {}
         gen = coordinator.generation("g")
         assert len(coordinator.assignment("g", m2, gen)) == 4
+
+    def test_unreleased_partition_keeps_old_owner_commit_eligible(
+        self, coordinator
+    ):
+        from repro.config import COOPERATIVE
+
+        m1, _ = coordinator.join_group("g", ("t",), protocol=COOPERATIVE)
+        m2, gen = coordinator.join_group("g", ("t",), protocol=COOPERATIVE)
+        moving = next(iter(coordinator.unreleased_partitions("g")))
+        # m1 still owns ``moving`` until it acks: committing its final
+        # progress for the handed-over partition must succeed.
+        coordinator.commit_offsets(
+            "g", {moving: 9}, member_id=m1, generation=gen
+        )
+        assert coordinator.fetch_committed("g", [moving])[moving] == 9
 
     def test_offsets_stable_tracks_open_transactions(self, fast_cluster, coordinator):
         txn = fast_cluster.txn_coordinator

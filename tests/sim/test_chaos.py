@@ -235,6 +235,102 @@ def test_fault_metrics_exposed(golden):
         assert counts.get("network.faults.injected", 0) > 0
 
 
+# -- scenario-layer cells: targeted fault shapes on the chaos topology ---------------
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", [7, 11, 23])
+def test_gray_broker_scenario_hardening_engages(seed, golden):
+    """The gray-broker scenario on a latency-charging cluster: the EWMA
+    detector demotes the slow broker, fetches hedge to a replica, and the
+    committed output still equals the fault-free golden run."""
+    from repro.broker.cluster import Cluster
+    from repro.sim.scenarios import ScenarioHarness
+
+    def build(with_faults):
+        cluster = Cluster(num_brokers=3, seed=5)   # latency charged
+        cluster.create_topic("in", 2)
+        cluster.create_topic("out", 2)
+        app = make_app(cluster)
+        app.config.hedged_fetch = True
+        app.start(2)
+        return cluster, app
+
+    def slice_producer(cluster):
+        producer = Producer(cluster)
+
+        def produce(index):
+            for i in range(index * 12, (index + 1) * 12):
+                producer.send(
+                    "in",
+                    key=f"k{i}",
+                    value=CATEGORIES[i % len(CATEGORIES)],
+                    timestamp=float(i * 3),
+                )
+            producer.flush()
+
+        return produce
+
+    gold_cluster, gold_app = build(with_faults=False)
+    gold_produce = slice_producer(gold_cluster)
+    for index in range(10):
+        gold_produce(index)
+        gold_app.run_for(110.0)
+    gold_app.run_until_idle(max_steps=50_000)
+    gray_golden = committed_records(gold_cluster, ["out"])
+
+    cluster, app = build(with_faults=True)
+    result = ScenarioHarness(
+        cluster,
+        app,
+        "gray_broker",
+        seed=seed,
+        invariants=InvariantSuite(),
+        horizon_ms=2_000.0,
+    ).run(
+        golden_invariant=CommittedOutputEquality(gray_golden),
+        workload=slice_producer(cluster),
+        workload_slices=10,
+    )
+    assert result.converged
+    assert result.faults_injected == 2
+    assert cluster.metrics.counter("client.gray_demotions").value > 0
+    assert cluster.metrics.counter("consumer.hedged_fetches").value > 0
+    assert "gray_demotion" in result.recovery["detected_by"]
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize(
+    "scenario", ["group_coordinator_kill", "txn_coordinator_kill"]
+)
+def test_coordinator_kill_scenarios_converge(scenario, golden):
+    """Killing the broker hosting the group/txn coordinator partition:
+    clients ride the failover via retries and the committed output still
+    equals the fault-free run."""
+    from repro.sim.scenarios import ScenarioHarness
+
+    cluster = make_cluster(**{"in": 2, "out": 2})
+    app = make_app(cluster)
+    app.start(2)
+    produce_workload(cluster)
+    result = ScenarioHarness(
+        cluster,
+        app,
+        scenario,
+        seed=11,
+        invariants=InvariantSuite(),
+        horizon_ms=2_000.0,
+    ).run(golden_invariant=CommittedOutputEquality(golden))
+    assert result.converged
+    assert result.faults_injected == 1
+    final = latest_by_key(drain_topic(cluster, "out"))
+    expected = {}
+    for i in range(120):
+        category = CATEGORIES[i % len(CATEGORIES)]
+        expected[category] = expected.get(category, 0) + 1
+    assert final == expected
+
+
 # -- regression: the checkers must catch deliberately broken safety ------------------
 
 

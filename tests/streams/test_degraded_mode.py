@@ -1,0 +1,88 @@
+"""Graceful degradation: bounded pauses after exhausted blocking calls."""
+
+import pytest
+
+from repro.clients.producer import Producer
+from repro.config import StreamsConfig
+from repro.obs.recovery import RecoveryTracker
+from repro.streams import KafkaStreams, StreamsBuilder
+
+from tests.streams.harness import drain_topic, make_cluster
+
+
+def build_app(**config_overrides):
+    cluster = make_cluster(**{"in": 1, "out": 1})
+    builder = StreamsBuilder()
+    builder.stream("in").to("out")
+    config = StreamsConfig(
+        application_id="degraded-app",
+        commit_interval_ms=20.0,
+        **config_overrides,
+    )
+    app = KafkaStreams(builder.build(), cluster, config)
+    app.start(1)
+    return cluster, app
+
+
+class TestDegradedMode:
+    def test_pause_sheds_polls_then_resumes(self):
+        cluster, app = build_app(degraded_pause_ms=50.0)
+        instance = app.instances[0]
+        instance._enter_degraded()
+        assert instance.degraded_pauses == 1
+        assert (
+            cluster.metrics.counter(
+                "streams.degraded_pauses", app="degraded-app"
+            ).value
+            == 1
+        )
+        # Polls inside the pause are shed, observably.
+        assert instance.step() == 0
+        assert instance.step() == 0
+        shed = cluster.metrics.counter(
+            "streams.degraded_shed_polls", app="degraded-app"
+        )
+        assert shed.value == 2
+        # After the pause the instance processes normally again.
+        cluster.clock.advance(51.0)
+        producer = Producer(cluster)
+        producer.send("in", key="k", value=1)
+        producer.flush()
+        app.run_until_idle()
+        assert len(drain_topic(cluster, "out")) == 1
+
+    def test_consecutive_pauses_grow_up_to_cap(self):
+        cluster, app = build_app(
+            degraded_pause_ms=50.0, degraded_pause_max_ms=120.0
+        )
+        instance = app.instances[0]
+        pauses = []
+        for _ in range(4):
+            start = cluster.clock.now
+            instance._enter_degraded()
+            pauses.append(instance._degraded_until - start)
+            cluster.clock.advance(pauses[-1] + 1.0)
+        assert pauses == [50.0, 100.0, 120.0, 120.0]
+
+    def test_successful_commit_resets_backoff(self):
+        cluster, app = build_app(degraded_pause_ms=50.0)
+        instance = app.instances[0]
+        instance._enter_degraded()
+        cluster.clock.advance(51.0)
+        producer = Producer(cluster)
+        producer.send("in", key="k", value=1)
+        producer.flush()
+        app.run_until_idle()
+        assert instance.commits_performed > 0
+        # The healthy commit reset the schedule: next pause is initial.
+        start = cluster.clock.now
+        instance._enter_degraded()
+        assert instance._degraded_until - start == pytest.approx(50.0)
+
+    def test_pause_reported_to_recovery_tracker(self):
+        cluster, app = build_app()
+        tracker = RecoveryTracker(cluster.clock).install(cluster)
+        tracker.note_fault("test")
+        app.instances[0]._enter_degraded()
+        assert "degraded_pause" in tracker.detection_sources()
+        RecoveryTracker.uninstall(cluster)

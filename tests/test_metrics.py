@@ -175,6 +175,56 @@ class TestRegistry:
         assert registry.histograms()["h"]["count"] == 1.0
 
 
+class TestScopedSnapshots:
+    """Prefix-scoped snapshot/reset: grid cells sharing one process can
+    read and zero only their own counters between runs."""
+
+    def make_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("client.gray_demotions").increment(2)
+        registry.counter("consumer.hedged_fetches").increment(5)
+        registry.gauge("client.inflight").set(3.0)
+        registry.histogram("client.rpc_ms").observe(1.5)
+        registry.histogram("broker.append_ms").observe(9.0)
+        return registry
+
+    def test_snapshot_filters_by_prefix(self):
+        registry = self.make_registry()
+        snap = registry.snapshot("client.")
+        assert snap["counters"] == {"client.gray_demotions": 2}
+        assert snap["gauges"] == {"client.inflight": 3.0}
+        assert list(snap["histograms"]) == ["client.rpc_ms"]
+
+    def test_empty_prefix_snapshots_everything(self):
+        registry = self.make_registry()
+        snap = registry.snapshot()
+        assert set(snap["counters"]) == {
+            "client.gray_demotions",
+            "consumer.hedged_fetches",
+        }
+        assert set(snap["histograms"]) == {"client.rpc_ms", "broker.append_ms"}
+
+    def test_scoped_reset_spares_other_prefixes(self):
+        registry = self.make_registry()
+        registry.reset("client.")
+        assert registry.counters()["client.gray_demotions"] == 0
+        assert registry.gauges()["client.inflight"] == 0.0
+        assert registry.histograms()["client.rpc_ms"]["count"] == 0.0
+        # Untouched prefixes keep their readings.
+        assert registry.counters()["consumer.hedged_fetches"] == 5
+        assert registry.histograms()["broker.append_ms"]["count"] == 1.0
+
+    def test_scoped_context_manager_isolates_a_cell(self):
+        registry = self.make_registry()
+        with registry.scoped("client.") as scoped:
+            assert scoped is registry
+            assert registry.counters()["client.gray_demotions"] == 0
+            registry.counter("client.gray_demotions").increment()
+        # Readings inside the block reflect only work done there.
+        assert registry.counters()["client.gray_demotions"] == 1
+        assert registry.counters()["consumer.hedged_fetches"] == 5
+
+
 class TestLatencyTracker:
     def test_records_latency_from_header(self):
         tracker = LatencyTracker()
