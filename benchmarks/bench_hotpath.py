@@ -39,7 +39,7 @@ import statistics
 import time
 from contextlib import contextmanager
 
-from harness import make_bench_cluster, run_streams_reduce
+from harness import WallTimer, make_bench_cluster, run_streams_reduce, write_bench_json
 from harness_report import record_table
 
 from repro.broker.fetch import fetch, fetch_columnar
@@ -279,6 +279,7 @@ def run_streams_scenario(
 
 def run_all():
     rows = []
+    timer = WallTimer().__enter__()
     fetch_stats = run_fetch_scenario(_scaled(150_000))
     rows.append(
         [
@@ -377,6 +378,20 @@ def run_all():
     )
     assert streams_ratio >= 1.0, (
         f"batch streams path is slower than scalar ({streams_ratio:.2f}x)"
+    )
+    timer.__exit__()
+    write_bench_json(
+        "hotpath",
+        {"hotpath_scale": SCALE},
+        [
+            {"label": "fetch", **fetch_stats},
+            {"label": "fetch_columnar", **fetch_col_stats},
+            {"label": "produce", **produce_stats},
+            {"label": "streams", **streams_stats},
+            {"label": "streams_batch", **streams_batch_stats},
+            {"label": "tracing_overhead", **overhead},
+        ],
+        wall_seconds=timer.seconds,
     )
     return {
         "fetch": fetch_stats,

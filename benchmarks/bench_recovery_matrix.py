@@ -23,7 +23,13 @@ uncommitted work a fault can destroy, while the barrier engine's
 checkpoint interval bounds how much state it must reload and replay.
 """
 
-from harness import bench_scale, make_bench_cluster, smoke_mode
+from harness import (
+    WallTimer,
+    bench_scale,
+    make_bench_cluster,
+    smoke_mode,
+    write_bench_json,
+)
 from harness_report import record_table
 
 from repro.barriers.engine import BarrierEngine
@@ -344,7 +350,20 @@ def _narrative():
 
 
 def test_recovery_matrix(benchmark):
-    benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    with WallTimer() as timer:
+        benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    write_bench_json(
+        "recovery_matrix",
+        {
+            "seeds": list(SEEDS),
+            "engines": list(ENGINES),
+            "horizon_ms": max(600.0, 3_000.0 * bench_scale()),
+        },
+        # Rows are already plain dicts keyed by engine/scenario/cell knobs,
+        # with virtual-ms gap and phase timings.
+        [dict(r, label=f"{r['engine']}/{r['scenario']}") for r in _results],
+        wall_seconds=timer.seconds,
+    )
 
     record_table(
         "Recovery matrix — phase decomposition by engine, scenario, interval, state size",

@@ -10,9 +10,11 @@ reception of its result. All times are virtual milliseconds.
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.barriers.engine import BarrierEngine
 from repro.barriers.object_store import ObjectStore
@@ -71,6 +73,71 @@ class BenchResult:
     @property
     def p99_latency_ms(self) -> float:
         return self.latency.p99_ms()
+
+
+def bench_result_dict(result: BenchResult) -> Dict[str, Any]:
+    """One BenchResult as plain JSON-ready metrics."""
+    return {
+        "label": result.label,
+        "records": result.records,
+        "sim_elapsed_ms": round(result.elapsed_ms, 3),
+        "throughput_per_sec": round(result.throughput_per_sec, 3),
+        "mean_latency_ms": round(result.mean_latency_ms, 3),
+        "p99_latency_ms": round(result.p99_latency_ms, 3),
+        "extra": dict(sorted(result.extra.items())),
+    }
+
+
+def write_bench_json(
+    name: str,
+    config: Dict[str, Any],
+    results: Iterable[Any],
+    wall_seconds: Optional[float] = None,
+    directory: Optional[str] = None,
+) -> str:
+    """Write ``BENCH_<name>.json`` — the machine-readable benchmark record.
+
+    ``results`` are BenchResults (or already-plain dicts, for benches with
+    their own row shape); ``config`` is whatever knobs identify the run.
+    Virtual timings (``sim_elapsed_ms``) and wall time are kept side by
+    side — the gap between them is the simulator's time compression.
+    Lands in ``benchmarks/results/`` (override with ``BENCH_RESULTS_DIR``)
+    so CI can glob one directory for every bench artifact.
+    """
+    directory = directory or os.environ.get(
+        "BENCH_RESULTS_DIR",
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "results"),
+    )
+    os.makedirs(directory, exist_ok=True)
+    payload = {
+        "name": name,
+        "config": dict(config),
+        "bench_scale": bench_scale(),
+        "smoke_mode": smoke_mode(),
+        "results": [
+            r if isinstance(r, dict) else bench_result_dict(r) for r in results
+        ],
+        "wall_seconds": None if wall_seconds is None else round(wall_seconds, 3),
+    }
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+class WallTimer:
+    """Context manager capturing a bench's wall-clock cost (this file is
+    outside the virtual-time-only zone; ``src/repro/obs`` is linted
+    against wall clocks, benchmarks deliberately report both)."""
+
+    def __enter__(self) -> "WallTimer":
+        self._start = time.perf_counter()
+        self.seconds = 0.0
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._start
 
 
 def make_bench_cluster(seed: int = 101) -> Cluster:

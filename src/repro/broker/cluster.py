@@ -25,6 +25,7 @@ from repro.broker.group_coordinator import GroupCoordinator
 from repro.broker.partition import (
     CONSUMER_OFFSETS_TOPIC,
     TRANSACTION_STATE_TOPIC,
+    PartitionOffsets,
     PartitionState,
     TopicPartition,
 )
@@ -98,6 +99,9 @@ class Cluster:
         # it recovery milestones with the same cheap guarded idiom as the
         # tracer: ``rec = cluster.recovery; if rec is not None: ...``.
         self.recovery = None
+        # Optional HealthMonitor (repro.obs.health), installed by its
+        # ``install()``; chaos debug bundles attach its report when set.
+        self.health = None
 
         self.group_coordinator = GroupCoordinator(self)
         self.txn_coordinator = TransactionCoordinator(self)
@@ -356,6 +360,10 @@ class Cluster:
         if isolation_level == READ_COMMITTED:
             return log.last_stable_offset
         return log.high_watermark
+
+    def partition_offsets(self, tp: TopicPartition) -> PartitionOffsets:
+        """The partition's offset landmarks (lag bookkeeping reads these)."""
+        return self.partition_state(tp).watermarks()
 
     def delete_records(self, tp: TopicPartition, before_offset: int) -> int:
         """Purge records below ``before_offset`` (repartition-topic cleanup)."""

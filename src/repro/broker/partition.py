@@ -47,6 +47,21 @@ def is_internal_topic(topic: str) -> bool:
     return topic.startswith("__")
 
 
+class PartitionOffsets(NamedTuple):
+    """One partition's offset landmarks, as of one virtual instant.
+
+    ``log_end`` is the leader's append cursor, ``high_watermark`` the
+    replication frontier visible to read-uncommitted readers, and
+    ``last_stable_offset`` the transaction frontier visible to
+    read-committed readers. ``log_start`` moves with retention deletes.
+    """
+
+    log_start: int
+    log_end: int
+    high_watermark: int
+    last_stable_offset: int
+
+
 class PartitionState:
     """Replica set, leadership, and ISR for one topic partition."""
 
@@ -79,6 +94,16 @@ class PartitionState:
         if self.leader is None:
             raise NotLeaderError(f"{self.tp}: no leader available")
         return self.replicas[self.leader]
+
+    def watermarks(self) -> PartitionOffsets:
+        """The leader's offset landmarks (raises while leaderless)."""
+        log = self.leader_log()
+        return PartitionOffsets(
+            log_start=log.log_start_offset,
+            log_end=log.log_end_offset,
+            high_watermark=log.high_watermark,
+            last_stable_offset=log.last_stable_offset,
+        )
 
     def on_broker_failure(self, broker_id: int) -> None:
         """Remove the broker from the ISR; elect a new leader if needed."""

@@ -14,7 +14,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.broker.cluster import Cluster
 from repro.broker.partition import TopicPartition
 from repro.clients.gray import GrayFailureDetector
-from repro.config import COOPERATIVE, ConsumerConfig
+from repro.config import COOPERATIVE, READ_COMMITTED, ConsumerConfig
 from repro.errors import (
     IllegalGenerationError,
     KafkaError,
@@ -74,6 +74,17 @@ class Consumer:
         # Poll-size telemetry, shared by the scalar and columnar paths.
         self._records_per_poll = cluster.metrics.histogram(
             "consumer.records_per_poll"
+        )
+        # Fetch-response lag bookkeeping: every fetch response already
+        # carries the partition's visible end (LSO under read_committed,
+        # HW otherwise), so lag = visible end − post-fetch position is
+        # free. Gauges are cached per partition — this is the poll hot
+        # path. The fetch round-trip EWMA feeds the fetch-latency SLO.
+        self._lag: Dict[TopicPartition, int] = {}
+        self._lag_gauges: Dict[TopicPartition, Any] = {}
+        self._rtt_ewma: Optional[float] = None
+        self._rtt_gauge = cluster.metrics.gauge(
+            "consumer.fetch_rtt_ms", client=self.config.client_id
         )
         # Gray-failure detection (config.hedged_fetch): per-broker latency
         # EWMA over fetch round trips; while the leader is demoted, scalar
@@ -349,7 +360,7 @@ class Consumer:
             fn = lambda: self.cluster.handle_fetch_replica(  # noqa: E731
                 tp, target, position, budget, self.config.isolation_level
             )
-        fetch_started = self.cluster.clock.now if (traced or gray) else 0.0
+        fetch_started = self.cluster.clock.now
         result = self._network.call(
             "fetch",
             target,
@@ -371,6 +382,7 @@ class Consumer:
                 self.hedged_fetches += 1
                 self.cluster.metrics.counter("consumer.hedged_fetches").increment()
         self._positions[tp] = result.next_offset
+        self._note_fetch(tp, result, fetch_started)
         # Return copies: the log's record objects are shared, and the
         # origin headers must reflect *this* fetch, not any upstream hop.
         # (Direct construction — dataclasses.replace costs ~3x as much on
@@ -409,7 +421,7 @@ class Consumer:
             self._positions[tp] = position
         leader = self._leader_of(tp)
         traced = self._tracer.enabled
-        fetch_started = self.cluster.clock.now if traced else 0.0
+        fetch_started = self.cluster.clock.now
         batch = self._network.call(
             "fetch",
             leader,
@@ -420,6 +432,7 @@ class Consumer:
             src=self.config.client_id,
         )
         self._positions[tp] = batch.next_offset
+        self._note_fetch(tp, batch, fetch_started)
         # No per-record copies and no per-record stage stamps here: the
         # batch view is read-only and origin metadata rides on the batch
         # itself (per-batch span mode; see obs/stages.py).
@@ -429,6 +442,54 @@ class Consumer:
                 "fetch_latency_ms", topic=batch.topic, partition=batch.partition
             ).observe(self.cluster.clock.now - fetch_started)
         return batch
+
+    # -- lag bookkeeping --------------------------------------------------------------------
+
+    #: Fetch round-trip EWMA smoothing; matches the gray detector's idea
+    #: of "recent" without coupling to it (lag gauges exist even when
+    #: hedged_fetch is off).
+    RTT_ALPHA = 0.2
+
+    def _note_fetch(self, tp: TopicPartition, response: Any, started: float) -> None:
+        """Update lag + RTT gauges from one fetch response.
+
+        ``response`` is a FetchResult or ColumnarBatch — both carry
+        ``next_offset`` plus the partition's high watermark and last
+        stable offset, so lag needs no extra broker round trip.
+        """
+        end = (
+            response.last_stable_offset
+            if self.config.isolation_level == READ_COMMITTED
+            else response.high_watermark
+        )
+        lag = end - response.next_offset
+        if lag < 0:
+            lag = 0
+        self._lag[tp] = lag
+        gauge = self._lag_gauges.get(tp)
+        if gauge is None:
+            gauge = self.cluster.metrics.gauge(
+                "consumer.lag",
+                group=self.config.group_id or self.config.client_id,
+                topic=tp.topic,
+                partition=tp.partition,
+            )
+            self._lag_gauges[tp] = gauge
+        gauge.set(lag)
+        rtt = self.cluster.clock.now - started
+        ewma = self._rtt_ewma
+        self._rtt_ewma = (
+            rtt if ewma is None else ewma + self.RTT_ALPHA * (rtt - ewma)
+        )
+        self._rtt_gauge.set(self._rtt_ewma)
+
+    def current_lag(self, tp: TopicPartition) -> Optional[int]:
+        """Records between this consumer and the visible end, as of the
+        last fetch response for the partition (None before any fetch)."""
+        return self._lag.get(tp)
+
+    def lags(self) -> Dict[TopicPartition, int]:
+        return dict(self._lag)
 
     # -- positions & commits ---------------------------------------------------------------
 

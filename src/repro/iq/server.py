@@ -60,6 +60,10 @@ class QueryResult:
     instance_id: int
     partition: int
     epoch: int
+    # Completeness frontier of the store's upstream cone (event time):
+    # every input record with an earlier timestamp is committed-processed.
+    # +inf = complete through everything produced (see obs/watermarks.py).
+    frontier: float = float("inf")
 
 
 class QueryServer:
@@ -87,7 +91,7 @@ class QueryServer:
         view, meta = self._resolve(
             store, partition, consistency, max_staleness, epoch
         )
-        return self._result(view.get(key), view, meta)
+        return self._result(view.get(key), view, meta, store)
 
     def range_scan(
         self,
@@ -102,7 +106,7 @@ class QueryServer:
         view, meta = self._resolve(
             store, partition, consistency, max_staleness, epoch
         )
-        return self._result(view.range(from_key, to_key), view, meta)
+        return self._result(view.range(from_key, to_key), view, meta, store)
 
     def window_fetch(
         self,
@@ -127,7 +131,7 @@ class QueryServer:
                 float("-inf") if from_start is None else from_start,
                 float("inf") if to_start is None else to_start,
             )
-        return self._result(rows, view, meta)
+        return self._result(rows, view, meta, store)
 
     # -- resolution ------------------------------------------------------------
 
@@ -198,7 +202,7 @@ class QueryServer:
             )
         return view, ("standby", staleness, current_epoch, partition)
 
-    def _result(self, value: Any, view, meta) -> QueryResult:
+    def _result(self, value: Any, view, meta, store: str) -> QueryResult:
         source, staleness, epoch, partition = meta
         return QueryResult(
             value=value,
@@ -208,6 +212,9 @@ class QueryServer:
             instance_id=self.instance.instance_id,
             partition=partition,
             epoch=epoch,
+            # Memoized per virtual instant by the tracker, so serving it
+            # per query costs one dict lookup on the warm path.
+            frontier=self.app.completeness_frontier(store),
         )
 
     def _hint(self, store: str, partition: int):

@@ -37,13 +37,17 @@ def dump_debug_bundle(
     registries: Optional[Dict[str, Any]] = None,
     timeline: Optional[List[Any]] = None,
     base_dir: Optional[str] = None,
+    health: Optional[Any] = None,
 ) -> str:
     """Write one bundle directory and return its path.
 
     ``label`` names the bundle (e.g. ``chaos-seed7``); the virtual
     timestamp is appended so repeated failures in one process don't
     clobber each other. ``registries`` maps labels to MetricsRegistry
-    instances; ``timeline`` is the chaos controller's event list.
+    instances; ``timeline`` is the chaos controller's event list;
+    ``health`` is a :class:`~repro.obs.health.HealthMonitor` whose
+    HTML/JSON report (plus a Prometheus exposition of the registries)
+    rides along for staleness/alert forensics.
     """
     base = base_dir or dump_dir()
     stamp = int(tracer.now())
@@ -76,5 +80,16 @@ def dump_debug_bundle(
     with open(os.path.join(bundle, "summary.txt"), "w") as f:
         f.write(run_summary(tracer, registry=first_registry))
         f.write("\n")
+
+    if registries:
+        # Lazy import: debug is imported by the package __init__ before
+        # the exporter modules.
+        from repro.obs.prometheus import write_prometheus_text
+
+        write_prometheus_text(registries, os.path.join(bundle, "metrics.prom"))
+    if health is not None:
+        from repro.obs.report import write_health_report
+
+        write_health_report(health, bundle, label=label, fault_timeline=timeline)
 
     return bundle

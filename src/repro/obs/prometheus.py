@@ -1,0 +1,112 @@
+"""Prometheus text exposition of the metrics registries.
+
+:func:`prometheus_text` renders every registry into the text-based
+exposition format (version 0.0.4): counters and gauges one sample line
+each, histograms as a summary-style family of ``_count``/``_mean``/
+``_p50``/``_p99``/``_max`` gauges (the registry keeps percentile
+snapshots, not cumulative buckets). The registry's ``name{k=v,...}``
+label encoding — written by :func:`repro.metrics.registry.labeled_name`
+with sorted keys — is parsed back into proper Prometheus labels, and the
+registry label itself becomes a ``registry="..."`` label, so one scrape
+covers every registry in the simulation.
+
+Output is deterministic: metric families sorted by name, samples sorted
+by label set — two same-seed runs produce byte-identical expositions.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Tuple
+
+_LABELED = re.compile(r"^(?P<name>[^{]+)\{(?P<labels>.*)\}$")
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def parse_metric_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Split a registry key back into ``(name, labels)``.
+
+    The inverse of :func:`repro.metrics.registry.labeled_name` for the
+    label values this repo uses (no ``,`` or ``=`` inside values).
+    """
+    match = _LABELED.match(key)
+    if match is None:
+        return key, {}
+    labels: Dict[str, str] = {}
+    for part in match.group("labels").split(","):
+        if not part:
+            continue
+        label_key, _, value = part.partition("=")
+        labels[label_key] = value
+    return match.group("name"), labels
+
+
+def metric_name(name: str, prefix: str = "repro_") -> str:
+    """A valid Prometheus metric name: prefixed, invalid chars to ``_``."""
+    return prefix + _INVALID.sub("_", name)
+
+
+def _format_value(value: Any) -> str:
+    value = float(value)
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if value != value:  # NaN
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label_value(value: Any) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _format_labels(labels: Dict[str, Any]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_INVALID.sub("_", k)}="{_escape_label_value(v)}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def prometheus_text(registries: Dict[str, Any], prefix: str = "repro_") -> str:
+    """Render ``{label: MetricsRegistry}`` as one text exposition."""
+    # family name -> (type, [(sorted label repr, labels, value)])
+    families: Dict[str, Tuple[str, List[Tuple[str, Dict[str, Any], float]]]] = {}
+
+    def add(kind: str, reg_label: str, key: str, value: float, suffix: str = ""):
+        name, labels = parse_metric_key(key)
+        fam = metric_name(name, prefix) + suffix
+        labels["registry"] = reg_label
+        _, samples = families.setdefault(fam, (kind, []))
+        samples.append((_format_labels(labels), labels, value))
+
+    for reg_label in sorted(registries):
+        registry = registries[reg_label]
+        for key, value in registry.counters().items():
+            add("counter", reg_label, key, value, suffix="_total")
+        for key, value in registry.gauges().items():
+            add("gauge", reg_label, key, value)
+        for key, snap in registry.histograms().items():
+            for stat in ("count", "mean", "p50", "p99", "max"):
+                add("gauge", reg_label, key, snap[stat], suffix=f"_{stat}")
+
+    lines: List[str] = []
+    for fam in sorted(families):
+        kind, samples = families[fam]
+        lines.append(f"# TYPE {fam} {kind}")
+        for label_repr, _, value in sorted(samples, key=lambda s: s[0]):
+            lines.append(f"{fam}{label_repr} {_format_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus_text(
+    registries: Dict[str, Any], path: str, prefix: str = "repro_"
+) -> str:
+    with open(path, "w") as f:
+        f.write(prometheus_text(registries, prefix=prefix))
+    return path

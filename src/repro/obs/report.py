@@ -1,0 +1,260 @@
+"""Single-file health reports: one JSON + one HTML per run.
+
+:func:`health_report` folds a :class:`~repro.obs.health.HealthMonitor`
+into a plain dict — SLO status, every fired alert, the lag / frontier /
+task-rate / indicator timelines (read back through the telemetry ring
+buffer), a completeness snapshot, and optionally the chaos fault
+timeline. :func:`render_health_html` turns that dict into a dependency-
+free single-file HTML page (inline CSS, inline SVG sparklines) so a CI
+artifact or a chaos debug bundle is viewable with nothing but a browser.
+
+Everything is virtual-time; the JSON is canonical (sorted keys, compact
+separators, infinities mapped to null before serialization), so two
+same-seed runs produce **byte-identical** reports — the determinism the
+chaos tests assert.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.metrics.registry import labeled_name
+from repro.obs.health import INDICATOR_GAUGE, HealthMonitor
+
+_INF = float("inf")
+
+
+def _clean(value: Any) -> Any:
+    """Strict-JSON scrub: infinities and NaN become null, recursively."""
+    if isinstance(value, float):
+        if value != value or value in (_INF, -_INF):
+            return None
+        return value
+    if isinstance(value, dict):
+        return {str(k): _clean(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_clean(v) for v in value]
+    return value
+
+
+def _series_map(monitor: HealthMonitor, prefix: str) -> Dict[str, List[Tuple[float, float]]]:
+    """Every sampled gauge series whose registry key starts with ``prefix``."""
+    keys = set()
+    for sample in monitor.telemetry.samples:
+        registry = sample["registries"].get("cluster")
+        if registry is None:
+            continue
+        keys.update(k for k in registry["gauges"] if k.startswith(prefix))
+    return {
+        key: monitor.telemetry.series("cluster", "gauges", key)
+        for key in sorted(keys)
+    }
+
+
+def health_report(
+    monitor: HealthMonitor,
+    label: str = "run",
+    fault_timeline: Optional[List[Any]] = None,
+) -> Dict[str, Any]:
+    """The report as a JSON-ready dict (virtual-time only)."""
+    report: Dict[str, Any] = {
+        "label": label,
+        "generated_at_ms": monitor.clock.now,
+        "interval_ms": monitor.interval_ms,
+        "ticks": monitor.ticks,
+        "apps": sorted(
+            app.config.application_id for app in monitor.apps
+        ),
+        "slos": monitor.slo_status(),
+        "alerts": [alert.to_dict() for alert in monitor.alerts],
+        "completeness": monitor.completeness(),
+        "timelines": {
+            "lag": _series_map(monitor, "streams.lag{"),
+            "frontier": _series_map(monitor, "streams.frontier{"),
+            "task_rate": _series_map(monitor, "streams.task_rate{"),
+            "consumer_lag": _series_map(monitor, "consumer.lag{"),
+            "indicators": {
+                indicator: monitor.telemetry.series(
+                    "cluster",
+                    "gauges",
+                    labeled_name(INDICATOR_GAUGE, {"indicator": indicator}),
+                )
+                for indicator in sorted(
+                    {slo.indicator for slo in monitor.slos}
+                )
+            },
+            "burn_rate": _series_map(monitor, "health.burn_rate{"),
+        },
+    }
+    if fault_timeline is not None:
+        report["fault_timeline"] = [
+            [ts, str(desc)] for ts, desc in fault_timeline
+        ]
+    return _clean(report)
+
+
+def report_json(report: Dict[str, Any]) -> str:
+    """Canonical serialization — the byte-identity surface."""
+    return json.dumps(
+        report, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+# -- HTML rendering ---------------------------------------------------------------------
+
+_PAGE_CSS = """
+body{font-family:ui-monospace,Menlo,Consolas,monospace;margin:1.5em;
+     background:#fafafa;color:#222}
+h1{font-size:1.3em}h2{font-size:1.05em;margin-top:1.6em}
+table{border-collapse:collapse;margin:.5em 0}
+td,th{border:1px solid #ccc;padding:.25em .6em;text-align:left;
+      font-size:.85em}
+th{background:#eee}
+.ok{color:#1a7f37}.alerted{color:#9a6700}.breaching{color:#cf222e}
+.page{color:#cf222e;font-weight:bold}.warn{color:#9a6700}
+.spark{vertical-align:middle}
+.meta{color:#666;font-size:.85em}
+"""
+
+
+def _sparkline(points: List[Tuple[float, Optional[float]]],
+               width: int = 180, height: int = 28) -> str:
+    """An inline SVG polyline of one series (nulls drawn at the top)."""
+    finite = [v for _, v in points if v is not None]
+    if not points or not finite:
+        return '<span class="meta">no data</span>'
+    t0 = points[0][0]
+    t1 = points[-1][0]
+    span_t = (t1 - t0) or 1.0
+    lo = min(finite)
+    hi = max(finite)
+    span_v = (hi - lo) or 1.0
+    coords = []
+    for ts, value in points:
+        x = (ts - t0) / span_t * (width - 2) + 1
+        v = hi if value is None else value
+        y = height - 1 - (v - lo) / span_v * (height - 2)
+        coords.append(f"{x:.1f},{y:.1f}")
+    return (
+        f'<svg class="spark" width="{width}" height="{height}">'
+        f'<polyline fill="none" stroke="#0969da" stroke-width="1" '
+        f'points="{" ".join(coords)}"/></svg>'
+    )
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "∞"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return _html.escape(str(value))
+
+
+def render_health_html(report: Dict[str, Any]) -> str:
+    """The report dict as one self-contained HTML page."""
+    e = _html.escape
+    out: List[str] = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>health report — {e(str(report['label']))}</title>",
+        f"<style>{_PAGE_CSS}</style></head><body>",
+        f"<h1>Health report — {e(str(report['label']))}</h1>",
+        f"<p class='meta'>generated at t={_fmt(report['generated_at_ms'])}ms "
+        f"(virtual) · {report['ticks']} evaluation ticks · "
+        f"interval {_fmt(report['interval_ms'])}ms · apps: "
+        f"{e(', '.join(report['apps']))}</p>",
+    ]
+
+    out.append("<h2>SLO status</h2><table><tr><th>SLO</th><th>indicator</th>"
+               "<th>objective</th><th>threshold</th><th>status</th>"
+               "<th>alerts</th><th>pages</th></tr>")
+    for slo in report["slos"]:
+        out.append(
+            f"<tr><td>{e(slo['name'])}</td><td>{e(slo['indicator'])}</td>"
+            f"<td>{_fmt(slo['objective'])}</td>"
+            f"<td>{e(slo['comparison'])} {_fmt(slo['threshold'])}</td>"
+            f"<td class='{e(slo['status'])}'>{e(slo['status'])}</td>"
+            f"<td>{slo['alerts']}</td><td>{slo['pages']}</td></tr>"
+        )
+    out.append("</table>")
+
+    out.append("<h2>Fired alerts</h2>")
+    if report["alerts"]:
+        out.append("<table><tr><th>SLO</th><th>severity</th><th>fired</th>"
+                   "<th>resolved</th><th>peak burn</th></tr>")
+        for alert in report["alerts"]:
+            resolved = alert["resolved_at"]
+            out.append(
+                f"<tr><td>{e(alert['slo'])}</td>"
+                f"<td class='{e(alert['severity'])}'>{e(alert['severity'])}</td>"
+                f"<td>{_fmt(alert['fired_at'])}ms</td>"
+                f"<td>{'active' if resolved is None else f'{resolved:g}ms'}</td>"
+                f"<td>{_fmt(alert['peak_burn'])}</td></tr>"
+            )
+        out.append("</table>")
+    else:
+        out.append("<p class='ok'>none</p>")
+
+    out.append("<h2>Completeness</h2><table><tr><th>app</th>"
+               "<th>frontier (event time)</th><th>total lag</th></tr>")
+    for app, snap in sorted(report["completeness"].items()):
+        out.append(
+            f"<tr><td>{e(app)}</td><td>{_fmt(snap['frontier'])}</td>"
+            f"<td>{_fmt(snap['total_lag'])}</td></tr>"
+        )
+    out.append("</table>")
+
+    sections = [
+        ("Indicators", report["timelines"]["indicators"]),
+        ("Burn rates", report["timelines"]["burn_rate"]),
+        ("Partition lag (committed)", report["timelines"]["lag"]),
+        ("Completeness frontier", report["timelines"]["frontier"]),
+        ("Task processing rate", report["timelines"]["task_rate"]),
+        ("Consumer fetch lag", report["timelines"]["consumer_lag"]),
+    ]
+    for title, series_map in sections:
+        out.append(f"<h2>{e(title)}</h2>")
+        if not series_map:
+            out.append("<p class='meta'>no samples</p>")
+            continue
+        out.append("<table><tr><th>series</th><th>last</th>"
+                   "<th>timeline</th></tr>")
+        for key in sorted(series_map):
+            points = series_map[key]
+            last = points[-1][1] if points else None
+            out.append(
+                f"<tr><td>{e(key)}</td><td>{_fmt(last)}</td>"
+                f"<td>{_sparkline(points)}</td></tr>"
+            )
+        out.append("</table>")
+
+    if "fault_timeline" in report:
+        out.append("<h2>Fault timeline</h2><table>"
+                   "<tr><th>t (ms)</th><th>event</th></tr>")
+        for ts, desc in report["fault_timeline"]:
+            out.append(f"<tr><td>{_fmt(ts)}</td><td>{e(desc)}</td></tr>")
+        out.append("</table>")
+
+    out.append("</body></html>")
+    return "\n".join(out)
+
+
+def write_health_report(
+    monitor: HealthMonitor,
+    directory: str,
+    label: str = "run",
+    fault_timeline: Optional[List[Any]] = None,
+) -> Tuple[str, str]:
+    """Write ``health-<label>.json`` + ``.html``; returns both paths."""
+    os.makedirs(directory, exist_ok=True)
+    report = health_report(monitor, label=label, fault_timeline=fault_timeline)
+    json_path = os.path.join(directory, f"health-{label}.json")
+    html_path = os.path.join(directory, f"health-{label}.html")
+    with open(json_path, "w") as f:
+        f.write(report_json(report))
+        f.write("\n")
+    with open(html_path, "w") as f:
+        f.write(render_health_html(report))
+    return json_path, html_path

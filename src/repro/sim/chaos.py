@@ -171,6 +171,12 @@ class ChaosController:
 
         # (virtual time, human-readable description) of every APPLIED event.
         self.timeline: List[Tuple[float, str]] = []
+        # (start_ms, end_ms, kind) per applied fault. The end is known at
+        # injection time because every repair delay is drawn/configured up
+        # front; instantaneous blips (ack_drop, leader_churn) get
+        # zero-width windows. The health chaos matrix checks every
+        # disruptive window overlaps at least one fired SLO alert.
+        self.fault_windows: List[Tuple[float, float, str]] = []
         self.faults_injected = 0
         self.faults_skipped = 0
 
@@ -269,6 +275,7 @@ class ChaosController:
                 self.cluster.tracer,
                 registries={"cluster": self.cluster.metrics},
                 timeline=self.timeline,
+                health=getattr(self.cluster, "health", None),
             )
             raise InvariantViolation(f"{exc} [debug bundle: {path}]") from exc
 
@@ -303,6 +310,10 @@ class ChaosController:
     def _skip(self, kind: str) -> None:
         self.faults_skipped += 1
 
+    def _note_window(self, kind: str, duration_ms: float) -> None:
+        now = self.cluster.clock.now
+        self.fault_windows.append((now, now + duration_ms, kind))
+
     def _apply(self, kind: str) -> None:
         handler = getattr(self, f"_apply_{kind}")
         handler()
@@ -326,6 +337,7 @@ class ChaosController:
             delay, lambda b=broker_id: self._restart_broker(b)
         )
         self._broker_repairs[broker_id] = timer
+        self._note_window(label, delay)
         self._record(f"{label}: crash broker {broker_id} (restart +{delay:.0f}ms)")
 
     def _restart_broker(self, broker_id: int) -> None:
@@ -371,6 +383,7 @@ class ChaosController:
             return self._skip("leader_churn")
         tp = self.rng.choice(candidates)
         new_leader = self.cluster.transfer_leadership(tp)
+        self._note_window("leader_churn", 0.0)
         self._record(f"leader_churn: {tp} -> broker {new_leader}")
 
     def _apply_instance_crash(self) -> None:
@@ -389,6 +402,7 @@ class ChaosController:
             delay, lambda a=app: self._replace_instance(a)
         )
         self._instance_repairs.append((app, timer))
+        self._note_window("instance_crash", delay)
         self._record(
             f"instance_crash: {app.config.application_id} instance "
             f"{instance.instance_id} (replace +{delay:.0f}ms)"
@@ -407,6 +421,7 @@ class ChaosController:
     def _apply_ack_drop(self) -> None:
         count = self.config.ack_drop_count
         self.injector.drop_next_produce_ack(count=count)
+        self._note_window("ack_drop", 0.0)
         self._record(f"ack_drop: next {count} produce acks lost")
 
     def _apply_gray_broker(self) -> None:
@@ -416,6 +431,7 @@ class ChaosController:
         broker_id = self.rng.choice(alive)
         cfg = self.config
         self.injector.slow_broker(broker_id, cfg.gray_delay_ms, cfg.gray_duration_ms)
+        self._note_window("gray_broker", cfg.gray_duration_ms)
         self._record(
             f"gray_broker: broker {broker_id} +{cfg.gray_delay_ms:.0f}ms/rpc "
             f"for {cfg.gray_duration_ms:.0f}ms"
@@ -445,6 +461,7 @@ class ChaosController:
         client = self.rng.choice(clients)
         broker_id = self.rng.choice(alive)
         self.injector.sever_link(client, broker_id, self.config.link_duration_ms)
+        self._note_window("link_fault", self.config.link_duration_ms)
         self._record(
             f"link_fault: {client} x broker {broker_id} severed "
             f"for {self.config.link_duration_ms:.0f}ms"

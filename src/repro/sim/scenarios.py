@@ -162,6 +162,9 @@ class CellResult:
     converged: bool
     converged_at_ms: Optional[float]
     recovery: Optional[Dict[str, Any]]
+    # Fired SLO alerts (dicts; see obs/health.py), when the harness was
+    # built with a HealthMonitor — None when health monitoring is off.
+    alerts: Optional[List[Dict[str, Any]]] = None
 
 
 class ScenarioHarness:
@@ -183,6 +186,7 @@ class ScenarioHarness:
         invariants: Optional[InvariantSuite] = None,
         horizon_ms: float = 3_000.0,
         chaos_overrides: Optional[Dict[str, Any]] = None,
+        health=None,
     ) -> None:
         self.cluster = cluster
         self.app = app
@@ -195,6 +199,15 @@ class ScenarioHarness:
             horizon_ms=horizon_ms, kinds=self.scenario.kinds(), **overrides
         )
         self.tracker = RecoveryTracker(cluster.clock).install(cluster)
+        # Optional HealthMonitor (repro.obs.health): installed on the
+        # cluster now (so chaos debug bundles can attach its report) and
+        # registered as an actor at arm() time, right after the chaos
+        # controller — alerts then evaluate at the same safe points as
+        # fault injection. Streams apps only (the watermark tracker walks
+        # sub-topologies).
+        self.health = health
+        if health is not None:
+            health.install()
         self.chaos = ChaosController(
             cluster,
             apps=[app],
@@ -212,6 +225,8 @@ class ScenarioHarness:
             raise RuntimeError("harness already armed")
         self._armed = True
         self.app.driver.register(self.chaos)
+        if self.health is not None:
+            self.app.driver.register(self.health)
         return self.chaos.schedule_script(
             self.scenario.events_for(self.horizon_ms)
         )
@@ -272,6 +287,9 @@ class ScenarioHarness:
             if self.tracker.fault_at is not None and self.tracker.recovered_at is not None:
                 self.tracker.verify_telescoping()
                 summary = self.tracker.summary()
+            alerts = None
+            if self.health is not None:
+                alerts = [a.to_dict() for a in self.health.alerts]
             return CellResult(
                 scenario=self.scenario.name,
                 seed=self.seed,
@@ -279,6 +297,7 @@ class ScenarioHarness:
                 converged=converged,
                 converged_at_ms=converged_at,
                 recovery=summary,
+                alerts=alerts,
             )
         finally:
             self.teardown()
@@ -325,6 +344,9 @@ class ScenarioHarness:
         if not self.chaos._stopped:
             self.chaos.quiesce()
         self.app.driver.unregister(self.chaos)
+        if self.health is not None:
+            self.app.driver.unregister(self.health)
+            self.health.uninstall()
         RecoveryTracker.uninstall(self.cluster)
 
 

@@ -92,6 +92,10 @@ class KafkaStreams:
         self._driver = Driver(cluster.clock, tracer=cluster.tracer)
         self._driver.register(self)
 
+        # Lazy completeness-watermark tracker (repro.obs.watermarks);
+        # built on first use so apps that never ask pay nothing.
+        self._watermarks = None
+
     # -- topic management ---------------------------------------------------------------
 
     def resolve_topic(self, name: str) -> str:
@@ -294,6 +298,25 @@ class KafkaStreams:
         if sub_id is None:
             raise KeyError(f"unknown store: {store_name!r}")
         return self._task_counts[sub_id]
+
+    @property
+    def watermarks(self):
+        """The app's completeness-watermark tracker (lazy singleton)."""
+        if self._watermarks is None:
+            from repro.obs.watermarks import WatermarkTracker
+
+            self._watermarks = WatermarkTracker(self)
+        return self._watermarks
+
+    def completeness_frontier(self, store_name: Optional[str] = None) -> float:
+        """The event-time completeness frontier (see obs/watermarks.py).
+
+        Every input record with a timestamp strictly below the returned
+        value is committed-processed; ``COMPLETE`` (+inf) means no
+        backlog at all. With ``store_name``, only the store's upstream
+        cone counts — the IQ layer serves this next to ``position()``.
+        """
+        return self.watermarks.frontier(store=store_name)
 
     @property
     def metadata_service(self):

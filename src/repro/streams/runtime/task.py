@@ -117,6 +117,12 @@ class StreamTask:
         self._queues = PartitionGroup(self.partitions)
         # Committed progress only covers fully processed records.
         self._consumed: Dict[TopicPartition, int] = {}
+        # Event-time watermark bookkeeping: the max processed record
+        # timestamp per input partition. The task's low watermark is the
+        # min across partitions — every record at or below it has been
+        # processed (per partition, up to reordering within the grace
+        # period), which is what the completeness frontier reports.
+        self._processed_ts: Dict[TopicPartition, float] = {}
 
         # topic (resolved) -> source node children
         self._source_children: Dict[str, List[str]] = {}
@@ -443,6 +449,16 @@ class StreamTask:
     def buffered(self) -> int:
         return self._queues.buffered()
 
+    def low_watermark(self) -> float:
+        """The task's event-time low watermark: the min, across input
+        partitions, of the max processed record timestamp. ``-inf``
+        until every input partition has processed at least one record
+        (an idle partition holds the whole task's watermark down, same
+        as stream-time merging on multi-input joins)."""
+        if len(self._processed_ts) < len(self.partitions):
+            return float("-inf")
+        return min(self._processed_ts.values())
+
     # -- processing -------------------------------------------------------------------------
 
     def process_batch(self, max_records: int = 2**31) -> int:
@@ -456,6 +472,8 @@ class StreamTask:
                 break
             tp, record = item
             self.stream_time = max(self.stream_time, record.timestamp)
+            if record.timestamp > self._processed_ts.get(tp, float("-inf")):
+                self._processed_ts[tp] = record.timestamp
             children = self._children_by_tp.get(tp)
             if children is None:
                 children = self._source_children[tp.topic]
@@ -527,6 +545,8 @@ class StreamTask:
         max_ts = max(chunk.timestamps)
         if max_ts > self.stream_time:
             self.stream_time = max_ts
+        if max_ts > self._processed_ts.get(tp, float("-inf")):
+            self._processed_ts[tp] = max_ts
         self._consumed[tp] = last_offset + 1
         self.records_processed += count
         if self.first_process_listener is not None:

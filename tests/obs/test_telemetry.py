@@ -85,6 +85,55 @@ class TestSeries:
         clock, _, reporter = make_reporter()
         reporter.sample()
         reporter.reset()
-        assert reporter.samples == []
+        assert list(reporter.samples) == []
         reporter.poll()                      # samples again from scratch
         assert len(reporter.samples) == 1
+
+
+class TestRingBuffer:
+    def test_max_samples_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TelemetryReporter(SimClock(), {}, max_samples=0)
+
+    def test_oldest_samples_are_evicted(self):
+        clock = SimClock()
+        registry = MetricsRegistry()
+        reporter = TelemetryReporter(
+            clock, {"app": registry}, interval_ms=10.0, max_samples=3
+        )
+        for _ in range(5):
+            reporter.sample()
+            clock.advance(10.0)
+        assert len(reporter.samples) == 3
+        assert reporter.samples_taken == 5           # total, pre-eviction
+        assert [s["ts"] for s in reporter.samples] == [20.0, 30.0, 40.0]
+
+    def test_unbounded_with_none(self):
+        clock = SimClock()
+        reporter = TelemetryReporter(
+            clock, {}, interval_ms=10.0, max_samples=None
+        )
+        for _ in range(10):
+            reporter.sample()
+            clock.advance(10.0)
+        assert len(reporter.samples) == 10
+
+    def test_latest(self):
+        clock, registry, reporter = make_reporter()
+        assert reporter.latest() is None
+        reporter.sample()
+        clock.advance(100.0)
+        reporter.sample()
+        assert reporter.latest()["ts"] == 100.0
+
+    def test_series_since_ms(self):
+        clock, registry, reporter = make_reporter()
+        counter = registry.counter("n")
+        for _ in range(4):
+            counter.increment()
+            reporter.sample()
+            clock.advance(50.0)
+        full = reporter.series("app", "counters", "n")
+        assert [ts for ts, _ in full] == [0.0, 50.0, 100.0, 150.0]
+        tail = reporter.series("app", "counters", "n", since_ms=100.0)
+        assert tail == [(100.0, 3), (150.0, 4)]
