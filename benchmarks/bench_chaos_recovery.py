@@ -14,7 +14,7 @@ exactly-once output is identical to the fault-free run at every fault
 rate; the faults only cost time, never correctness.
 """
 
-from harness import bench_scale, make_bench_cluster, smoke_mode
+from harness import WallTimer, bench_scale, make_bench_cluster, smoke_mode, write_bench_json
 from harness_report import record_table
 
 from repro.clients.producer import Producer
@@ -183,9 +183,29 @@ def _run_all():
 
 
 def test_chaos_recovery_sweep(benchmark):
-    benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    with WallTimer() as timer:
+        benchmark.pedantic(_run_all, rounds=1, iterations=1)
 
     baseline_ms = _results[0]["completion_ms"]
+    write_bench_json(
+        "chaos_recovery",
+        {"records": RECORDS, "cluster_seed": CLUSTER_SEED,
+         "chaos_seeds": list(CHAOS_SEEDS),
+         "fault_intervals_ms": FAULT_INTERVALS_MS},
+        [
+            {
+                "label": r["label"],
+                "mean_faults_injected": round(r["faults"], 2),
+                "mean_invariant_checks": round(r["checks"], 2),
+                "mean_completion_ms": round(r["completion_ms"], 3),
+                "recovery_overhead_ms": round(
+                    r["completion_ms"] - _results[0]["completion_ms"], 3
+                ),
+            }
+            for r in _results
+        ],
+        wall_seconds=timer.seconds,
+    )
     rows = [
         [
             r["label"],

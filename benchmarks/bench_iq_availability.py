@@ -23,7 +23,7 @@ between retry sweeps), reported through the shared
 seeded input and must agree on the final aggregate state.
 """
 
-from harness import bench_scale, make_bench_cluster, smoke_mode
+from harness import WallTimer, bench_scale, make_bench_cluster, smoke_mode, write_bench_json
 from harness_report import record_table
 
 from repro.clients.producer import Producer
@@ -190,10 +190,31 @@ def _run_all():
 
 
 def test_iq_availability(benchmark):
-    benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    with WallTimer() as timer:
+        benchmark.pedantic(_run_all, rounds=1, iterations=1)
 
     eager = _results[EAGER]
     coop = _results[COOPERATIVE]
+    write_bench_json(
+        "iq_availability",
+        {"partitions": PARTITIONS, "key_space": KEY_SPACE, "rolls": ROLLS,
+         "query_rate_per_sec": QUERY_RATE, "burst_rate_per_sec": BURST_RATE},
+        [
+            {
+                "label": r["protocol"],
+                "strong_served": r["strong"].served,
+                "strong_errors": sum(r["strong"].errors.values()),
+                "strong_error_rate": round(_err_rate(r["strong"]), 5),
+                "bounded_served": r["bounded"].served,
+                "bounded_errors": sum(r["bounded"].errors.values()),
+                "p50_latency_ms": round(r["latency"]["p50"], 3),
+                "p99_latency_ms": round(r["latency"]["p99"], 3),
+                "burst_queries_per_sec": round(r["burst_rate"], 1),
+            }
+            for r in (eager, coop)
+        ],
+        wall_seconds=timer.seconds,
+    )
     rows = []
     for r in (eager, coop):
         strong, bounded = r["strong"], r["bounded"]

@@ -16,7 +16,7 @@ tracer's ``group.rebalance`` spans. Both protocols run the same seeded
 rolling-restart schedule and must commit identical output.
 """
 
-from harness import bench_scale, make_bench_cluster, smoke_mode
+from harness import WallTimer, bench_scale, make_bench_cluster, smoke_mode, write_bench_json
 from harness_report import record_table
 
 from repro.clients.producer import Producer
@@ -119,10 +119,29 @@ def _run_all():
 
 
 def test_rebalance_unavailability(benchmark):
-    benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    with WallTimer() as timer:
+        benchmark.pedantic(_run_all, rounds=1, iterations=1)
 
     eager = _results[EAGER]
     coop = _results[COOPERATIVE]
+    write_bench_json(
+        "rebalance",
+        {"partitions": PARTITIONS, "rolls": ROLLS,
+         "state_records": max(200, int(STATE_RECORDS * bench_scale()))},
+        [
+            {
+                "label": r["protocol"],
+                "records": r["records"],
+                "rebalances": r["rebalances"],
+                "task_windows": r["windows"],
+                "mean_unavailability_ms": round(r["mean_ms"], 3),
+                "p95_unavailability_ms": round(r["p95_ms"], 3),
+                "max_unavailability_ms": round(r["max_ms"], 3),
+            }
+            for r in (eager, coop)
+        ],
+        wall_seconds=timer.seconds,
+    )
     rows = [
         [
             r["protocol"],

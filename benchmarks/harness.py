@@ -101,12 +101,14 @@ def write_bench_json(
     their own row shape); ``config`` is whatever knobs identify the run.
     Virtual timings (``sim_elapsed_ms``) and wall time are kept side by
     side — the gap between them is the simulator's time compression.
-    Lands in ``benchmarks/results/`` (override with ``BENCH_RESULTS_DIR``)
-    so CI can glob one directory for every bench artifact.
+    Lands at the repo root (override with ``BENCH_RESULTS_DIR``) so the
+    committed ``BENCH_*.json`` records are one flat, diffable set next to
+    the code that produced them; human-readable tables stay in
+    ``benchmarks/results/``.
     """
     directory = directory or os.environ.get(
         "BENCH_RESULTS_DIR",
-        os.path.join(os.path.dirname(os.path.abspath(__file__)), "results"),
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
     )
     os.makedirs(directory, exist_ok=True)
     payload = {

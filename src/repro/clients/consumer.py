@@ -30,11 +30,20 @@ from repro.util import ExponentialBackoff
 class Consumer:
     """An embedded consumer client against a :class:`Cluster`."""
 
-    def __init__(self, cluster: Cluster, config: Optional[ConsumerConfig] = None):
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: Optional[ConsumerConfig] = None,
+        network: Optional[Any] = None,
+    ):
         self.cluster = cluster
         self.config = config or ConsumerConfig()
         self.config.validate()
-        self._network = cluster.network
+        # ``network`` overrides the RPC path while ``cluster`` stays the
+        # logical target — how a consumer in one region reads another
+        # region's brokers through an inter-cluster link proxy
+        # (repro.mirror.netlink) without knowing about regions itself.
+        self._network = network if network is not None else cluster.network
         self._tracer = cluster.tracer
         # Streams instances set this so fetched records carry the
         # `__t_fetched` stage stamp. Off for plain consumers — the

@@ -1,0 +1,302 @@
+"""Global message ordering across clusters: sequencer vs HLC merge.
+
+Records produced independently in several regions have no global order —
+each region's log orders only its own appends. Two classic ways to impose
+one, with opposite cost profiles, both implemented as driver actors that
+consume every region's copy of a topic and emit one totally-ordered
+stream:
+
+* :class:`SequencerMerge` — a **central sequencer**: one designated region
+  assigns a dense global sequence number in arrival order. Total order is
+  immediate and gap-free, but every remote record pays a cross-region
+  round trip *before* it can be sequenced, and the sequencer is a serial
+  bottleneck and a single point of failure (its region dying takes global
+  ordering down with it).
+* :class:`HLCMerge` — a decentralized **hybrid-logical-clock merge**
+  (Lamport-ordered timestamps that hug physical time): every region
+  stamps its records locally at produce time and the merge releases a
+  record only once every region's *frontier* has passed its stamp, so the
+  output is ordered by ``(hlc, region)`` regardless of arrival order.
+  Nothing serializes through one region, but release latency is bounded
+  below by the slowest link plus the idle-region heartbeat — the
+  ordering-vs-latency trade ``bench_mirror_ordering.py`` measures.
+
+Both merges read remote regions through
+:class:`~repro.mirror.netlink.LinkedNetwork` consumers, so link faults
+stall exactly the region they cut.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.broker.partition import TopicPartition
+from repro.clients.consumer import Consumer
+from repro.config import READ_COMMITTED, ConsumerConfig
+from repro.errors import RetriableError
+from repro.metrics.latency import CREATED_AT_HEADER
+
+
+class HybridLogicalClock:
+    """A hybrid logical clock (Kulkarni et al.): ``(l, c)`` where ``l``
+    tracks the max physical time seen and ``c`` breaks ties among events
+    sharing it. Monotone under local events and message receipt alike."""
+
+    def __init__(self, clock) -> None:
+        self.clock = clock
+        self.l = 0.0
+        self.c = 0
+
+    def tick(self) -> Tuple[float, int]:
+        """Stamp a local event."""
+        now = self.clock.now
+        if now > self.l:
+            self.l, self.c = now, 0
+        else:
+            self.c += 1
+        return (self.l, self.c)
+
+    def observe(self, remote: Tuple[float, int]) -> Tuple[float, int]:
+        """Merge a received stamp (keeps causality across regions)."""
+        now = self.clock.now
+        rl, rc = remote
+        if now > self.l and now > rl:
+            self.l, self.c = now, 0
+        elif rl > self.l:
+            self.l, self.c = rl, rc + 1
+        elif rl == self.l:
+            self.c = max(self.c, rc) + 1
+        else:
+            self.c += 1
+        return (self.l, self.c)
+
+
+#: Header carrying a record's HLC stamp across regions.
+HLC_HEADER = "__hlc"
+
+
+def stamp_hlc(headers: Dict[str, Any], hlc: HybridLogicalClock) -> Dict[str, Any]:
+    """Stamp ``headers`` with the region's next HLC value (produce-side)."""
+    headers = dict(headers)
+    headers[HLC_HEADER] = hlc.tick()
+    return headers
+
+
+class _RegionFeed:
+    """One region's consumer over the merged topic, WAN-proxied when the
+    region is remote to the merge."""
+
+    def __init__(self, merge_name: str, region: str, cluster, topic: str,
+                 link=None) -> None:
+        self.region = region
+        self.cluster = cluster
+        self.link = link
+        network = None if link is None else link.network_to(cluster)
+        self.consumer = Consumer(
+            cluster,
+            ConsumerConfig(
+                client_id=f"{merge_name}-{region}",
+                isolation_level=READ_COMMITTED,
+                auto_offset_reset="earliest",
+            ),
+            network=network,
+        )
+        meta = cluster.topic_metadata(topic)
+        self.consumer.assign(
+            [TopicPartition(topic, p) for p in range(meta.num_partitions)]
+        )
+
+    def poll(self) -> List[Any]:
+        if self.link is not None and not self.link.up:
+            return []
+        try:
+            return self.consumer.poll()
+        except RetriableError:
+            return []
+
+
+class MergedRecord:
+    """One record in the global order, with its provenance and latency."""
+
+    __slots__ = ("global_seq", "region", "key", "value", "hlc",
+                 "produced_at", "merged_at")
+
+    def __init__(self, global_seq, region, key, value, hlc, produced_at,
+                 merged_at) -> None:
+        self.global_seq = global_seq
+        self.region = region
+        self.key = key
+        self.value = value
+        self.hlc = hlc
+        self.produced_at = produced_at
+        self.merged_at = merged_at
+
+    @property
+    def merge_latency_ms(self) -> Optional[float]:
+        if self.produced_at is None:
+            return None
+        return self.merged_at - self.produced_at
+
+
+class SequencerMerge:
+    """Central sequencer: global sequence assigned in arrival order at the
+    home region. Remote records cross their link inside the fetch, so the
+    per-record cost *is* the cross-region hop (plus the serial drain)."""
+
+    strategy = "sequencer"
+
+    def __init__(self, name: str, home, feeds: List[_RegionFeed]) -> None:
+        self.name = name
+        self.home = home
+        self.feeds = feeds
+        self.merged: List[MergedRecord] = []
+        self._latency = home.metrics.histogram(
+            "mirror.merge_latency_ms", merge=name, strategy=self.strategy
+        )
+
+    def poll(self) -> int:
+        count = 0
+        for feed in self.feeds:
+            for record in feed.poll():
+                merged = MergedRecord(
+                    global_seq=len(self.merged),
+                    region=feed.region,
+                    key=record.key,
+                    value=record.value,
+                    hlc=record.headers.get(HLC_HEADER),
+                    produced_at=record.headers.get(CREATED_AT_HEADER),
+                    merged_at=self.home.clock.now,
+                )
+                self.merged.append(merged)
+                if merged.merge_latency_ms is not None:
+                    self._latency.observe(merged.merge_latency_ms)
+                count += 1
+        return count
+
+
+class HLCMerge:
+    """Decentralized merge: buffer per region, release below the global
+    frontier, order by ``(hlc, region)``.
+
+    A region's frontier is the stamp of its newest observed record or —
+    when the region has been silent longer than ``heartbeat_ms`` — the
+    current time minus its link latency and the heartbeat (the stamp any
+    not-yet-seen record could still carry). Records at or below every
+    region's frontier are safe to release: nothing earlier can arrive.
+    """
+
+    strategy = "hlc"
+
+    def __init__(
+        self,
+        name: str,
+        home,
+        feeds: List[_RegionFeed],
+        heartbeat_ms: float = 20.0,
+    ) -> None:
+        self.name = name
+        self.home = home
+        self.feeds = feeds
+        self.heartbeat_ms = heartbeat_ms
+        self.merged: List[MergedRecord] = []
+        self._buffer: List[Tuple[Tuple[float, int], str, Any]] = []
+        self._frontier: Dict[str, Tuple[float, int]] = {
+            feed.region: (-1.0, 0) for feed in feeds
+        }
+        self._last_seen: Dict[str, float] = {
+            feed.region: home.clock.now for feed in feeds
+        }
+        self._latency = home.metrics.histogram(
+            "mirror.merge_latency_ms", merge=name, strategy=self.strategy
+        )
+
+    def poll(self) -> int:
+        now = self.home.clock.now
+        for feed in self.feeds:
+            records = feed.poll()
+            if records:
+                self._last_seen[feed.region] = now
+                for record in records:
+                    hlc = tuple(record.headers[HLC_HEADER])
+                    self._buffer.append((hlc, feed.region, record))
+                    if hlc > self._frontier[feed.region]:
+                        self._frontier[feed.region] = hlc
+            else:
+                # Idle-region heartbeat: after heartbeat_ms of silence the
+                # region vouches that any future record will be stamped
+                # later than (now - link latency - heartbeat).
+                if now - self._last_seen[feed.region] >= self.heartbeat_ms:
+                    lat = feed.link.latency_ms if feed.link is not None else 0.0
+                    bound = (now - lat - self.heartbeat_ms, 2**31)
+                    if bound > self._frontier[feed.region]:
+                        self._frontier[feed.region] = bound
+        return self._release()
+
+    def _release(self) -> int:
+        if not self._buffer:
+            return 0
+        horizon = min(self._frontier.values())
+        ready = [entry for entry in self._buffer if entry[0] <= horizon]
+        if not ready:
+            return 0
+        self._buffer = [e for e in self._buffer if e[0] > horizon]
+        ready.sort(key=lambda e: (e[0], e[1]))
+        now = self.home.clock.now
+        for hlc, region, record in ready:
+            merged = MergedRecord(
+                global_seq=len(self.merged),
+                region=region,
+                key=record.key,
+                value=record.value,
+                hlc=hlc,
+                produced_at=record.headers.get(CREATED_AT_HEADER),
+                merged_at=now,
+            )
+            self.merged.append(merged)
+            if merged.merge_latency_ms is not None:
+                self._latency.observe(merged.merge_latency_ms)
+        return len(ready)
+
+    def flush(self) -> None:
+        """Idle drain: advance every silent region's frontier as if its
+        heartbeat had just fired, then release what that unblocks."""
+        now = self.home.clock.now
+        for feed in self.feeds:
+            lat = feed.link.latency_ms if feed.link is not None else 0.0
+            bound = (now - lat - self.heartbeat_ms, 2**31)
+            if bound > self._frontier[feed.region]:
+                self._frontier[feed.region] = bound
+        self._release()
+
+
+def make_merge(
+    strategy: str,
+    federation,
+    home_region: str,
+    topic: str,
+    name: Optional[str] = None,
+    heartbeat_ms: float = 20.0,
+):
+    """Build a merge actor over every federation region's copy of
+    ``topic`` (home region read locally, others through their links) and
+    register it on the federation driver."""
+    home = federation.cluster(home_region)
+    name = name or f"merge-{home_region}-{topic}"
+    feeds = []
+    for region in federation.regions:
+        cluster = federation.cluster(region)
+        link = None if region == home_region else federation.link(
+            home_region, region
+        )
+        feeds.append(_RegionFeed(name, region, cluster, topic, link=link))
+    if strategy == "sequencer":
+        merge = SequencerMerge(name, home, feeds)
+    elif strategy == "hlc":
+        merge = HLCMerge(name, home, feeds, heartbeat_ms=heartbeat_ms)
+    else:
+        raise ValueError(
+            f"unknown merge strategy {strategy!r} "
+            "(expected 'sequencer' or 'hlc')"
+        )
+    federation.register(merge)
+    return merge

@@ -1,0 +1,187 @@
+"""Offset translation between a source partition and its mirrored copy.
+
+A mirror link re-appends a partition's read-committed records onto the
+target cluster, so target offsets are dense where source offsets have
+gaps (transaction markers, aborted spans). Committed *consumer* offsets
+therefore cannot be copied across a link verbatim — they must be
+translated through the mapping the link itself observed while mirroring.
+
+The translator keeps two structures per (topic, partition):
+
+* a **fine map** — one ``(source_offset, target_offset)`` pair per
+  mirrored record, in source-offset order. Within the mirrored range,
+  :meth:`to_target` is exact up to marker gaps: a committed offset
+  pointing just past a control marker translates to the same target
+  offset as one pointing just past the preceding data record, which *is*
+  the semantically identical position.
+* a sparse **checkpoint table** of exact ``(source, target)`` committed-
+  offset pairs, written whenever a consumer group's offsets are synced at
+  a moment the mirror had fully caught up to them. Checkpoints are also
+  persisted to a compacted checkpoint topic on the target cluster, so a
+  restarted mirror (whose fine map starts empty) still translates every
+  previously-synced offset exactly and never *overshoots* any offset it
+  translated before the restart (at-least-once across failovers).
+
+Between checkpoints, outside the fine map, translation is downward-
+conservative — MirrorMaker 2 semantics: failover re-reads at most the
+untranslated gap, it never skips records.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, List, Optional, Tuple
+
+from repro.broker.partition import TopicPartition
+
+
+class _PartitionMap:
+    """Fine map + checkpoints for one mirrored partition."""
+
+    __slots__ = ("src", "dst", "ckpt_src", "ckpt_dst")
+
+    def __init__(self) -> None:
+        self.src: List[int] = []    # mirrored source offsets, ascending
+        self.dst: List[int] = []    # the records' target offsets, ascending
+        self.ckpt_src: List[int] = []
+        self.ckpt_dst: List[int] = []
+
+
+class OffsetTranslator:
+    """Per-link source↔target offset maps (see module docstring)."""
+
+    def __init__(self) -> None:
+        self._maps: Dict[TopicPartition, _PartitionMap] = {}
+
+    def _map(self, tp: TopicPartition) -> _PartitionMap:
+        m = self._maps.get(tp)
+        if m is None:
+            m = self._maps[tp] = _PartitionMap()
+        return m
+
+    # -- recording ----------------------------------------------------------
+
+    def record_batch(
+        self, tp: TopicPartition, src_offsets: List[int], dst_base: int
+    ) -> None:
+        """One mirrored batch: source records ``src_offsets`` (ascending)
+        landed at contiguous target offsets starting at ``dst_base`` —
+        the mirror is the partition's only writer on the target."""
+        m = self._map(tp)
+        if m.src and src_offsets and src_offsets[0] <= m.src[-1]:
+            raise ValueError(
+                f"{tp}: mirrored source offsets must be strictly increasing "
+                f"({src_offsets[0]} after {m.src[-1]})"
+            )
+        m.src.extend(src_offsets)
+        m.dst.extend(range(dst_base, dst_base + len(src_offsets)))
+
+    def record_checkpoint(
+        self, tp: TopicPartition, src_offset: int, dst_offset: int
+    ) -> None:
+        """An exact committed-offset pair (mirror had fully caught up when
+        the group's offset was synced). Idempotent; pairs may arrive out
+        of order on restart-replay."""
+        m = self._map(tp)
+        i = bisect_left(m.ckpt_src, src_offset)
+        if i < len(m.ckpt_src) and m.ckpt_src[i] == src_offset:
+            return
+        m.ckpt_src.insert(i, src_offset)
+        m.ckpt_dst.insert(i, dst_offset)
+
+    # -- translation --------------------------------------------------------
+
+    def to_target(self, tp: TopicPartition, src_offset: int) -> int:
+        """Translate a source committed offset to the target partition.
+
+        Exact at checkpoints and within the fine map (up to marker gaps);
+        otherwise the largest known translation not above ``src_offset``
+        (downward-conservative: never skips unseen records)."""
+        m = self._maps.get(tp)
+        if m is None:
+            return 0
+        # Exact checkpoint hit first — survives restarts.
+        i = bisect_left(m.ckpt_src, src_offset)
+        if i < len(m.ckpt_src) and m.ckpt_src[i] == src_offset:
+            return m.ckpt_dst[i]
+        # Fine map: count of mirrored records strictly below src_offset
+        # gives the dense target position.
+        j = bisect_left(m.src, src_offset)
+        fine: Optional[int] = None
+        if j > 0:
+            fine = m.dst[j - 1] + 1
+        elif m.src:
+            # Below everything mirrored: the mirrored range's base.
+            fine = m.dst[0]
+        # Largest checkpoint at or below src_offset, as the restart-safe
+        # floor when the fine map is empty or behind.
+        coarse: Optional[int] = m.ckpt_dst[i - 1] if i > 0 else None
+        if fine is None and coarse is None:
+            return 0
+        if fine is None:
+            return coarse  # type: ignore[return-value]
+        if coarse is None:
+            return fine
+        return max(fine, coarse)
+
+    def to_source(self, tp: TopicPartition, dst_offset: int) -> int:
+        """Translate a target committed offset back to the source.
+
+        The inverse direction a fail*back* needs. Exact at checkpoints;
+        within the fine map returns one past the last source record whose
+        copy lies below ``dst_offset``; conservative otherwise."""
+        m = self._maps.get(tp)
+        if m is None:
+            return 0
+        i = bisect_left(m.ckpt_dst, dst_offset)
+        if i < len(m.ckpt_dst) and m.ckpt_dst[i] == dst_offset:
+            return m.ckpt_src[i]
+        j = bisect_left(m.dst, dst_offset)
+        fine: Optional[int] = None
+        if j > 0:
+            fine = m.src[j - 1] + 1
+        elif m.src:
+            fine = m.src[0]
+        coarse: Optional[int] = m.ckpt_src[i - 1] if i > 0 else None
+        if fine is None and coarse is None:
+            return 0
+        if fine is None:
+            return coarse  # type: ignore[return-value]
+        if coarse is None:
+            return fine
+        return max(fine, coarse)
+
+    # -- introspection ------------------------------------------------------
+
+    def partitions(self) -> List[TopicPartition]:
+        return sorted(self._maps)
+
+    def mirrored_count(self, tp: TopicPartition) -> int:
+        m = self._maps.get(tp)
+        return 0 if m is None else len(m.src)
+
+    def last_mirrored(self, tp: TopicPartition) -> Optional[Tuple[int, int]]:
+        """The newest (source, target) fine pair, or None."""
+        m = self._maps.get(tp)
+        if m is None or not m.src:
+            return None
+        return m.src[-1], m.dst[-1]
+
+    def checkpoints(self, tp: TopicPartition) -> List[Tuple[int, int]]:
+        m = self._maps.get(tp)
+        if m is None:
+            return []
+        return list(zip(m.ckpt_src, m.ckpt_dst))
+
+    def translation_gap(self, tp: TopicPartition, src_position: int) -> int:
+        """Source records consumed past the newest exact sync point — how
+        stale a failover started *right now* would be, in records."""
+        m = self._maps.get(tp)
+        if m is None:
+            return max(0, src_position)
+        floor = 0
+        if m.ckpt_src:
+            i = bisect_right(m.ckpt_src, src_position)
+            if i > 0:
+                floor = m.ckpt_src[i - 1]
+        return max(0, src_position - floor)

@@ -1,0 +1,254 @@
+"""Region failover: a KafkaStreams app migrates clusters mid-stream.
+
+The planned path (drain the mirror, final group sync, graceful close)
+must converge to exactly the golden committed output — record for
+record. The unplanned path (region lost, crash in place, resume from the
+last synced offsets) is at-least-once across regions, so an idempotent
+aggregation's *final state* must converge while the committed stream may
+carry replayed updates.
+
+The multi-seed chaos matrix runs the planned cell under inter-cluster
+link faults with the cross-cluster prefix invariant checked continuously.
+"""
+
+import pytest
+
+from repro.clients.producer import Producer
+from repro.config import EXACTLY_ONCE, ProducerConfig, StreamsConfig
+from repro.mirror import Federation
+from repro.sim.chaos import ChaosConfig, ChaosController
+from repro.sim.invariants import (
+    FinalStateEquality,
+    InvariantSuite,
+    MirrorPrefixEquality,
+    committed_records,
+)
+from repro.broker.cluster import Cluster
+from repro.streams import KafkaStreams, StreamsBuilder
+
+APP = "failover-app"
+MIRRORED_TOPICS = ["in", "out", f"{APP}-agg-changelog"]
+
+
+def build_app(cluster, reducer):
+    builder = StreamsBuilder()
+    (
+        builder.stream("in")
+        .group_by_key()
+        .reduce(reducer, store_name="agg")
+        .to_stream()
+        .to("out")
+    )
+    return KafkaStreams(
+        builder.build(),
+        cluster,
+        StreamsConfig(
+            application_id=APP,
+            processing_guarantee=EXACTLY_ONCE,
+            commit_interval_ms=20.0,
+        ),
+    )
+
+
+def produce(cluster, lo, hi, keys=5):
+    producer = Producer(cluster, ProducerConfig(client_id=f"gen-{lo}"))
+    for i in range(lo, hi):
+        producer.send("in", key=f"k{i % keys}", value=i, timestamp=float(i))
+    producer.flush()
+
+
+def golden_output(reducer, total=60):
+    cluster = Cluster(num_brokers=3, seed=11)
+    cluster.network.charge_latency = False
+    cluster.create_topic("in", 2)
+    cluster.create_topic("out", 2)
+    app = build_app(cluster, reducer)
+    app.start(2)
+    produce(cluster, 0, total // 2)
+    app.run_until_idle()
+    produce(cluster, total // 2, total)
+    app.run_until_idle()
+    app.close()
+    return committed_records(cluster, ["out"])
+
+
+def make_cell(reducer, seed=11, latency_ms=20.0):
+    fed = Federation(regions=("east", "west"), num_brokers=3, seed=seed)
+    east = fed.cluster("east")
+    east.create_topic("in", 2)
+    east.create_topic("out", 2)
+    app = build_app(east, reducer)
+    fed.register(app)
+    app.start(2)
+    mirror = fed.add_mirror(
+        "east", "west", MIRRORED_TOPICS,
+        sync_groups=[APP], latency_ms=latency_ms,
+    )
+    return fed, app, mirror
+
+
+SUM = staticmethod(lambda agg, v: agg + v)
+MAX = staticmethod(lambda agg, v: agg if agg >= v else v)
+
+
+class TestPlannedFailover:
+    def test_converges_to_golden_committed_output(self):
+        reducer = lambda agg, v: agg + v  # noqa: E731 — order-sensitive sum
+        golden = golden_output(reducer)
+        fed, app, mirror = make_cell(reducer)
+        east, west = fed.cluster("east"), fed.cluster("west")
+
+        produce(east, 0, 30)
+        fed.run_until_idle()
+        assert mirror.drained()
+
+        # Planned: graceful close commits final offsets on east; drain the
+        # mirror once more so those commits and records cross; final sync.
+        app.migrate_to(west, planned=True)
+        fed.run_until_idle()
+        assert mirror.drained()
+        mirror.sync_group_offsets()
+        app.start(2)
+
+        produce(west, 30, 60)
+        fed.run_until_idle()
+        assert committed_records(west, ["out"]) == golden
+
+    def test_iq_metadata_follows_the_migration(self):
+        reducer = lambda agg, v: agg if agg >= v else v  # noqa: E731
+        fed, app, mirror = make_cell(reducer)
+        east, west = fed.cluster("east"), fed.cluster("west")
+        produce(east, 0, 20)
+        fed.run_until_idle()
+        before = app.metadata_service.partition_metadata("agg", 0)
+        assert before.cluster == "east"
+
+        app.migrate_to(west, planned=True)
+        fed.run_until_idle()
+        mirror.sync_group_offsets()
+        app.start(2)
+        fed.run_until_idle()
+        after = app.metadata_service.partition_metadata("agg", 0)
+        assert after.cluster == "west"
+        assert after.owner is not None
+        # Queries against the restored store serve the migrated state.
+        merged = app.store_contents("agg")
+        assert merged  # state survived the region move
+
+    def test_migrate_to_same_cluster_is_a_noop(self):
+        reducer = lambda agg, v: agg + v  # noqa: E731
+        fed, app, mirror = make_cell(reducer)
+        instances = list(app.instances)
+        app.migrate_to(fed.cluster("east"), planned=True)
+        assert app.instances == instances
+
+    def test_migration_requires_shared_clock(self):
+        reducer = lambda agg, v: agg + v  # noqa: E731
+        fed, app, _ = make_cell(reducer)
+        stranger = Cluster(num_brokers=3, seed=3)
+        with pytest.raises(ValueError, match="shar"):
+            app.migrate_to(stranger)
+
+
+class TestUnplannedFailover:
+    def test_final_state_converges_for_idempotent_aggregation(self):
+        reducer = lambda agg, v: agg if agg >= v else v  # noqa: E731
+        golden = golden_output(reducer)
+        fed, app, mirror = make_cell(reducer)
+        east, west = fed.cluster("east"), fed.cluster("west")
+
+        produce(east, 0, 60)
+        fed.run_until_idle()
+        assert mirror.drained()
+
+        # Disaster: the region is unreachable; instances crash in place
+        # (dangling transactions and all) and the app resumes on west
+        # from whatever the mirror last synced.
+        fed.link("east", "west").partition()
+        app.migrate_to(west, planned=False)
+        app.start(2)
+        fed.run_until_idle()
+
+        FinalStateEquality(golden).check(west, final=True)
+
+    def test_resumes_at_or_before_synced_position_never_past(self):
+        reducer = lambda agg, v: agg if agg >= v else v  # noqa: E731
+        fed, app, mirror = make_cell(reducer)
+        east, west = fed.cluster("east"), fed.cluster("west")
+        produce(east, 0, 40)
+        fed.run_until_idle()
+
+        fed.link("east", "west").partition()
+        app.migrate_to(west, planned=False)
+        synced = west.group_coordinator.fetch_committed(
+            APP, mirror._partitions
+        )
+        app.start(2)
+        fed.run_until_idle()
+        # Every record from the synced position on was (re)processed on
+        # west: the west output contains the per-key maximum of the whole
+        # input, so nothing past the synced offsets was skipped.
+        rows = committed_records(west, ["out"])["out"]
+        final = {}
+        for partition, key, value in rows:
+            final[key] = max(final.get(key, value), value)
+        assert final == {f"k{k}": 35 + k for k in range(5)}
+        # And the synced positions themselves were exact translations.
+        for tp, offset in synced.items():
+            if tp.topic == "in" and offset is not None:
+                src = mirror.translator.to_source(tp, offset)
+                assert mirror.translator.to_target(tp, src) == offset
+
+
+@pytest.mark.chaos
+class TestFailoverChaosMatrix:
+    """Planned failover under inter-cluster link faults, multi-seed: the
+    mirrored log stays a prefix-equal translation throughout, and the
+    migrated app still converges to the golden committed output."""
+
+    @pytest.mark.parametrize("seed", [7, 11, 23])
+    def test_link_faults_then_planned_failover(self, seed):
+        reducer = lambda agg, v: agg + v  # noqa: E731
+        golden = golden_output(reducer)
+        fed, app, mirror = make_cell(reducer, seed=seed)
+        east, west = fed.cluster("east"), fed.cluster("west")
+
+        suite = InvariantSuite()
+        prefix = MirrorPrefixEquality(east, west, ["in"])
+        suite.add(prefix)
+        chaos = ChaosController(
+            east,
+            apps=[app],
+            seed=seed,
+            config=ChaosConfig(
+                horizon_ms=1_200.0,
+                kinds=("mirror_link_partition", "mirror_link_flap"),
+                mean_fault_interval_ms=300.0,
+                mirror_partition_ms=200.0,
+                mirror_flap_count=2,
+                mirror_flap_ms=50.0,
+            ),
+            invariants=suite,
+            mirror_links=[mirror],
+        )
+        fed.register(chaos)
+        assert chaos.schedule() > 0
+
+        produce(east, 0, 30)
+        fed.run_for(chaos.config.horizon_ms)
+        chaos.quiesce()
+        fed.run_until_idle()
+        assert mirror.drained(), mirror.lags()
+        chaos.final_check()
+        fed.unregister(chaos)
+
+        app.migrate_to(west, planned=True)
+        fed.run_until_idle()
+        assert mirror.drained()
+        mirror.sync_group_offsets()
+        prefix.check(None, final=True)
+        app.start(2)
+        produce(west, 30, 60)
+        fed.run_until_idle()
+        assert committed_records(west, ["out"]) == golden
+        assert chaos.faults_injected > 0

@@ -1,0 +1,147 @@
+"""Global ordering merges: total order, per-region order, HLC semantics."""
+
+import pytest
+
+from repro.clients.producer import Producer
+from repro.config import ProducerConfig
+from repro.metrics.latency import CREATED_AT_HEADER
+from repro.mirror import (
+    Federation,
+    HLCMerge,
+    HybridLogicalClock,
+    SequencerMerge,
+    make_merge,
+    stamp_hlc,
+)
+
+
+def run_merge(strategy, n=40, latency_ms=40.0, seed=11):
+    fed = Federation(regions=("east", "west"), num_brokers=3, seed=seed)
+    for region in fed.regions:
+        fed.cluster(region).create_topic("events", 1)
+    fed.connect("east", "west", latency_ms=latency_ms)
+    merge = make_merge(strategy, fed, "east", "events")
+    hlcs = {r: HybridLogicalClock(fed.clock) for r in fed.regions}
+    producers = {
+        r: Producer(fed.cluster(r), ProducerConfig(client_id=f"gen-{r}"))
+        for r in fed.regions
+    }
+    for i in range(n):
+        region = fed.regions[i % 2]
+        headers = stamp_hlc({CREATED_AT_HEADER: fed.clock.now}, hlcs[region])
+        producers[region].send("events", key=f"{region}-{i}", value=i,
+                               headers=headers)
+        producers[region].flush()
+        fed.run_for(5.0)
+    fed.run_for(max(500.0, latency_ms * 10))
+    fed.run_until_idle()
+    return fed, merge
+
+
+class TestHybridLogicalClock:
+    def test_local_ticks_are_strictly_increasing(self):
+        from repro.sim.clock import SimClock
+
+        clock = SimClock()
+        hlc = HybridLogicalClock(clock)
+        stamps = [hlc.tick() for _ in range(5)]
+        clock.advance(1.0)
+        stamps.extend(hlc.tick() for _ in range(5))
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == len(stamps)
+
+    def test_observe_preserves_causality(self):
+        from repro.sim.clock import SimClock
+
+        clock = SimClock()
+        a, b = HybridLogicalClock(clock), HybridLogicalClock(clock)
+        sent = a.tick()
+        received = b.observe(sent)
+        assert received > sent
+        # b's next local event is still after the receive.
+        assert b.tick() > received
+
+
+@pytest.mark.parametrize("strategy", ["sequencer", "hlc"])
+class TestTotalOrder:
+    def test_all_records_merge_exactly_once(self, strategy):
+        _, merge = run_merge(strategy)
+        assert len(merge.merged) == 40
+        assert [r.global_seq for r in merge.merged] == list(range(40))
+        keys = [r.key for r in merge.merged]
+        assert len(set(keys)) == 40
+
+    def test_per_region_order_is_preserved(self, strategy):
+        """The global order must be consistent with each region's local
+        append order — the merge may interleave regions but never reorder
+        one region against itself."""
+        _, merge = run_merge(strategy)
+        for region in ("east", "west"):
+            values = [r.value for r in merge.merged if r.region == region]
+            assert values == sorted(values)
+
+
+class TestHLCSpecifics:
+    def test_output_ordered_by_hlc_then_region(self):
+        _, merge = run_merge("hlc")
+        stamps = [(tuple(r.hlc), r.region) for r in merge.merged]
+        assert stamps == sorted(stamps)
+
+    def test_two_runs_same_seed_agree(self):
+        _, merge_a = run_merge("hlc", seed=23)
+        _, merge_b = run_merge("hlc", seed=23)
+        assert [(r.key, r.global_seq) for r in merge_a.merged] == [
+            (r.key, r.global_seq) for r in merge_b.merged
+        ]
+
+    def test_release_waits_for_slow_region_frontier(self):
+        """A record buffered from the fast region is not released until
+        the slow region's frontier passes it (no premature emission that
+        a late remote record could contradict)."""
+        fed = Federation(regions=("east", "west"), num_brokers=3, seed=7)
+        for region in fed.regions:
+            fed.cluster(region).create_topic("events", 1)
+        fed.connect("east", "west", latency_ms=80.0)
+        merge = make_merge("hlc", fed, "east", "events", heartbeat_ms=40.0)
+        hlc = HybridLogicalClock(fed.clock)
+        producer = Producer(
+            fed.cluster("east"), ProducerConfig(client_id="gen")
+        )
+        producer.send(
+            "events", key="e0", value=0,
+            headers=stamp_hlc({CREATED_AT_HEADER: fed.clock.now}, hlc),
+        )
+        producer.flush()
+        # Local record arrives quickly but west's frontier (bounded by
+        # link latency + heartbeat) has not passed it yet.
+        fed.run_for(20.0)
+        assert len(merge.merged) == 0
+        # Once virtual time clears the bound, the idle drain releases it.
+        fed.run_for(300.0)
+        fed.run_until_idle()
+        assert len(merge.merged) == 1
+
+
+class TestStrategyTradeoff:
+    def test_sequencer_is_faster_but_centralized(self):
+        """The measured trade: HLC merge latency is bounded below by the
+        link latency + heartbeat on every record, while the sequencer
+        stamps home-region records immediately — the asymmetry
+        bench_mirror_ordering.py quantifies."""
+        _, seq = run_merge("sequencer", latency_ms=40.0)
+        _, hlc = run_merge("hlc", latency_ms=40.0)
+        seq_home = [
+            r.merge_latency_ms for r in seq.merged if r.region == "east"
+        ]
+        hlc_home = [
+            r.merge_latency_ms for r in hlc.merged if r.region == "east"
+        ]
+        assert sum(seq_home) / len(seq_home) < sum(hlc_home) / len(hlc_home)
+
+    def test_unknown_strategy_rejected(self):
+        fed = Federation(regions=("east", "west"), num_brokers=3, seed=7)
+        for region in fed.regions:
+            fed.cluster(region).create_topic("events", 1)
+        fed.connect("east", "west")
+        with pytest.raises(ValueError, match="unknown merge strategy"):
+            make_merge("vector-clock", fed, "east", "events")

@@ -1,0 +1,175 @@
+"""Properties of cross-cluster offset translation (repro.mirror.translation).
+
+The translator mimics MirrorMaker 2's offset-sync semantics: dense target
+offsets for gappy (transactional) source logs, exact checkpoints at synced
+committed offsets, downward-conservative everywhere else. The properties
+below drive it the way a real :class:`~repro.mirror.link.MirrorLink` does
+— batches in source order, a checkpoint at every batch end — and assert
+the contracts failover correctness rests on:
+
+* **round-trip identity**: any committed offset the link actually synced
+  (checkpointed) translates source→target→source back to itself;
+* **monotonicity**: translation never goes backwards as the source offset
+  grows, before or after a restart;
+* **no overshoot across restarts**: a translator rebuilt from the
+  persisted checkpoints alone never maps an offset *above* what the
+  original mapped it to — a failover after a mirror restart re-reads at
+  most the gap, it never skips acknowledged records.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.broker.partition import TopicPartition
+from repro.mirror.translation import OffsetTranslator
+
+TP = TopicPartition("events", 0)
+
+
+@st.composite
+def mirror_histories(draw):
+    """A plausible mirroring history over a gappy source log.
+
+    Returns (batches, checkpoints) where ``batches`` is a list of
+    ascending source-offset lists (gaps model transaction markers and
+    aborted spans the read-committed fetch skipped) and ``checkpoints``
+    the exact (src, dst) pairs a MirrorLink would persist: one at every
+    batch end, at src_last + 1 -> dst_last + 1.
+    """
+    n = draw(st.integers(min_value=1, max_value=80))
+    gaps = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=4), min_size=n, max_size=n
+        )
+    )
+    offsets = []
+    position = -1
+    for gap in gaps:
+        position += gap
+        offsets.append(position)
+
+    cuts = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=max(1, n - 1)),
+            max_size=6,
+            unique=True,
+        )
+    )
+    bounds = sorted(set(cut for cut in cuts if cut < n)) + [n]
+    batches, checkpoints = [], []
+    start = 0
+    dst_base = 0
+    for end in bounds:
+        batch = offsets[start:end]
+        if not batch:
+            continue
+        batches.append(batch)
+        dst_last = dst_base + len(batch) - 1
+        checkpoints.append((batch[-1] + 1, dst_last + 1))
+        dst_base = dst_last + 1
+        start = end
+    return batches, checkpoints
+
+
+def replay(batches, checkpoints, with_fine=True):
+    """Build a translator as the link would: optionally without the fine
+    map, modelling a restarted link that only replayed its checkpoint
+    topic."""
+    translator = OffsetTranslator()
+    if with_fine:
+        dst_base = 0
+        for batch in batches:
+            translator.record_batch(TP, batch, dst_base)
+            dst_base += len(batch)
+    for src, dst in checkpoints:
+        translator.record_checkpoint(TP, src, dst)
+    return translator
+
+
+@settings(max_examples=200, deadline=None)
+@given(mirror_histories())
+def test_round_trip_identity_on_synced_offsets(history):
+    """source -> target -> source is the identity at every checkpointed
+    committed offset — synced group offsets survive a fail*back* exactly."""
+    batches, checkpoints = history
+    translator = replay(batches, checkpoints)
+    for src, dst in checkpoints:
+        assert translator.to_target(TP, src) == dst
+        assert translator.to_source(TP, dst) == src
+        assert translator.to_source(TP, translator.to_target(TP, src)) == src
+
+
+@settings(max_examples=200, deadline=None)
+@given(mirror_histories())
+def test_round_trip_identity_survives_restart(history):
+    """The same identity holds on a translator rebuilt from checkpoints
+    alone (fresh fine map) — the mirror-restart path."""
+    batches, checkpoints = history
+    restarted = replay(batches, checkpoints, with_fine=False)
+    for src, dst in checkpoints:
+        assert restarted.to_target(TP, src) == dst
+        assert restarted.to_source(TP, restarted.to_target(TP, src)) == src
+
+
+@settings(max_examples=200, deadline=None)
+@given(mirror_histories(), st.integers(min_value=0, max_value=400))
+def test_translation_is_monotone(history, probe):
+    """to_target never decreases as the source offset grows (checked at a
+    probe point and its neighbours, across the whole observed range)."""
+    batches, checkpoints = history
+    translator = replay(batches, checkpoints)
+    last = None
+    for offset in range(0, batches[-1][-1] + 3):
+        value = translator.to_target(TP, offset)
+        if last is not None:
+            assert value >= last, f"to_target regressed at {offset}"
+        last = value
+    # And at the arbitrary probe relative to its predecessor.
+    assert translator.to_target(TP, probe + 1) >= translator.to_target(TP, probe)
+
+
+@settings(max_examples=200, deadline=None)
+@given(mirror_histories())
+def test_restart_never_overshoots(history):
+    """A restarted translator (checkpoints only) maps every offset at or
+    below the original's mapping, and stays monotone itself: failing over
+    after a restart re-reads records, never skips them."""
+    batches, checkpoints = history
+    full = replay(batches, checkpoints, with_fine=True)
+    restarted = replay(batches, checkpoints, with_fine=False)
+    last = None
+    for offset in range(0, batches[-1][-1] + 3):
+        a = restarted.to_target(TP, offset)
+        b = full.to_target(TP, offset)
+        assert a <= b, f"restart overshot at {offset}: {a} > {b}"
+        if last is not None:
+            assert a >= last
+        last = a
+
+
+@settings(max_examples=200, deadline=None)
+@given(mirror_histories())
+def test_fine_map_is_exact_within_mirrored_range(history):
+    """Inside the mirrored range, a committed offset just past the k-th
+    mirrored record translates to dense target offset k+1 — marker gaps
+    collapse onto the semantically identical position."""
+    batches, checkpoints = history
+    translator = replay(batches, checkpoints)
+    flat = [offset for batch in batches for offset in batch]
+    for k, src in enumerate(flat):
+        assert translator.to_target(TP, src + 1) == k + 1
+
+
+def test_unknown_partition_translates_to_zero():
+    translator = OffsetTranslator()
+    assert translator.to_target(TP, 41) == 0
+    assert translator.to_source(TP, 41) == 0
+    assert translator.translation_gap(TP, 7) == 7
+
+
+def test_batches_must_advance():
+    translator = OffsetTranslator()
+    translator.record_batch(TP, [0, 1, 2], 0)
+    import pytest
+
+    with pytest.raises(ValueError, match="strictly increasing"):
+        translator.record_batch(TP, [2, 3], 3)
